@@ -1,0 +1,170 @@
+//! Criterion: ablations of the design choices DESIGN.md calls out.
+//!
+//! * stack depth (L1-sized vs L1+L2-sized fully-associative cache states),
+//! * faithful counting vs invalidate-on-detect,
+//! * line- vs byte-granularity conflict counting,
+//! * per-iteration vs per-chunk trace interleaving in the simulator.
+//!
+//! Each bench also prints (once) the effect of the ablation on the FS
+//! count so `cargo bench` output records accuracy, not just speed.
+
+use cache_sim::{Interleave, MultiCoreSim, SimOptions, TraceGen};
+use cost_model::{run_fs_model, FsModelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use loop_ir::kernels;
+use machine::presets::paper48;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_ablation_effects() {
+    let machine = paper48();
+    let kernel = kernels::dft(32, 960, 1);
+    let base_cfg = FsModelConfig::for_machine(&machine, 8);
+    let base = run_fs_model(&kernel, &base_cfg);
+
+    let mut deep = base_cfg.clone();
+    deep.stack_lines = (machine.caches.levels[0].size_bytes
+        + machine.caches.levels[1].size_bytes) as usize
+        / 64;
+    let deep_r = run_fs_model(&kernel, &deep);
+
+    let mut inval = base_cfg.clone();
+    inval.invalidate_on_detect = true;
+    let inval_r = run_fs_model(&kernel, &inval);
+
+    let mut linegran = base_cfg.clone();
+    linegran.count_true_sharing = true;
+    let line_r = run_fs_model(&kernel, &linegran);
+
+    println!("--- ablation effects on FS cases (dft, 8 threads) ---");
+    println!("baseline (L1 stack, faithful, byte-split): {}", base.fs_cases);
+    println!("L1+L2-deep stacks:                         {}", deep_r.fs_cases);
+    println!("invalidate-on-detect:                      {}", inval_r.fs_cases);
+    println!("line-granularity (paper counting):         {}", line_r.fs_cases);
+
+    let mut setassoc = base_cfg.clone();
+    setassoc.stack_sets = 64; // 16-way over the same capacity
+    let sa_r = run_fs_model(&kernel, &setassoc);
+    println!("16-way set-associative cache states:       {}", sa_r.fs_cases);
+
+    let gen = TraceGen::new(&kernel, 8, 64);
+    for (name, il) in [
+        ("per-iteration", Interleave::PerIteration),
+        ("skewed", Interleave::PerIterationSkewed),
+        ("per-chunk", Interleave::PerChunk),
+    ] {
+        let mut sim = MultiCoreSim::new(&machine, 8);
+        gen.for_each_interleaved(il, |a| sim.access(a.thread, a.addr, a.size, a.is_write));
+        println!(
+            "sim interleave {name:>13}: fs misses = {}",
+            sim.stats().total_false_sharing()
+        );
+    }
+
+    // Prefetcher on/off: streaming kernel (heat) vs RMW kernel (dft).
+    for (kname, k) in [
+        ("heat", kernels::heat_diffusion(18, 962, 1)),
+        ("dft", kernels::dft(16, 960, 1)),
+    ] {
+        let g = TraceGen::new(&k, 8, 64);
+        for pf in [false, true] {
+            let mut sim = MultiCoreSim::new(&machine, 8);
+            if pf {
+                sim = sim.with_prefetchers();
+            }
+            g.for_each_interleaved(Interleave::PerIteration, |a| {
+                sim.access(a.thread, a.addr, a.size, a.is_write)
+            });
+            println!(
+                "sim {kname:>5} prefetch={:<5}: makespan = {:>9} cy, fs = {}",
+                pf,
+                sim.stats().makespan_cycles(),
+                sim.stats().total_false_sharing()
+            );
+        }
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    PRINT_ONCE.call_once(print_ablation_effects);
+
+    let machine = paper48();
+    let kernel = kernels::dft(16, 960, 1);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(20);
+
+    let base = FsModelConfig::for_machine(&machine, 8);
+    g.bench_function("model_l1_stack", |b| {
+        b.iter(|| run_fs_model(&kernel, &base))
+    });
+
+    let mut deep = base.clone();
+    deep.stack_lines *= 9; // ~L1+L2
+    g.bench_function("model_deep_stack", |b| {
+        b.iter(|| run_fs_model(&kernel, &deep))
+    });
+
+    let mut inval = base.clone();
+    inval.invalidate_on_detect = true;
+    g.bench_function("model_invalidate_on_detect", |b| {
+        b.iter(|| run_fs_model(&kernel, &inval))
+    });
+
+    let gen = TraceGen::new(&kernel, 8, 64);
+    g.bench_function("sim_prefetch_on", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 8).with_prefetchers();
+            gen.for_each_interleaved(Interleave::PerIteration, |a| {
+                sim.access(a.thread, a.addr, a.size, a.is_write)
+            });
+            sim.stats().makespan_cycles()
+        })
+    });
+    g.bench_function("sim_prefetch_off", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 8);
+            gen.for_each_interleaved(Interleave::PerIteration, |a| {
+                sim.access(a.thread, a.addr, a.size, a.is_write)
+            });
+            sim.stats().makespan_cycles()
+        })
+    });
+    g.bench_function("sim_per_iteration_interleave", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 8);
+            gen.for_each_interleaved(Interleave::PerIteration, |a| {
+                sim.access(a.thread, a.addr, a.size, a.is_write)
+            });
+            sim.stats().total_false_sharing()
+        })
+    });
+    g.bench_function("sim_per_chunk_interleave", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 8);
+            gen.for_each_interleaved(Interleave::PerChunk, |a| {
+                sim.access(a.thread, a.addr, a.size, a.is_write)
+            });
+            sim.stats().total_false_sharing()
+        })
+    });
+    g.finish();
+
+    // Set-associative vs fully-associative simulator caches (the paper's
+    // §III-C approximation argument).
+    let mut fa_machine = paper48();
+    for l in &mut fa_machine.caches.levels {
+        l.associativity = machine::Associativity::Full;
+    }
+    let mut g2 = c.benchmark_group("associativity");
+    g2.sample_size(20);
+    for (name, m) in [("set_assoc", &machine), ("fully_assoc", &fa_machine)] {
+        g2.bench_function(*&name, |b| {
+            b.iter(|| cache_sim::simulate_kernel(&kernel, m, SimOptions::new(8)))
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: throughput of the FS cost model itself (the cost a compiler
+//! pays at compile time), across kernels and team sizes.
+
+use cost_model::{run_fs_model, FsModelConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loop_ir::kernels;
+use machine::presets::paper48;
+
+fn bench_fs_model(c: &mut Criterion) {
+    let machine = paper48();
+    let mut g = c.benchmark_group("fs_model");
+    for threads in [2u32, 8, 48] {
+        let kernel = kernels::heat_diffusion(18, 962, 1);
+        let iters = kernel.nest.total_iterations().unwrap();
+        g.throughput(Throughput::Elements(iters));
+        g.bench_with_input(BenchmarkId::new("heat", threads), &threads, |b, &t| {
+            let cfg = FsModelConfig::for_machine(&machine, t);
+            b.iter(|| run_fs_model(&kernel, &cfg));
+        });
+    }
+    for threads in [2u32, 8, 48] {
+        let kernel = kernels::dft(16, 960, 1);
+        let iters = kernel.nest.total_iterations().unwrap();
+        g.throughput(Throughput::Elements(iters));
+        g.bench_with_input(BenchmarkId::new("dft", threads), &threads, |b, &t| {
+            let cfg = FsModelConfig::for_machine(&machine, t);
+            b.iter(|| run_fs_model(&kernel, &cfg));
+        });
+    }
+    let kernel = kernels::linear_regression(192, 80, 1);
+    let iters = kernel.nest.total_iterations().unwrap();
+    g.throughput(Throughput::Elements(iters));
+    g.bench_function("linreg/8", |b| {
+        let cfg = FsModelConfig::for_machine(&machine, 8);
+        b.iter(|| run_fs_model(&kernel, &cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fs_model);
+criterion_main!(benches);

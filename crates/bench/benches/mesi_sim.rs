@@ -1,0 +1,76 @@
+//! Criterion: MESI simulator throughput (accesses/second) under cache-
+//! friendly, streaming, and pathological false-sharing traffic.
+
+use cache_sim::{simulate_kernel, MultiCoreSim, SimOptions};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use loop_ir::kernels;
+use machine::presets::paper48;
+
+fn bench_raw_access_patterns(c: &mut Criterion) {
+    let machine = paper48();
+    let mut g = c.benchmark_group("mesi_raw");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("l1_hits", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 1);
+            for i in 0..n {
+                sim.access(0, (i % 8) * 8, 8, false);
+            }
+            sim.stats().total_accesses()
+        })
+    });
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 1);
+            for i in 0..n {
+                sim.access(0, i * 8, 8, false);
+            }
+            sim.stats().total_accesses()
+        })
+    });
+    g.bench_function("pingpong_2threads", |b| {
+        b.iter(|| {
+            let mut sim = MultiCoreSim::new(&machine, 2);
+            for i in 0..n / 2 {
+                sim.access((i % 2) as u32, (i % 2) * 8, 8, true);
+            }
+            sim.stats().total_false_sharing()
+        })
+    });
+    g.finish();
+}
+
+fn bench_kernel_sim(c: &mut Criterion) {
+    let machine = paper48();
+    let mut g = c.benchmark_group("mesi_kernels");
+    g.sample_size(20);
+    for (name, kernel) in [
+        ("heat_chunk1", kernels::heat_diffusion(18, 962, 1)),
+        ("heat_chunk64", kernels::heat_diffusion(18, 962, 64)),
+        ("dft_chunk1", kernels::dft(16, 960, 1)),
+        ("linreg_chunk1", kernels::linear_regression(192, 50, 1)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| simulate_kernel(&kernel, &machine, SimOptions::new(8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sharing_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharing_baseline");
+    g.sample_size(20);
+    for (name, kernel) in [
+        ("heat", kernels::heat_diffusion(18, 962, 1)),
+        ("linreg", kernels::linear_regression(192, 50, 1)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| cache_sim::SharingAnalysis::of_kernel(&kernel, 8, 64).census())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_access_patterns, bench_kernel_sim, bench_sharing_baseline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: the paper's efficiency claim — the linear-regression
+//! predictor against the full model evaluation on the same loop.
+
+use cost_model::{predict_fs, run_fs_model, FsModelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use loop_ir::kernels;
+use machine::presets::paper48;
+
+fn bench_predictor(c: &mut Criterion) {
+    let machine = paper48();
+    let kernel = kernels::dft(64, 1536, 1);
+    let cfg = FsModelConfig::for_machine(&machine, 8);
+
+    let mut g = c.benchmark_group("predictor_vs_full");
+    g.sample_size(20);
+    g.bench_function("full_model", |b| b.iter(|| run_fs_model(&kernel, &cfg)));
+    g.bench_function("predict_48_runs", |b| {
+        b.iter(|| predict_fs(&kernel, &cfg, 48))
+    });
+    g.bench_function("predict_192_runs", |b| {
+        b.iter(|| predict_fs(&kernel, &cfg, 192))
+    });
+    g.finish();
+
+    // The fit itself is trivial; measure it for completeness.
+    let pts: Vec<(f64, f64)> = (0..512).map(|i| (i as f64, 2.0 * i as f64)).collect();
+    c.bench_function("least_squares_512pts", |b| {
+        b.iter(|| cost_model::least_squares(&pts))
+    });
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

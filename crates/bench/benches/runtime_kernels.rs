@@ -1,0 +1,72 @@
+//! Criterion: *real* false sharing on the host — native kernels on OS
+//! threads, packed vs padded and chunk 1 vs large. These benches are where
+//! the repository's claims meet actual silicon.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fs_runtime::kernels::{dotprod_partials, linreg_packed, linreg_padded, synth_points};
+use fs_runtime::ThreadPool;
+use std::hint::black_box;
+
+fn bench_dotprod(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let len = 1_000_000usize;
+    let x: Vec<f64> = (0..len).map(|i| (i % 1000) as f64 * 1e-3).collect();
+    let y: Vec<f64> = (0..len).map(|i| ((i + 3) % 1000) as f64 * 1e-3).collect();
+    let mut g = c.benchmark_group("host_dotprod");
+    g.sample_size(20);
+    g.bench_function("packed_partials", |b| {
+        b.iter(|| black_box(dotprod_partials(&x, &y, threads, false)))
+    });
+    g.bench_function("padded_partials", |b| {
+        b.iter(|| black_box(dotprod_partials(&x, &y, threads, true)))
+    });
+    g.finish();
+}
+
+fn bench_linreg_chunks(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let (n, m) = (768usize, 512usize);
+    let pts = synth_points(n * m);
+    let mut g = c.benchmark_group("host_linreg");
+    g.sample_size(15);
+    for chunk in [1u64, 10, 64] {
+        g.bench_function(format!("packed_chunk{chunk}"), |b| {
+            b.iter(|| black_box(linreg_packed(&pts, n, m, threads, chunk)))
+        });
+    }
+    g.bench_function("padded_chunk1", |b| {
+        b.iter(|| black_box(linreg_padded(&pts, n, m, threads, 1)))
+    });
+    g.finish();
+}
+
+fn bench_heat(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let (n, m) = (66usize, 2050usize);
+    let a: Vec<f64> = (0..n * m).map(|i| (i % 7) as f64).collect();
+    let pool = ThreadPool::new(threads);
+    let mut g = c.benchmark_group("host_heat");
+    g.sample_size(15);
+    for chunk in [1u64, 64] {
+        g.bench_function(format!("chunk{chunk}"), |b| {
+            let mut out = vec![0.0; n * m];
+            b.iter(|| {
+                fs_runtime::kernels::heat_step(&a, &mut out, n, m, chunk, &pool);
+                black_box(out[m + 1])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dotprod, bench_linreg_chunks, bench_heat);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerate every table and figure of the paper in one run (the output
+//! recorded in EXPERIMENTS.md). Set `FS_QUICK=1` for a reduced thread
+//! sweep.
+
+use std::process::Command;
+
+fn main() {
+    // Keep each experiment in its own binary so they can be run (and
+    // profiled) independently; this driver just runs them all in paper
+    // order.
+    let bins = [
+        "fig2_chunksize",
+        "fig6_linearity",
+        "table1_heat",
+        "table2_dft",
+        "table3_linreg",
+        "table4_heat_pred",
+        "table5_dft_pred",
+        "table6_linreg_pred",
+        "fig8_heat_summary",
+        "fig9_dft_summary",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

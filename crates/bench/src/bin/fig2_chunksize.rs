@@ -1,0 +1,24 @@
+//! Fig. 2: execution time of the linear-regression kernel vs chunk size
+//! (1..30). Execution time is the MESI-simulated makespan plus modeled
+//! compute, at a fixed team size.
+
+use fs_bench::{measured_time_seconds, paper48, scale};
+
+fn main() {
+    let machine = paper48();
+    let threads = 8;
+    println!("## Fig. 2: linear regression execution time vs chunk size ({threads} threads)");
+    println!("{:>8} {:>14} {:>16}", "chunk", "time (s)", "vs chunk 1");
+    let mut base = None;
+    for chunk in [1u64, 2, 4, 6, 8, 10, 14, 18, 22, 26, 30] {
+        let t = measured_time_seconds(&scale::linreg(chunk, threads), &machine, threads);
+        let b = *base.get_or_insert(t);
+        println!(
+            "{:>8} {:>14.6} {:>15.1}%",
+            chunk,
+            t,
+            (t / b - 1.0) * 100.0
+        );
+    }
+    println!("(expect a falling curve: larger chunks remove the false sharing)");
+}

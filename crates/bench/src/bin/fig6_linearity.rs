@@ -1,0 +1,37 @@
+//! Fig. 6: the estimated number of FS cases grows linearly with the number
+//! of chunk runs. Prints the cumulative series and the least-squares fit
+//! quality for each kernel.
+
+use cost_model::{least_squares, run_fs_model, FsModelConfig};
+use fs_bench::{paper48, scale};
+
+fn main() {
+    let machine = paper48();
+    let threads = 8;
+    for (name, kernel) in [
+        ("heat diffusion", scale::heat(1, threads)),
+        ("DFT", scale::dft(1, threads)),
+        ("linear regression", scale::linreg(1, threads)),
+    ] {
+        let mut cfg = FsModelConfig::for_machine(&machine, threads);
+        cfg.max_chunk_runs = Some(512);
+        let r = run_fs_model(&kernel, &cfg);
+        println!("## Fig. 6: cumulative FS cases vs chunk runs — {name} ({threads} threads)");
+        let stride = (r.series.len() / 16).max(1);
+        println!("{:>12} {:>16}", "chunk run", "FS cases");
+        for (x, y) in r.series.iter().step_by(stride) {
+            println!("{x:>12} {y:>16}");
+        }
+        let pts: Vec<(f64, f64)> = r
+            .series
+            .iter()
+            .map(|&(x, y)| (x as f64, y as f64))
+            .collect();
+        if let Some(fit) = least_squares(&pts[pts.len() / 4..]) {
+            println!(
+                "fit: y = {:.1} * x + {:.1}   (r^2 = {:.6})\n",
+                fit.a, fit.b, fit.r2
+            );
+        }
+    }
+}

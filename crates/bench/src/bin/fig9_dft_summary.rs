@@ -1,0 +1,24 @@
+//! Fig. 9: summary comparison of measured / modeled / predicted
+//! false-sharing effect (% of execution time) vs thread count, DFT kernel.
+
+use fs_bench::{
+    fs_effect_table, paper48, prediction_table, scale, thread_counts_from_env,
+};
+
+fn main() {
+    let machine = paper48();
+    let threads = thread_counts_from_env();
+    let effect = fs_effect_table(scale::dft, scale::DFT_CHUNKS, &machine, &threads);
+    let pred = prediction_table(scale::dft, scale::DFT_CHUNKS, &machine, &threads, 50);
+    println!("## Fig. 9: FS effect (% of execution time) vs threads — DFT");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "threads", "measured", "modeled", "predicted"
+    );
+    for (e, p) in effect.iter().zip(&pred) {
+        println!(
+            "{:>8} {:>11.1}% {:>11.1}% {:>11.1}%",
+            e.threads, e.measured_pct, e.modeled_pct, p.pred_pct
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Table I: % false-sharing overhead in the heat diffusion kernel,
+//! measured (MESI-simulated) vs modeled, threads 2..48, chunk 1 vs 64.
+
+use fs_bench::{fs_effect_table, paper48, render_fs_effect, scale, thread_counts_from_env};
+
+fn main() {
+    let machine = paper48();
+    let rows = fs_effect_table(
+        scale::heat,
+        scale::HEAT_CHUNKS,
+        &machine,
+        &thread_counts_from_env(),
+    );
+    print!(
+        "{}",
+        render_fs_effect(
+            "Table I: false-sharing overheads, heat diffusion (chunk 1 vs 64)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,21 @@
+//! Table II: % false-sharing overhead in the DFT kernel, measured
+//! (MESI-simulated) vs modeled, threads 2..48, chunk 1 vs 16.
+
+use fs_bench::{fs_effect_table, paper48, render_fs_effect, scale, thread_counts_from_env};
+
+fn main() {
+    let machine = paper48();
+    let rows = fs_effect_table(
+        scale::dft,
+        scale::DFT_CHUNKS,
+        &machine,
+        &thread_counts_from_env(),
+    );
+    print!(
+        "{}",
+        render_fs_effect(
+            "Table II: false-sharing overheads, DFT (chunk 1 vs 16)",
+            &rows
+        )
+    );
+}

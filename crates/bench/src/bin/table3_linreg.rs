@@ -1,0 +1,23 @@
+//! Table III: % false-sharing overhead in the linear-regression kernel
+//! (outer-loop parallel), measured vs modeled, threads 2..48, chunk 1 vs
+//! 10. The paper's signature effect: the *modeled* FS decays with the
+//! thread count because the total chunk runs are `n/(T*C)`.
+
+use fs_bench::{fs_effect_table, paper48, render_fs_effect, scale, thread_counts_from_env};
+
+fn main() {
+    let machine = paper48();
+    let rows = fs_effect_table(
+        scale::linreg,
+        scale::LINREG_CHUNKS,
+        &machine,
+        &thread_counts_from_env(),
+    );
+    print!(
+        "{}",
+        render_fs_effect(
+            "Table III: false-sharing overheads, linear regression (chunk 1 vs 10)",
+            &rows
+        )
+    );
+}

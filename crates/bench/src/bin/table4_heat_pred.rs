@@ -1,0 +1,22 @@
+//! Table IV: predicted vs fully modeled FS cases (and overhead %), heat
+//! diffusion, nominal 20 chunk runs.
+
+use fs_bench::{paper48, prediction_table, render_prediction, scale, thread_counts_from_env};
+
+fn main() {
+    let machine = paper48();
+    let rows = prediction_table(
+        scale::heat,
+        scale::HEAT_CHUNKS,
+        &machine,
+        &thread_counts_from_env(),
+        20,
+    );
+    print!(
+        "{}",
+        render_prediction(
+            "Table IV: predicted vs modeled FS cases, heat diffusion (nominal 20 chunk runs)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,22 @@
+//! Table V: predicted vs fully modeled FS cases (and overhead %), DFT,
+//! nominal 50 chunk runs.
+
+use fs_bench::{paper48, prediction_table, render_prediction, scale, thread_counts_from_env};
+
+fn main() {
+    let machine = paper48();
+    let rows = prediction_table(
+        scale::dft,
+        scale::DFT_CHUNKS,
+        &machine,
+        &thread_counts_from_env(),
+        50,
+    );
+    print!(
+        "{}",
+        render_prediction(
+            "Table V: predicted vs modeled FS cases, DFT (nominal 50 chunk runs)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,24 @@
+//! Table VI: predicted vs fully modeled FS cases (and overhead %), linear
+//! regression, nominal 10 chunk runs. The chunk-run total here is
+//! `n/(T*C)`, so both columns decay with the thread count — the paper's
+//! Table VI signature.
+
+use fs_bench::{paper48, prediction_table, render_prediction, scale, thread_counts_from_env};
+
+fn main() {
+    let machine = paper48();
+    let rows = prediction_table(
+        scale::linreg,
+        scale::LINREG_CHUNKS,
+        &machine,
+        &thread_counts_from_env(),
+        10,
+    );
+    print!(
+        "{}",
+        render_prediction(
+            "Table VI: predicted vs modeled FS cases, linear regression (nominal 10 chunk runs)",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,35 @@
+//! Execution-driven multi-core cache simulation.
+//!
+//! This crate is the "hardware" substrate of the reproduction: since we do
+//! not have the paper's 48-core testbed, the **measured** side of every
+//! experiment comes from replaying a kernel's exact memory trace through a
+//! MESI write-invalidate coherence simulator ([`mesi::MultiCoreSim`]) with
+//! the cache geometry of [`machine::presets::paper48`].
+//!
+//! * [`lru`] — the capacity-bounded LRU map and a reuse-distance profiler
+//!   (stack-distance analysis).
+//! * [`trace`] — per-thread and interleaved memory-trace generation from
+//!   [`loop_ir::Kernel`]s under the static round-robin schedule.
+//! * [`mesi`] — private L1/L2 per core, optional shared last level per
+//!   cluster, full-map directory, per-byte dirty masks for classifying
+//!   coherence misses into **true** vs **false** sharing.
+//! * [`sim`] — one-call kernel simulation ([`sim::simulate_kernel`]).
+//! * [`stats`] — per-thread and aggregate counters.
+
+pub mod lru;
+pub mod mesi;
+pub mod prefetch;
+pub mod sharing;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+pub mod trace_io;
+
+pub use lru::{LruCache, ReuseDistanceProfiler};
+pub use mesi::MultiCoreSim;
+pub use prefetch::StreamPrefetcher;
+pub use sharing::{LineClass, LineRecord, SharingAnalysis};
+pub use sim::{simulate_kernel, simulated_time_cycles, SimOptions};
+pub use stats::{SimStats, ThreadStats};
+pub use trace::{Interleave, MemAccess, TraceGen};
+pub use trace_io::{dump_kernel_trace, read_trace, write_trace, Trace, TraceReadError};

@@ -1,0 +1,397 @@
+//! A capacity-bounded LRU map built on an intrusive doubly-linked list over
+//! a slab, plus a reuse-distance profiler.
+//!
+//! This single structure backs three users:
+//! * the per-thread *cache states* of the paper's FS model (stack-distance
+//!   analysis simulating a fully-associative LRU cache, §III-C),
+//! * each set of the set-associative caches in the MESI simulator,
+//! * the [`ReuseDistanceProfiler`] used by the ablation benches.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// Slab slots are `Option` so removal can move the entry out safely; a
+/// `None` slot is always on the free list.
+type Slot<K, V> = Option<Node<K, V>>;
+
+/// An LRU map holding at most `capacity` entries. All operations are O(1)
+/// expected; [`LruCache::distance_of`] is O(n) and meant for analysis, not
+/// hot paths.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, u32>,
+    slab: Vec<Slot<K, V>>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Read a value without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .map(|&i| &self.slab[i as usize].as_ref().expect("mapped slot is live").value)
+    }
+
+    fn node(&self, idx: u32) -> &Node<K, V> {
+        self.slab[idx as usize].as_ref().expect("linked slot is live")
+    }
+
+    fn node_mut(&mut self, idx: u32) -> &mut Node<K, V> {
+        self.slab[idx as usize].as_mut().expect("linked slot is live")
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = self.node(idx);
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.node_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.node_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(idx);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.node_mut(old_head).prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Touch `key`, making it most-recently-used. Returns a mutable
+    /// reference to its value, or `None` if absent.
+    pub fn touch(&mut self, key: &K) -> Option<&mut V> {
+        let &idx = self.map.get(key)?;
+        if self.head != idx {
+            self.detach(idx);
+            self.push_front(idx);
+        }
+        Some(&mut self.node_mut(idx).value)
+    }
+
+    /// Insert (or overwrite) `key`, making it most-recently-used. If the
+    /// cache was full and `key` was absent, the least-recently-used entry is
+    /// evicted and returned.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.node_mut(idx).value = value;
+            if self.head != idx {
+                self.detach(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            evicted = self.pop_lru();
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(i) = self.free.pop() {
+            debug_assert!(self.slab[i as usize].is_none());
+            self.slab[i as usize] = Some(node);
+            i
+        } else {
+            self.slab.push(Some(node));
+            (self.slab.len() - 1) as u32
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Remove and return the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        let idx = self.tail;
+        if idx == NIL {
+            return None;
+        }
+        self.detach(idx);
+        let node = self.slab[idx as usize].take().expect("linked slot is live");
+        self.free.push(idx);
+        self.map.remove(&node.key);
+        Some((node.key, node.value))
+    }
+
+    /// Remove a specific key.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let node = self.slab[idx as usize].take().expect("linked slot is live");
+        self.free.push(idx);
+        Some(node.value)
+    }
+
+    /// Keys from most- to least-recently-used.
+    pub fn iter_mru(&self) -> LruIter<'_, K, V> {
+        LruIter {
+            cache: self,
+            cur: self.head,
+        }
+    }
+
+    /// Stack distance of `key`: how many *other* distinct entries are more
+    /// recently used (0 = MRU). `None` if absent. O(n).
+    pub fn distance_of(&self, key: &K) -> Option<usize> {
+        let mut cur = self.head;
+        let mut d = 0;
+        while cur != NIL {
+            let n = self.node(cur);
+            if &n.key == key {
+                return Some(d);
+            }
+            d += 1;
+            cur = n.next;
+        }
+        None
+    }
+}
+
+/// Iterator over `(key, value)` pairs from MRU to LRU.
+pub struct LruIter<'a, K, V> {
+    cache: &'a LruCache<K, V>,
+    cur: u32,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Iterator for LruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = self.cache.slab[self.cur as usize]
+            .as_ref()
+            .expect("linked slot is live");
+        self.cur = n.next;
+        Some((&n.key, &n.value))
+    }
+}
+
+/// Records the reuse (stack) distance of every access over an *unbounded*
+/// LRU stack, building the histogram from which miss ratios at any cache
+/// size can be read off — the classic use of stack-distance analysis.
+#[derive(Debug)]
+pub struct ReuseDistanceProfiler {
+    stack: Vec<u64>,
+    /// histogram[d] = number of accesses with stack distance d (capped).
+    histogram: Vec<u64>,
+    /// Accesses to lines never seen before.
+    pub cold: u64,
+    max_tracked: usize,
+}
+
+impl ReuseDistanceProfiler {
+    pub fn new(max_tracked_distance: usize) -> Self {
+        ReuseDistanceProfiler {
+            stack: Vec::new(),
+            histogram: vec![0; max_tracked_distance + 1],
+            cold: 0,
+            max_tracked: max_tracked_distance,
+        }
+    }
+
+    /// Record an access to `line`, returning its stack distance (`None` for
+    /// a cold access).
+    pub fn access(&mut self, line: u64) -> Option<usize> {
+        if let Some(pos) = self.stack.iter().position(|&l| l == line) {
+            self.stack.remove(pos);
+            self.stack.insert(0, line);
+            self.histogram[pos.min(self.max_tracked)] += 1;
+            Some(pos)
+        } else {
+            self.stack.insert(0, line);
+            self.cold += 1;
+            None
+        }
+    }
+
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Number of misses a fully-associative LRU cache of `lines` lines would
+    /// take on the recorded trace (cold misses included).
+    pub fn misses_at_capacity(&self, lines: usize) -> u64 {
+        let far: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d >= lines)
+            .map(|(_, &c)| c)
+            .sum();
+        far + self.cold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_touch_evict_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        assert!(c.insert(1, 10).is_none());
+        assert!(c.insert(2, 20).is_none());
+        assert!(c.insert(3, 30).is_none());
+        assert_eq!(c.len(), 3);
+        // touch 1 -> LRU is now 2
+        assert_eq!(c.touch(&1), Some(&mut 10));
+        let ev = c.insert(4, 40).unwrap();
+        assert_eq!(ev, (2, 20));
+        assert!(c.contains(&1) && c.contains(&3) && c.contains(&4));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(1, 11).is_none());
+        assert_eq!(c.peek(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+        // 2 is now LRU
+        let ev = c.insert(3, 30).unwrap();
+        assert_eq!(ev.0, 2);
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c: LruCache<u32, String> = LruCache::new(2);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert_eq!(c.remove(&1), Some("a".into()));
+        assert_eq!(c.len(), 1);
+        assert!(c.insert(3, "c".into()).is_none());
+        assert!(c.insert(4, "d".into()).is_some());
+        assert_eq!(c.remove(&9), None);
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut c: LruCache<u32, ()> = LruCache::new(4);
+        for k in 1..=4 {
+            c.insert(k, ());
+        }
+        c.touch(&2);
+        let keys: Vec<u32> = c.iter_mru().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn distance_of_counts_more_recent_entries() {
+        let mut c: LruCache<u32, ()> = LruCache::new(4);
+        for k in 1..=4 {
+            c.insert(k, ());
+        }
+        assert_eq!(c.distance_of(&4), Some(0));
+        assert_eq!(c.distance_of(&1), Some(3));
+        assert_eq!(c.distance_of(&9), None);
+    }
+
+    #[test]
+    fn pop_lru_empties_cache() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert!(c.pop_lru().is_none());
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.pop_lru(), Some((1, 10)));
+        assert_eq!(c.pop_lru(), Some((2, 20)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut c: LruCache<u64, u64> = LruCache::new(16);
+        for i in 0..10_000u64 {
+            c.insert(i % 37, i);
+            if i % 3 == 0 {
+                c.touch(&(i % 7));
+            }
+            if i % 11 == 0 {
+                c.remove(&(i % 5));
+            }
+            assert!(c.len() <= 16);
+        }
+        // Every key reachable through the map must be reachable via the list.
+        assert_eq!(c.iter_mru().count(), c.len());
+    }
+
+    #[test]
+    fn profiler_histogram_and_capacity_misses() {
+        let mut p = ReuseDistanceProfiler::new(16);
+        // trace: A B A B C A
+        for &l in &[1u64, 2, 1, 2, 3, 1] {
+            p.access(l);
+        }
+        assert_eq!(p.cold, 3);
+        // A reused at distance 1 (B in between), B at 1, A at 2 (B, C).
+        assert_eq!(p.histogram()[1], 2);
+        assert_eq!(p.histogram()[2], 1);
+        // A 2-line cache misses cold(3) + the distance-2 reuse = 4.
+        assert_eq!(p.misses_at_capacity(2), 4);
+        // A 3-line cache only takes the cold misses.
+        assert_eq!(p.misses_at_capacity(3), 3);
+    }
+}

@@ -1,0 +1,940 @@
+//! Execution-driven MESI write-invalidate coherence simulator.
+//!
+//! This is the substitute for the paper's real 48-core testbed: the
+//! "measured" false-sharing effect in our reproduction comes from replaying
+//! a kernel's memory trace through this simulator with the FS-inducing and
+//! the FS-free chunk size and comparing cycle counts, exactly as the paper
+//! compares wall-clock times (§IV-A).
+//!
+//! Model: each core has private, inclusive L1/L2 caches (geometry from
+//! [`machine::CacheHierarchy`]); an optional last level is shared per
+//! cluster of cores. A full-map directory tracks each line's global MESI
+//! state. Coherence misses (lines served dirty from a remote core) are
+//! classified into **true** and **false** sharing by the standard
+//! byte-overlap test: the miss is false sharing iff the remote writer never
+//! touched the bytes the missing core accesses.
+
+use crate::lru::LruCache;
+use crate::prefetch::StreamPrefetcher;
+use crate::stats::SimStats;
+use machine::cache::{CacheHierarchy, CacheLevel};
+use machine::{CoherenceParams, MachineConfig};
+use std::collections::HashMap;
+
+/// Global MESI state of one line across all private caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GlobalState {
+    /// In no private cache (may still be in a shared level).
+    Uncached,
+    /// Clean, present in exactly one private cache.
+    Exclusive { core: u32 },
+    /// Clean, present in one or more private caches (bitmask).
+    Shared { sharers: u64 },
+    /// Dirty in exactly one private cache. `written` is the per-byte mask
+    /// of bytes modified since this core took ownership — the input to
+    /// true/false sharing classification.
+    Modified { core: u32, written: u64 },
+}
+
+/// One set-associative (or fully associative) cache storing line presence.
+#[derive(Debug)]
+struct SetCache {
+    sets: Vec<LruCache<u64, ()>>,
+    num_sets: u64,
+    hit_latency: u32,
+}
+
+impl SetCache {
+    fn new(level: &CacheLevel, line_size: u64) -> Self {
+        let num_sets = level.num_sets(line_size).max(1);
+        let ways = level.ways(line_size).max(1) as usize;
+        SetCache {
+            sets: (0..num_sets).map(|_| LruCache::new(ways)).collect(),
+            num_sets,
+            hit_latency: level.hit_latency,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.num_sets) as usize
+    }
+
+    /// Touch a line, returning true on hit.
+    fn probe(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].touch(&line).is_some()
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].contains(&line)
+    }
+
+    /// Insert a line, returning the evicted line if any.
+    fn insert(&mut self, line: u64) -> Option<u64> {
+        let s = self.set_of(line);
+        self.sets[s].insert(line, ()).map(|(l, ())| l)
+    }
+
+    fn remove(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].remove(&line).is_some()
+    }
+}
+
+/// The private cache stack of one core.
+#[derive(Debug)]
+struct Core {
+    l1: SetCache,
+    l2: Option<SetCache>,
+}
+
+impl Core {
+    /// Remove a line from all private levels (invalidation).
+    fn invalidate(&mut self, line: u64) {
+        self.l1.remove(line);
+        if let Some(l2) = &mut self.l2 {
+            l2.remove(line);
+        }
+    }
+
+    fn holds(&self, line: u64) -> bool {
+        self.l1.contains(line) || self.l2.as_ref().is_some_and(|l2| l2.contains(line))
+    }
+}
+
+/// Where a private-cache miss was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissSource {
+    RemoteDirty { false_sharing: bool },
+    RemoteClean,
+    SharedLevel,
+    Memory { cold: bool },
+}
+
+/// The multi-core coherent cache simulator.
+pub struct MultiCoreSim {
+    line_size: u64,
+    cores: Vec<Core>,
+    /// One shared cache per cluster (empty if the hierarchy has no shared
+    /// level).
+    shared: Vec<SetCache>,
+    cluster_size: u32,
+    shared_hit_latency: u32,
+    memory_latency: u32,
+    coherence: CoherenceParams,
+    dir: HashMap<u64, GlobalState>,
+    /// Lines ever brought in from memory, for cold-miss classification.
+    seen: HashMap<u64, ()>,
+    stats: SimStats,
+    /// Per-core stride prefetchers (None when disabled).
+    prefetchers: Option<Vec<StreamPrefetcher>>,
+    pf_buf: Vec<u64>,
+}
+
+impl MultiCoreSim {
+    pub fn new(machine: &MachineConfig, num_threads: u32) -> Self {
+        assert!(num_threads >= 1);
+        assert!(
+            num_threads <= 64,
+            "directory sharer bitmask supports at most 64 cores"
+        );
+        let h: &CacheHierarchy = &machine.caches;
+        let private: Vec<&CacheLevel> = h.levels.iter().filter(|l| !l.shared).collect();
+        assert!(
+            !private.is_empty(),
+            "hierarchy needs at least one private level"
+        );
+        let shared_level = h.levels.iter().find(|l| l.shared);
+        let cluster_size = h.shared_cluster_size.max(1);
+        let num_clusters = num_threads.div_ceil(cluster_size);
+        let cores = (0..num_threads)
+            .map(|_| Core {
+                l1: SetCache::new(private[0], h.line_size),
+                l2: private.get(1).map(|l| SetCache::new(l, h.line_size)),
+            })
+            .collect();
+        let shared = shared_level
+            .map(|l| {
+                (0..num_clusters)
+                    .map(|_| SetCache::new(l, h.line_size))
+                    .collect()
+            })
+            .unwrap_or_default();
+        MultiCoreSim {
+            line_size: h.line_size,
+            cores,
+            shared,
+            cluster_size,
+            shared_hit_latency: shared_level.map(|l| l.hit_latency).unwrap_or(0),
+            memory_latency: h.memory_latency,
+            coherence: machine.coherence,
+            dir: HashMap::new(),
+            seen: HashMap::new(),
+            stats: SimStats::new(num_threads),
+            prefetchers: None,
+            pf_buf: Vec::new(),
+        }
+    }
+
+    /// Enable per-core stride prefetching (see [`crate::prefetch`]): the
+    /// hardware feature that keeps a chunk-1 loop's strided *reads* cheap on
+    /// real machines, leaving coherence traffic as the dominant chunk-size
+    /// effect — the regime of the paper's measurements.
+    pub fn with_prefetchers(mut self) -> Self {
+        let n = self.cores.len();
+        self.prefetchers = Some((0..n).map(|_| StreamPrefetcher::default()).collect());
+        self
+    }
+
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    pub fn into_stats(self) -> SimStats {
+        self.stats
+    }
+
+    fn cluster_of(&self, core: u32) -> usize {
+        (core / self.cluster_size) as usize
+    }
+
+    /// Byte mask within a line for `offset..offset+size`.
+    #[inline]
+    fn byte_mask(offset: u64, size: u64) -> u64 {
+        debug_assert!(offset + size <= 64, "mask covers one 64-byte line");
+        if size >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << size) - 1) << offset
+        }
+    }
+
+    /// Simulate one access, splitting across lines as needed.
+    pub fn access(&mut self, thread: u32, addr: u64, size: u32, is_write: bool) {
+        let mut a = addr;
+        let mut remaining = size as u64;
+        if remaining == 0 {
+            return;
+        }
+        loop {
+            let line_off = a % self.line_size;
+            let in_line = (self.line_size - line_off).min(remaining);
+            // Masks are defined for 64-byte granularity; for other line
+            // sizes scale the offset into a 64-slot space.
+            let (moff, msize) = if self.line_size == 64 {
+                (line_off, in_line)
+            } else {
+                let scale = self.line_size as f64 / 64.0;
+                (
+                    (line_off as f64 / scale) as u64,
+                    ((in_line as f64 / scale).ceil() as u64).max(1),
+                )
+            };
+            let mask = Self::byte_mask(moff.min(63), msize.min(64 - moff.min(63)));
+            self.access_line(thread, a / self.line_size, mask, is_write);
+            remaining -= in_line;
+            if remaining == 0 {
+                break;
+            }
+            a += in_line;
+        }
+    }
+
+    fn access_line(&mut self, thread: u32, line: u64, bytes: u64, is_write: bool) {
+        let c = thread as usize;
+        self.stats.per_thread[c].accesses += 1;
+        // The prefetcher observes the demand stream (hits included — a
+        // covered stream must keep advancing the stride table).
+        self.feed_prefetcher(thread, line);
+
+        // --- private hit path ---
+        if self.cores[c].l1.probe(line) {
+            let lat = self.cores[c].l1.hit_latency;
+            self.stats.per_thread[c].l1_hits += 1;
+            self.stats.per_thread[c].cycles += lat as u64;
+            if is_write {
+                self.write_hit(thread, line, bytes);
+            }
+            return;
+        }
+        let l2_hit = self.cores[c]
+            .l2
+            .as_mut()
+            .is_some_and(|l2| l2.probe(line));
+        if l2_hit {
+            let lat = self.cores[c].l2.as_ref().unwrap().hit_latency;
+            self.stats.per_thread[c].l2_hits += 1;
+            self.stats.per_thread[c].cycles += lat as u64;
+            // Promote into L1.
+            if let Some(evicted) = self.cores[c].l1.insert(line) {
+                // Inclusive: the line remains in L2; nothing global changes.
+                let _ = evicted;
+            }
+            if is_write {
+                self.write_hit(thread, line, bytes);
+            }
+            return;
+        }
+
+        // --- private miss: resolve through the directory ---
+        // Adjacent-line prefetch on demand misses (the classic L2 "buddy"
+        // prefetch): covers short per-chunk runs the stride table cannot
+        // train on.
+        if self.prefetchers.is_some() {
+            self.install_prefetch(thread, line + 1);
+            self.install_prefetch(thread, line + 2);
+        }
+        let source = self.resolve_miss(thread, line, bytes, is_write);
+        let lat = match source {
+            MissSource::RemoteDirty { false_sharing } => {
+                let st = &mut self.stats.per_thread[c];
+                st.coherence_misses += 1;
+                if false_sharing {
+                    st.false_sharing_misses += 1;
+                    *self.stats.fs_by_line.entry(line).or_insert(0) += 1;
+                } else {
+                    st.true_sharing_misses += 1;
+                }
+                self.coherence.cache_to_cache
+            }
+            MissSource::RemoteClean => {
+                self.stats.per_thread[c].clean_transfers += 1;
+                self.coherence.cache_to_cache
+            }
+            MissSource::SharedLevel => {
+                self.stats.per_thread[c].l3_hits += 1;
+                self.shared_hit_latency
+            }
+            MissSource::Memory { cold } => {
+                self.stats.per_thread[c].mem_fetches += 1;
+                if cold {
+                    self.stats.cold_misses += 1;
+                }
+                self.memory_latency
+            }
+        };
+        // Stores retire through the store buffer: only a fraction of the
+        // miss latency stalls the core (loads stall in full).
+        self.stats.per_thread[c].cycles += self.coherence.stall_cycles(lat, is_write);
+
+        // Fill the private levels.
+        self.fill_private(thread, line);
+    }
+
+    /// Observe a demand access in the core's prefetcher and install any
+    /// predicted lines. Prefetches are free (fully overlapped), install in
+    /// Shared state, and never touch lines another core owns — hiding
+    /// streaming locality misses without masking coherence traffic.
+    fn feed_prefetcher(&mut self, thread: u32, line: u64) {
+        let Some(pfs) = &mut self.prefetchers else {
+            return;
+        };
+        let mut buf = std::mem::take(&mut self.pf_buf);
+        pfs[thread as usize].observe(line, &mut buf);
+        for &p in &buf {
+            self.install_prefetch(thread, p);
+        }
+        self.pf_buf = buf;
+    }
+
+    fn install_prefetch(&mut self, thread: u32, line: u64) {
+        let me = thread;
+        if self.cores[me as usize].holds(line) {
+            return;
+        }
+        let entry = self
+            .dir
+            .get(&line)
+            .copied()
+            .unwrap_or(GlobalState::Uncached);
+        match entry {
+            GlobalState::Uncached => {
+                self.dir.insert(
+                    line,
+                    GlobalState::Shared {
+                        sharers: 1u64 << me,
+                    },
+                );
+            }
+            GlobalState::Shared { sharers } => {
+                self.dir.insert(
+                    line,
+                    GlobalState::Shared {
+                        sharers: sharers | (1u64 << me),
+                    },
+                );
+            }
+            // Never steal a line another core owns.
+            GlobalState::Exclusive { .. } | GlobalState::Modified { .. } => return,
+        }
+        // Warm the cluster's shared level too, without stats/cycles.
+        self.fill_shared(me, line);
+        self.fill_private(me, line);
+        self.stats.per_thread[me as usize].prefetch_issued += 1;
+    }
+
+    /// Handle a write that hit a line already present in this core's
+    /// private caches: silent E->M, or an upgrade invalidating remote
+    /// sharers.
+    fn write_hit(&mut self, thread: u32, line: u64, bytes: u64) {
+        let me = thread;
+        let entry = self
+            .dir
+            .get(&line)
+            .copied()
+            .unwrap_or(GlobalState::Uncached);
+        let new = match entry {
+            GlobalState::Modified { core, written } => {
+                debug_assert_eq!(core, me, "hit in private cache but owned elsewhere");
+                GlobalState::Modified {
+                    core: me,
+                    written: written | bytes,
+                }
+            }
+            GlobalState::Exclusive { core } => {
+                debug_assert_eq!(core, me);
+                GlobalState::Modified {
+                    core: me,
+                    written: bytes,
+                }
+            }
+            GlobalState::Shared { sharers } => {
+                let others = sharers & !(1u64 << me);
+                if others != 0 {
+                    self.stats.per_thread[me as usize].upgrades += 1;
+                    self.stats.per_thread[me as usize].cycles += self
+                        .coherence
+                        .stall_cycles(self.coherence.invalidation, true);
+                    for o in 0..self.cores.len() as u32 {
+                        if others & (1u64 << o) != 0 {
+                            self.cores[o as usize].invalidate(line);
+                        }
+                    }
+                }
+                GlobalState::Modified {
+                    core: me,
+                    written: bytes,
+                }
+            }
+            GlobalState::Uncached => {
+                // Present privately but directory lost track — can happen
+                // only for lines whose directory entry was dropped on
+                // eviction races; treat as exclusive ownership.
+                GlobalState::Modified {
+                    core: me,
+                    written: bytes,
+                }
+            }
+        };
+        self.dir.insert(line, new);
+    }
+
+    /// Resolve a private miss: find the data, adjust remote states, update
+    /// the directory with this core as a holder, and report the source.
+    fn resolve_miss(&mut self, thread: u32, line: u64, bytes: u64, is_write: bool) -> MissSource {
+        let me = thread;
+        let entry = self
+            .dir
+            .get(&line)
+            .copied()
+            .unwrap_or(GlobalState::Uncached);
+        match entry {
+            GlobalState::Modified { core: o, written } if o != me => {
+                let fs = written & bytes == 0;
+                let cross = self.cluster_of(o) != self.cluster_of(me);
+                if cross {
+                    self.stats.per_thread[me as usize].cycles += self
+                        .coherence
+                        .stall_cycles(self.coherence.cross_socket_extra, is_write);
+                }
+                if is_write {
+                    self.stats.per_thread[me as usize].cycles += self
+                        .coherence
+                        .stall_cycles(self.coherence.invalidation, true);
+                    self.cores[o as usize].invalidate(line);
+                    self.dir.insert(
+                        line,
+                        GlobalState::Modified {
+                            core: me,
+                            written: bytes,
+                        },
+                    );
+                } else {
+                    // Owner downgrades to Shared; dirty data written back to
+                    // the reader's cluster shared level.
+                    self.stats.per_thread[o as usize].writebacks += 1;
+                    self.fill_shared(me, line);
+                    self.dir.insert(
+                        line,
+                        GlobalState::Shared {
+                            sharers: (1u64 << o) | (1u64 << me),
+                        },
+                    );
+                }
+                MissSource::RemoteDirty { false_sharing: fs }
+            }
+            GlobalState::Exclusive { core: o } if o != me => {
+                if is_write {
+                    self.stats.per_thread[me as usize].cycles += self
+                        .coherence
+                        .stall_cycles(self.coherence.invalidation, true);
+                    self.cores[o as usize].invalidate(line);
+                    self.dir.insert(
+                        line,
+                        GlobalState::Modified {
+                            core: me,
+                            written: bytes,
+                        },
+                    );
+                } else {
+                    self.dir.insert(
+                        line,
+                        GlobalState::Shared {
+                            sharers: (1u64 << o) | (1u64 << me),
+                        },
+                    );
+                }
+                MissSource::RemoteClean
+            }
+            GlobalState::Shared { sharers } => {
+                let others = sharers & !(1u64 << me);
+                if is_write {
+                    if others != 0 {
+                        self.stats.per_thread[me as usize].cycles += self
+                            .coherence
+                            .stall_cycles(self.coherence.invalidation, true);
+                        for o in 0..self.cores.len() as u32 {
+                            if others & (1u64 << o) != 0 {
+                                self.cores[o as usize].invalidate(line);
+                            }
+                        }
+                    }
+                    self.dir.insert(
+                        line,
+                        GlobalState::Modified {
+                            core: me,
+                            written: bytes,
+                        },
+                    );
+                } else {
+                    self.dir.insert(
+                        line,
+                        GlobalState::Shared {
+                            sharers: sharers | (1u64 << me),
+                        },
+                    );
+                }
+                // Data comes from the shared level or memory.
+                self.fetch_from_shared_or_memory(me, line)
+            }
+            GlobalState::Modified { core, written } => {
+                // `core == me` but we missed privately: the line was evicted
+                // from our caches without a directory update (should not
+                // happen — evictions clean the directory). Recover.
+                debug_assert_eq!(core, me);
+                let _ = written;
+                self.dir.insert(
+                    line,
+                    GlobalState::Modified {
+                        core: me,
+                        written: if is_write { bytes } else { 0 },
+                    },
+                );
+                self.fetch_from_shared_or_memory(me, line)
+            }
+            GlobalState::Exclusive { core } => {
+                debug_assert_eq!(core, me);
+                self.dir.insert(
+                    line,
+                    if is_write {
+                        GlobalState::Modified {
+                            core: me,
+                            written: bytes,
+                        }
+                    } else {
+                        GlobalState::Exclusive { core: me }
+                    },
+                );
+                self.fetch_from_shared_or_memory(me, line)
+            }
+            GlobalState::Uncached => {
+                self.dir.insert(
+                    line,
+                    if is_write {
+                        GlobalState::Modified {
+                            core: me,
+                            written: bytes,
+                        }
+                    } else {
+                        GlobalState::Exclusive { core: me }
+                    },
+                );
+                self.fetch_from_shared_or_memory(me, line)
+            }
+        }
+    }
+
+    /// Probe the cluster's shared level (filling it on a memory fetch).
+    fn fetch_from_shared_or_memory(&mut self, thread: u32, line: u64) -> MissSource {
+        if self.shared.is_empty() {
+            let cold = self.seen.insert(line, ()).is_none();
+            return MissSource::Memory { cold };
+        }
+        let cl = self.cluster_of(thread);
+        if self.shared[cl].probe(line) {
+            MissSource::SharedLevel
+        } else {
+            let cold = self.seen.insert(line, ()).is_none();
+            self.shared[cl].insert(line);
+            MissSource::Memory { cold }
+        }
+    }
+
+    /// Put a line into the thread's cluster shared cache (e.g. on dirty
+    /// writeback / downgrade).
+    fn fill_shared(&mut self, thread: u32, line: u64) {
+        if self.shared.is_empty() {
+            return;
+        }
+        let cl = self.cluster_of(thread);
+        self.shared[cl].insert(line);
+    }
+
+    /// Insert `line` into the core's L1+L2, handling inclusive evictions.
+    fn fill_private(&mut self, thread: u32, line: u64) {
+        let c = thread as usize;
+        // L2 first (inclusion), then L1.
+        let l2_victim = self.cores[c]
+            .l2
+            .as_mut()
+            .and_then(|l2| l2.insert(line));
+        if let Some(victim) = l2_victim {
+            // Inclusion: the victim must leave L1 too.
+            self.cores[c].l1.remove(victim);
+            self.evict_from_core(thread, victim);
+        }
+        if let Some(victim) = self.cores[c].l1.insert(line) {
+            if self.cores[c].l2.is_none() {
+                // Single private level: an L1 eviction leaves the core.
+                self.evict_from_core(thread, victim);
+            }
+            // Otherwise the victim still lives in L2; nothing global.
+        }
+    }
+
+    /// Update the directory when `line` leaves all private levels of
+    /// `thread`'s core.
+    fn evict_from_core(&mut self, thread: u32, line: u64) {
+        let me = thread;
+        let Some(entry) = self.dir.get(&line).copied() else {
+            return;
+        };
+        let new = match entry {
+            GlobalState::Modified { core, .. } if core == me => {
+                self.stats.per_thread[me as usize].writebacks += 1;
+                self.fill_shared(me, line);
+                None
+            }
+            GlobalState::Exclusive { core } if core == me => None,
+            GlobalState::Shared { sharers } => {
+                let rest = sharers & !(1u64 << me);
+                if rest == 0 {
+                    None
+                } else {
+                    Some(GlobalState::Shared { sharers: rest })
+                }
+            }
+            other => Some(other),
+        };
+        match new {
+            Some(s) => {
+                self.dir.insert(line, s);
+            }
+            None => {
+                self.dir.remove(&line);
+            }
+        }
+    }
+
+    /// Debug invariant check: directory state is consistent with cache
+    /// contents. O(dir size × cores); test-only.
+    pub fn check_invariants(&self) {
+        for (&line, &state) in &self.dir {
+            match state {
+                GlobalState::Modified { core, .. } | GlobalState::Exclusive { core } => {
+                    assert!(
+                        self.cores[core as usize].holds(line),
+                        "line {line} owned by core {core} but not cached there"
+                    );
+                    for (i, c) in self.cores.iter().enumerate() {
+                        if i != core as usize {
+                            assert!(
+                                !c.holds(line),
+                                "line {line} exclusive to {core} but also in core {i}"
+                            );
+                        }
+                    }
+                }
+                GlobalState::Shared { sharers } => {
+                    assert_ne!(sharers, 0);
+                    for (i, c) in self.cores.iter().enumerate() {
+                        let bit = sharers & (1u64 << i) != 0;
+                        if bit {
+                            assert!(
+                                c.holds(line),
+                                "line {line} marked shared by core {i} but not cached there"
+                            );
+                        }
+                    }
+                }
+                GlobalState::Uncached => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets;
+
+    fn sim(threads: u32) -> MultiCoreSim {
+        MultiCoreSim::new(&presets::tiny_test(), threads)
+    }
+
+    #[test]
+    fn byte_masks() {
+        assert_eq!(MultiCoreSim::byte_mask(0, 8), 0xff);
+        assert_eq!(MultiCoreSim::byte_mask(8, 8), 0xff00);
+        assert_eq!(MultiCoreSim::byte_mask(0, 64), u64::MAX);
+        assert_eq!(MultiCoreSim::byte_mask(63, 1), 1 << 63);
+    }
+
+    #[test]
+    fn read_hit_after_fill() {
+        let mut s = sim(1);
+        s.access(0, 0, 8, false); // cold miss
+        s.access(0, 8, 8, false); // same line: L1 hit
+        let t = &s.stats().per_thread[0];
+        assert_eq!(t.accesses, 2);
+        assert_eq!(t.mem_fetches, 1);
+        assert_eq!(t.l1_hits, 1);
+        assert_eq!(s.stats().cold_misses, 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn classic_false_sharing_ping_pong() {
+        let mut s = sim(2);
+        // Threads write disjoint halves of the same line, alternating.
+        for _ in 0..10 {
+            s.access(0, 0, 8, true);
+            s.access(1, 32, 8, true);
+        }
+        let st = s.stats();
+        // After the first exchange every miss is a remote-dirty miss on
+        // bytes the other thread did NOT write -> false sharing.
+        assert!(st.total_false_sharing() >= 17, "{st}");
+        assert_eq!(st.total_true_sharing(), 0, "{st}");
+        assert!(st.fs_by_line.contains_key(&0));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn true_sharing_detected_on_overlapping_bytes() {
+        let mut s = sim(2);
+        for _ in 0..10 {
+            s.access(0, 0, 8, true);
+            s.access(1, 0, 8, true); // same bytes
+        }
+        let st = s.stats();
+        assert!(st.total_true_sharing() >= 17, "{st}");
+        assert_eq!(st.total_false_sharing(), 0, "{st}");
+    }
+
+    #[test]
+    fn read_read_sharing_is_free_of_coherence_misses() {
+        let mut s = sim(2);
+        for _ in 0..10 {
+            s.access(0, 0, 8, false);
+            s.access(1, 8, 8, false);
+        }
+        let st = s.stats();
+        assert_eq!(st.total_coherence_misses(), 0, "{st}");
+        // Thread 1's first access is served clean from thread 0's cache.
+        assert_eq!(st.per_thread[1].clean_transfers, 1);
+        // Everything else hits in L1.
+        assert_eq!(st.per_thread[0].l1_hits, 9);
+        assert_eq!(st.per_thread[1].l1_hits, 9);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn upgrade_on_shared_line_counts_once_per_transition() {
+        let mut s = sim(2);
+        s.access(0, 0, 8, false); // 0: E
+        s.access(1, 8, 8, false); // S in both
+        s.access(0, 0, 8, true); // upgrade, invalidates 1
+        let st = s.stats();
+        assert_eq!(st.per_thread[0].upgrades, 1);
+        // Thread 1 now misses dirty -> false sharing (0 wrote bytes 0..8).
+        s.access(1, 8, 8, false);
+        assert_eq!(s.stats().per_thread[1].false_sharing_misses, 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back_dirty_lines() {
+        let mut s = sim(1);
+        // tiny_test L2 = 16 lines; write 20 distinct lines.
+        for i in 0..20u64 {
+            s.access(0, i * 64, 8, true);
+        }
+        let st = s.stats();
+        assert!(st.per_thread[0].writebacks >= 4, "{st}");
+        assert_eq!(st.per_thread[0].mem_fetches, 20);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut s = sim(1);
+        s.access(0, 60, 8, false);
+        assert_eq!(s.stats().per_thread[0].accesses, 2);
+        assert_eq!(s.stats().per_thread[0].mem_fetches, 2);
+    }
+
+    #[test]
+    fn shared_level_serves_second_cluster_fetch() {
+        // paper48 has a shared L3 per 12-core cluster.
+        let mut s = MultiCoreSim::new(&presets::paper48(), 2);
+        s.access(0, 0, 8, false); // memory, fills cluster L3
+        // Evict from private caches would be needed for a true L3 hit test;
+        // instead check another core in the same cluster after invalidation:
+        s.access(1, 4096, 8, false); // unrelated line, memory
+        let st = s.stats();
+        assert_eq!(st.per_thread[0].mem_fetches + st.per_thread[1].mem_fetches, 2);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn cycles_accumulate_per_thread() {
+        let mut s = sim(2);
+        s.access(0, 0, 8, true);
+        let c0 = s.stats().per_thread[0].cycles;
+        assert!(c0 >= 50, "memory latency charged");
+        s.access(1, 8, 8, true);
+        let c1 = s.stats().per_thread[1].cycles;
+        assert!(c1 >= 10, "coherence transfer charged: {c1}");
+        assert_eq!(s.stats().per_thread[0].cycles, c0, "threads have own clocks");
+    }
+
+    #[test]
+    fn exclusive_to_modified_is_silent() {
+        let mut s = sim(1);
+        s.access(0, 0, 8, false); // E
+        s.access(0, 0, 8, true); // E->M, no upgrade cost
+        let st = s.stats();
+        assert_eq!(st.per_thread[0].upgrades, 0);
+        assert_eq!(st.per_thread[0].l1_hits, 1);
+    }
+
+    #[test]
+    fn write_write_same_thread_no_coherence() {
+        let mut s = sim(1);
+        for _ in 0..100 {
+            s.access(0, 0, 8, true);
+        }
+        let st = s.stats();
+        assert_eq!(st.total_coherence_misses(), 0);
+        assert_eq!(st.per_thread[0].l1_hits, 99);
+    }
+
+    #[test]
+    fn prefetcher_hides_streaming_reads() {
+        let m = presets::paper48();
+        let mut plain = MultiCoreSim::new(&m, 1);
+        let mut pf = MultiCoreSim::new(&m, 1).with_prefetchers();
+        for i in 0..1000u64 {
+            plain.access(0, i * 64, 8, false);
+            pf.access(0, i * 64, 8, false);
+        }
+        let (p, q) = (plain.stats(), pf.stats());
+        assert!(q.per_thread[0].l1_hits > 900, "{q}");
+        assert!(q.per_thread[0].prefetch_issued > 900);
+        assert!(q.per_thread[0].cycles < p.per_thread[0].cycles / 5);
+        pf.check_invariants();
+    }
+
+    #[test]
+    fn prefetcher_never_steals_remotely_owned_lines() {
+        let m = presets::paper48();
+        let mut s = MultiCoreSim::new(&m, 2).with_prefetchers();
+        // Thread 1 dirties a run of lines.
+        for i in 0..16u64 {
+            s.access(1, i * 64, 8, true);
+        }
+        // Thread 0 streams towards them from below; its prefetcher must
+        // not rip ownership away from thread 1.
+        for i in 0..8u64 {
+            s.access(0, 2048 + i * 64, 8, false);
+        }
+        s.check_invariants();
+        // Thread 1 still hits its own lines.
+        let before = s.stats().per_thread[1].l1_hits;
+        s.access(1, 0, 8, true);
+        assert_eq!(s.stats().per_thread[1].l1_hits, before + 1);
+    }
+
+    #[test]
+    fn cross_socket_transfers_cost_extra() {
+        // paper48 clusters are 12 cores: threads 0 and 13 sit on
+        // different sockets.
+        let m = presets::paper48();
+        let mut s = MultiCoreSim::new(&m, 14);
+        s.access(0, 0, 8, true);
+        let t13_before = s.stats().per_thread[13].cycles;
+        s.access(13, 8, 8, false); // remote dirty read across sockets
+        let cross_cost = s.stats().per_thread[13].cycles - t13_before;
+        let mut s2 = MultiCoreSim::new(&m, 2);
+        s2.access(0, 0, 8, true);
+        let t1_before = s2.stats().per_thread[1].cycles;
+        s2.access(1, 8, 8, false); // same socket
+        let near_cost = s2.stats().per_thread[1].cycles - t1_before;
+        assert_eq!(
+            cross_cost - near_cost,
+            m.coherence.cross_socket_extra as u64
+        );
+    }
+
+    #[test]
+    fn store_miss_factor_discounts_write_stalls() {
+        let m = presets::paper48(); // factor 0.15
+        let mut s = MultiCoreSim::new(&m, 1);
+        s.access(0, 0, 8, true); // cold store miss
+        let store_cy = s.stats().per_thread[0].cycles;
+        let mut s2 = MultiCoreSim::new(&m, 1);
+        s2.access(0, 0, 8, false); // cold load miss
+        let load_cy = s2.stats().per_thread[0].cycles;
+        assert!(store_cy * 4 < load_cy, "store {store_cy} vs load {load_cy}");
+    }
+
+    #[test]
+    fn invariants_hold_under_random_traffic() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut s = sim(4);
+        for _ in 0..5000 {
+            let t = rng.gen_range(0..4);
+            let line = rng.gen_range(0..32u64);
+            let off = rng.gen_range(0..8u64) * 8;
+            let w = rng.gen_bool(0.4);
+            s.access(t, line * 64 + off, 8, w);
+        }
+        s.check_invariants();
+        let st = s.stats();
+        assert_eq!(st.total_accesses(), 5000);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-core stride stream prefetcher.
+//!
+//! The paper's testbed (like any 2010s x86) hides forward-streaming misses
+//! behind hardware prefetchers; without one, a chunk-1 loop's strided reads
+//! would dominate the simulated time and drown the coherence effects the
+//! experiments measure. This is the classic reference-prediction-table
+//! design: a small LRU table of streams per core, each tracking
+//! `(last_line, stride, confidence)`; two consecutive matching deltas
+//! trigger prefetch of the next `depth` lines.
+//!
+//! The prefetcher is deliberately conservative around sharing: the MESI
+//! simulator never prefetches lines that are dirty or exclusive in another
+//! core, so prefetching hides *locality* misses without masking (or
+//! amplifying) the false-sharing traffic under study.
+
+/// One tracked stream.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+    last_used: u64,
+}
+
+/// A per-core stride prefetcher.
+#[derive(Debug)]
+pub struct StreamPrefetcher {
+    streams: Vec<Stream>,
+    capacity: usize,
+    depth: u64,
+    max_stride: i64,
+    tick: u64,
+}
+
+impl Default for StreamPrefetcher {
+    fn default() -> Self {
+        Self::new(8, 4, 64)
+    }
+}
+
+impl StreamPrefetcher {
+    /// `capacity` streams, prefetching `depth` lines ahead, ignoring
+    /// strides larger than `max_stride` lines.
+    pub fn new(capacity: usize, depth: u64, max_stride: i64) -> Self {
+        StreamPrefetcher {
+            streams: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+            depth: depth.max(1),
+            max_stride: max_stride.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Observe a demand access to `line`; returns the lines to prefetch
+    /// (empty when no confident stream matches). Call once per
+    /// line-granular access.
+    pub fn observe(&mut self, line: u64, out: &mut Vec<u64>) {
+        out.clear();
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Exact continuation of a known stream?
+        for s in &mut self.streams {
+            if s.stride != 0 && line as i64 == s.last_line as i64 + s.stride {
+                s.last_line = line;
+                s.confidence = (s.confidence + 1).min(4);
+                s.last_used = tick;
+                if s.confidence >= 2 {
+                    for k in 1..=self.depth {
+                        let target = line as i64 + s.stride * k as i64;
+                        if target >= 0 {
+                            out.push(target as u64);
+                        }
+                    }
+                }
+                return;
+            }
+            if line == s.last_line {
+                // Repeated touch of the same line: not a stream event.
+                s.last_used = tick;
+                return;
+            }
+        }
+
+        // Retrain the nearest stream if the jump is plausible.
+        let mut best: Option<(usize, i64)> = None;
+        for (i, s) in self.streams.iter().enumerate() {
+            let delta = line as i64 - s.last_line as i64;
+            if delta != 0 && delta.abs() <= self.max_stride {
+                match best {
+                    Some((_, d)) if d.abs() <= delta.abs() => {}
+                    _ => best = Some((i, delta)),
+                }
+            }
+        }
+        if let Some((i, delta)) = best {
+            let s = &mut self.streams[i];
+            s.stride = delta;
+            s.last_line = line;
+            s.confidence = 1;
+            s.last_used = tick;
+            return;
+        }
+
+        // Allocate a fresh stream (evicting the least recently used).
+        let fresh = Stream {
+            last_line: line,
+            stride: 0,
+            confidence: 0,
+            last_used: tick,
+        };
+        if self.streams.len() < self.capacity {
+            self.streams.push(fresh);
+        } else if let Some(victim) = self
+            .streams
+            .iter_mut()
+            .min_by_key(|s| s.last_used)
+        {
+            *victim = fresh;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe(p: &mut StreamPrefetcher, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.observe(line, &mut out);
+        out
+    }
+
+    #[test]
+    fn unit_stride_stream_detected_on_third_access() {
+        let mut p = StreamPrefetcher::new(4, 2, 64);
+        assert!(observe(&mut p, 100).is_empty()); // allocate
+        assert!(observe(&mut p, 101).is_empty()); // retrain, conf 1
+        assert_eq!(observe(&mut p, 102), vec![103, 104]); // conf 2 -> prefetch
+        assert_eq!(observe(&mut p, 103), vec![104, 105]);
+    }
+
+    #[test]
+    fn larger_strides_and_descending_streams() {
+        let mut p = StreamPrefetcher::new(4, 1, 64);
+        observe(&mut p, 1000);
+        observe(&mut p, 1008);
+        assert_eq!(observe(&mut p, 1016), vec![1024]);
+        let mut q = StreamPrefetcher::new(4, 1, 64);
+        observe(&mut q, 500);
+        observe(&mut q, 499);
+        assert_eq!(observe(&mut q, 498), vec![497]);
+    }
+
+    #[test]
+    fn repeated_same_line_does_not_destroy_stream() {
+        let mut p = StreamPrefetcher::new(4, 1, 64);
+        observe(&mut p, 10);
+        observe(&mut p, 11);
+        assert_eq!(observe(&mut p, 12), vec![13]);
+        assert!(observe(&mut p, 12).is_empty()); // same line: ignored
+        assert_eq!(observe(&mut p, 13), vec![14]); // stream continues
+    }
+
+    #[test]
+    fn interleaved_streams_tracked_independently() {
+        let mut p = StreamPrefetcher::new(4, 1, 64);
+        for i in 0..4u64 {
+            let a = observe(&mut p, 100 + i);
+            let b = observe(&mut p, 9000 + 2 * i);
+            if i >= 2 {
+                assert_eq!(a, vec![100 + i + 1], "stream A at {i}");
+                assert_eq!(b, vec![9000 + 2 * i + 2], "stream B at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wild_jumps_never_prefetch() {
+        let mut p = StreamPrefetcher::new(2, 2, 64);
+        for i in 0..20u64 {
+            assert!(observe(&mut p, i * 1000).is_empty());
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_lru_stream() {
+        let mut p = StreamPrefetcher::new(2, 1, 64);
+        observe(&mut p, 100);
+        observe(&mut p, 200);
+        observe(&mut p, 300); // allocates by evicting stream(100)
+        observe(&mut p, 101); // near 100? gone; nearest is none within 64 of 101? 100 evicted
+        // stream 200 and one of the new ones survive; no panic, no prefetch
+        assert!(observe(&mut p, 9999).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Architecture-independent sharing analysis — the baseline detector.
+//!
+//! The paper's related work (§V) includes trace-based analyses that detect
+//! false sharing by intersecting the address sets different threads touch
+//! (LaRowe, Ellis & Khera's "architecture-independent analysis of false
+//! sharing"). This module implements that family as a baseline: walk the
+//! kernel's full trace once, record per line which threads read and wrote
+//! it (and which bytes), and classify every line:
+//!
+//! * **private** — touched by one thread only;
+//! * **read-shared** — several readers, no writer conflicts;
+//! * **true-shared** — some byte is written by one thread and touched by
+//!   another;
+//! * **false-shared** — multiple threads touch the line, at least one
+//!   writes, but no byte is both written and touched remotely.
+//!
+//! Unlike the paper's cost model this is schedule-blind about *time* — it
+//! says which lines can ping-pong but nothing about how often or what it
+//! costs. The comparison (same victims, no impact estimate) is exactly the
+//! gap the paper's contribution fills; `tests/baseline_comparison.rs`
+//! checks both tools agree on the victims.
+
+use crate::trace::TraceGen;
+use loop_ir::Kernel;
+use std::collections::HashMap;
+
+/// Classification of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineClass {
+    Private,
+    ReadShared,
+    TrueShared,
+    FalseShared,
+}
+
+/// Per-line access record.
+#[derive(Debug, Clone, Default)]
+pub struct LineRecord {
+    /// Bitmask of threads that read the line.
+    pub readers: u64,
+    /// Bitmask of threads that wrote the line.
+    pub writers: u64,
+    /// Per-thread byte masks (64-slot granularity): bytes touched.
+    pub touched: HashMap<u32, u64>,
+    /// Per-thread byte masks: bytes written.
+    pub written: HashMap<u32, u64>,
+    /// Total accesses to the line.
+    pub accesses: u64,
+}
+
+impl LineRecord {
+    /// Classify the line per the module rules.
+    pub fn class(&self) -> LineClass {
+        let sharers = self.readers | self.writers;
+        if sharers.count_ones() <= 1 {
+            return LineClass::Private;
+        }
+        if self.writers == 0 {
+            return LineClass::ReadShared;
+        }
+        // Any byte written by one thread and touched by another?
+        for (&wt, &wmask) in &self.written {
+            for (&tt, &tmask) in &self.touched {
+                if wt != tt && wmask & tmask != 0 {
+                    return LineClass::TrueShared;
+                }
+            }
+        }
+        LineClass::FalseShared
+    }
+
+    /// Number of distinct threads touching the line.
+    pub fn sharer_count(&self) -> u32 {
+        (self.readers | self.writers).count_ones()
+    }
+}
+
+/// Result of the sharing analysis.
+#[derive(Debug, Clone, Default)]
+pub struct SharingAnalysis {
+    pub lines: HashMap<u64, LineRecord>,
+}
+
+impl SharingAnalysis {
+    /// Analyze `kernel`'s full trace for a `threads`-wide team.
+    pub fn of_kernel(kernel: &Kernel, threads: u32, line_size: u64) -> Self {
+        assert!(threads <= 64, "thread bitmasks cap at 64");
+        let gen = TraceGen::new(kernel, threads, line_size);
+        let mut lines: HashMap<u64, LineRecord> = HashMap::new();
+        for t in 0..threads {
+            gen.for_each_thread_access(t, |a| {
+                let mut addr = a.addr;
+                let mut remaining = a.size as u64;
+                while remaining > 0 {
+                    let line = addr / line_size;
+                    let off = addr % line_size;
+                    let in_line = (line_size - off).min(remaining);
+                    let scale = (line_size / 64).max(1);
+                    let moff = (off / scale).min(63);
+                    let msz = (in_line / scale).clamp(1, 64 - moff);
+                    let mask = if msz >= 64 {
+                        u64::MAX
+                    } else {
+                        ((1u64 << msz) - 1) << moff
+                    };
+                    let rec = lines.entry(line).or_default();
+                    rec.accesses += 1;
+                    *rec.touched.entry(t).or_insert(0) |= mask;
+                    if a.is_write {
+                        rec.writers |= 1 << t;
+                        *rec.written.entry(t).or_insert(0) |= mask;
+                    } else {
+                        rec.readers |= 1 << t;
+                    }
+                    addr += in_line;
+                    remaining -= in_line;
+                }
+            });
+        }
+        SharingAnalysis { lines }
+    }
+
+    /// Count lines in each class: `(private, read_shared, true_shared,
+    /// false_shared)`.
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for r in self.lines.values() {
+            match r.class() {
+                LineClass::Private => c.0 += 1,
+                LineClass::ReadShared => c.1 += 1,
+                LineClass::TrueShared => c.2 += 1,
+                LineClass::FalseShared => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// The falsely-shared lines, ordered by access count (hottest first).
+    pub fn false_shared_lines(&self) -> Vec<(u64, &LineRecord)> {
+        let mut v: Vec<(u64, &LineRecord)> = self
+            .lines
+            .iter()
+            .filter(|(_, r)| r.class() == LineClass::FalseShared)
+            .map(|(&l, r)| (l, r))
+            .collect();
+        v.sort_by(|a, b| b.1.accesses.cmp(&a.1.accesses).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// True if the baseline flags any false sharing at all.
+    pub fn has_false_sharing(&self) -> bool {
+        self.lines
+            .values()
+            .any(|r| r.class() == LineClass::FalseShared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::kernels;
+
+    #[test]
+    fn dotprod_partials_census() {
+        let packed = kernels::dotprod_partials(4, 16, false);
+        let a = SharingAnalysis::of_kernel(&packed, 4, 64);
+        // x/y data lines are private (blocked partition); the one partial
+        // line is falsely shared by all 4 threads.
+        let (_, _, ts, fs) = a.census();
+        assert_eq!(ts, 0);
+        assert_eq!(fs, 1);
+        let hot = a.false_shared_lines();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].1.sharer_count(), 4);
+        assert!(a.has_false_sharing());
+
+        let padded = kernels::dotprod_partials(4, 16, true);
+        let b = SharingAnalysis::of_kernel(&padded, 4, 64);
+        assert!(!b.has_false_sharing());
+        let (_, _, ts2, fs2) = b.census();
+        assert_eq!((ts2, fs2), (0, 0));
+    }
+
+    #[test]
+    fn histogram_shared_is_true_sharing() {
+        let k = kernels::histogram_shared(4, 8, 8);
+        let a = SharingAnalysis::of_kernel(&k, 4, 64);
+        let (_, _, ts, fs) = a.census();
+        assert_eq!(ts, 1, "all threads write byte 0 of hist");
+        assert_eq!(fs, 0);
+    }
+
+    #[test]
+    fn heat_reads_are_read_shared_and_writes_false_shared() {
+        let k = kernels::heat_diffusion(10, 130, 1);
+        let a = SharingAnalysis::of_kernel(&k, 4, 64);
+        let (_, rs, ts, fs) = a.census();
+        assert!(rs > 0, "A-row interior lines are read-shared");
+        assert_eq!(ts, 0);
+        assert!(fs > 0, "B lines are write-interleaved across threads");
+    }
+
+    #[test]
+    fn single_thread_is_all_private() {
+        let k = kernels::transpose(16, 16, 1);
+        let a = SharingAnalysis::of_kernel(&k, 1, 64);
+        let (p, rs, ts, fs) = a.census();
+        assert_eq!((rs, ts, fs), (0, 0, 0));
+        assert!(p > 0);
+    }
+
+    #[test]
+    fn chunking_shrinks_the_false_shared_set() {
+        let fs_count = |chunk| {
+            let k = kernels::stencil1d(258, chunk);
+            SharingAnalysis::of_kernel(&k, 4, 64)
+                .false_shared_lines()
+                .len()
+        };
+        // chunk 1: every B line is shared; chunk 64: only boundary lines.
+        assert!(fs_count(1) > 5 * fs_count(64).max(1));
+    }
+}

@@ -1,0 +1,133 @@
+//! Kernel-level simulation driver: trace a kernel and replay it through the
+//! MESI simulator.
+
+use crate::mesi::MultiCoreSim;
+use crate::stats::SimStats;
+use crate::trace::{Interleave, TraceGen};
+use loop_ir::Kernel;
+use machine::MachineConfig;
+
+/// Options for [`simulate_kernel`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    pub num_threads: u32,
+    pub interleave: Interleave,
+    /// Enable the per-core stride prefetcher (on by default: the paper's
+    /// testbed has one, and without it streaming locality misses drown the
+    /// coherence effects being measured).
+    pub prefetch: bool,
+}
+
+impl SimOptions {
+    pub fn new(num_threads: u32) -> Self {
+        SimOptions {
+            num_threads,
+            interleave: Interleave::PerIteration,
+            prefetch: true,
+        }
+    }
+
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+}
+
+/// Replay `kernel`'s memory trace on `machine` and return the statistics.
+///
+/// This is the reproduction's stand-in for *running* the kernel on the
+/// paper's 48-core machine: the returned [`SimStats`] carry per-thread cycle
+/// counts whose chunk-size sensitivity is the "measured FS effect".
+pub fn simulate_kernel(kernel: &Kernel, machine: &MachineConfig, opts: SimOptions) -> SimStats {
+    let gen = TraceGen::new(kernel, opts.num_threads, machine.line_size());
+    let mut sim = MultiCoreSim::new(machine, opts.num_threads);
+    if opts.prefetch {
+        sim = sim.with_prefetchers();
+    }
+    gen.for_each_interleaved(opts.interleave, |a| {
+        sim.access(a.thread, a.addr, a.size, a.is_write);
+    });
+    sim.into_stats()
+}
+
+/// Convenience: simulated execution-time estimate in cycles for the kernel,
+/// combining the memory-system makespan with a per-iteration compute cost
+/// (`compute_cycles_per_iter`, typically from the processor model).
+pub fn simulated_time_cycles(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: SimOptions,
+    compute_cycles_per_iter: f64,
+) -> f64 {
+    let stats = simulate_kernel(kernel, machine, opts);
+    let per_thread_iters = kernel
+        .nest
+        .total_iterations()
+        .map(|n| n as f64 / opts.num_threads as f64)
+        .unwrap_or(0.0);
+    stats.makespan_cycles() as f64 + per_thread_iters * compute_cycles_per_iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::kernels;
+    use machine::presets;
+
+    #[test]
+    fn chunk1_false_shares_more_than_chunk64_on_transpose() {
+        let m = presets::paper48();
+        let fs = simulate_kernel(
+            &kernels::transpose(64, 64, 1),
+            &m,
+            SimOptions::new(8),
+        );
+        let nofs = simulate_kernel(
+            &kernels::transpose(64, 64, 8),
+            &m,
+            SimOptions::new(8),
+        );
+        assert!(
+            fs.total_false_sharing() > 10 * nofs.total_false_sharing().max(1),
+            "chunk=1: {} vs chunk=8: {}",
+            fs.total_false_sharing(),
+            nofs.total_false_sharing()
+        );
+        assert!(fs.makespan_cycles() > nofs.makespan_cycles());
+    }
+
+    #[test]
+    fn padded_partials_eliminate_false_sharing() {
+        let m = presets::paper48();
+        let packed = simulate_kernel(
+            &kernels::dotprod_partials(8, 256, false),
+            &m,
+            SimOptions::new(8),
+        );
+        let padded = simulate_kernel(
+            &kernels::dotprod_partials(8, 256, true),
+            &m,
+            SimOptions::new(8),
+        );
+        assert!(packed.total_false_sharing() > 100, "{packed}");
+        assert_eq!(padded.total_false_sharing(), 0, "{padded}");
+    }
+
+    #[test]
+    fn single_thread_has_no_sharing_misses() {
+        let m = presets::paper48();
+        let s = simulate_kernel(&kernels::heat_diffusion(34, 34, 1), &m, SimOptions::new(1));
+        assert_eq!(s.total_coherence_misses(), 0);
+        assert_eq!(s.total_false_sharing(), 0);
+    }
+
+    #[test]
+    fn simulated_time_adds_compute() {
+        let m = presets::paper48();
+        let k = kernels::stencil1d(130, 1);
+        let t0 = simulated_time_cycles(&k, &m, SimOptions::new(4), 0.0);
+        let t1 = simulated_time_cycles(&k, &m, SimOptions::new(4), 10.0);
+        assert!(t1 > t0);
+        assert!((t1 - t0 - 10.0 * 128.0 / 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace serialization: write a kernel's memory trace to a compact text
+//! format and replay it later.
+//!
+//! The trace-driven detectors the paper surveys (§V — MemSpy, cachegrind
+//! derivatives) work offline: instrument, dump, simulate. This module gives
+//! the reproduction the same workflow — a trace captured once can be
+//! replayed through differently-configured simulators without regenerating
+//! it — and doubles as a debugging surface (diff two traces to see what a
+//! schedule change did).
+//!
+//! Format: one header line `#fstrace v1 threads=<n>`, then one line per
+//! access: `<thread> <hex addr> <size> R|W`.
+
+use crate::trace::{Interleave, MemAccess, TraceGen};
+use loop_ir::Kernel;
+use std::io::{self, BufRead, Write};
+
+/// Magic header prefix.
+const HEADER: &str = "#fstrace v1";
+
+/// Write a trace to `w`.
+pub fn write_trace(
+    w: &mut impl Write,
+    num_threads: u32,
+    accesses: impl Iterator<Item = MemAccess>,
+) -> io::Result<()> {
+    writeln!(w, "{HEADER} threads={num_threads}")?;
+    for a in accesses {
+        writeln!(
+            w,
+            "{} {:x} {} {}",
+            a.thread,
+            a.addr,
+            a.size,
+            if a.is_write { 'W' } else { 'R' }
+        )?;
+    }
+    Ok(())
+}
+
+/// Capture a kernel's interleaved trace directly to a writer.
+pub fn dump_kernel_trace(
+    w: &mut impl Write,
+    kernel: &Kernel,
+    num_threads: u32,
+    line_size: u64,
+    interleave: Interleave,
+) -> io::Result<()> {
+    let gen = TraceGen::new(kernel, num_threads, line_size);
+    let mut result = Ok(());
+    writeln!(w, "{HEADER} threads={num_threads}")?;
+    gen.for_each_interleaved(interleave, |a| {
+        if result.is_ok() {
+            result = writeln!(
+                w,
+                "{} {:x} {} {}",
+                a.thread,
+                a.addr,
+                a.size,
+                if a.is_write { 'W' } else { 'R' }
+            );
+        }
+    });
+    result
+}
+
+/// A parsed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    pub num_threads: u32,
+    pub accesses: Vec<MemAccess>,
+}
+
+/// Errors reading a trace.
+#[derive(Debug)]
+pub enum TraceReadError {
+    Io(io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A data line failed to parse (1-based line number included).
+    BadLine { line: usize, content: String },
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceReadError::BadHeader(h) => write!(f, "bad trace header: '{h}'"),
+            TraceReadError::BadLine { line, content } => {
+                write!(f, "bad trace line {line}: '{content}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Read a trace written by [`write_trace`] / [`dump_kernel_trace`].
+pub fn read_trace(r: impl BufRead) -> Result<Trace, TraceReadError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceReadError::BadHeader(String::new()))??;
+    if !header.starts_with(HEADER) {
+        return Err(TraceReadError::BadHeader(header));
+    }
+    let num_threads = header
+        .split("threads=")
+        .nth(1)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or(TraceReadError::BadHeader(header.clone()))?;
+    let mut accesses = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parsed = (|| {
+            let thread: u32 = parts.next()?.parse().ok()?;
+            let addr = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let size: u32 = parts.next()?.parse().ok()?;
+            let is_write = match parts.next()? {
+                "W" => true,
+                "R" => false,
+                _ => return None,
+            };
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(MemAccess {
+                thread,
+                addr,
+                size,
+                is_write,
+            })
+        })();
+        match parsed {
+            Some(a) => accesses.push(a),
+            None => {
+                return Err(TraceReadError::BadLine {
+                    line: i + 2,
+                    content: line,
+                })
+            }
+        }
+    }
+    Ok(Trace {
+        num_threads,
+        accesses,
+    })
+}
+
+impl Trace {
+    /// Replay the trace through a simulator built for `machine`.
+    pub fn replay(
+        &self,
+        machine: &machine::MachineConfig,
+        prefetch: bool,
+    ) -> crate::stats::SimStats {
+        let mut sim = crate::mesi::MultiCoreSim::new(machine, self.num_threads.max(1));
+        if prefetch {
+            sim = sim.with_prefetchers();
+        }
+        for a in &self.accesses {
+            sim.access(a.thread, a.addr, a.size, a.is_write);
+        }
+        sim.into_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_kernel, SimOptions};
+    use loop_ir::kernels;
+    use machine::presets;
+
+    #[test]
+    fn roundtrip_preserves_every_access() {
+        let k = kernels::stencil1d(66, 2);
+        let gen = TraceGen::new(&k, 4, 64);
+        let direct = gen.interleaved(Interleave::PerIteration);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, 4, direct.iter().copied()).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.num_threads, 4);
+        assert_eq!(back.accesses, direct);
+    }
+
+    #[test]
+    fn dump_equals_manual_write() {
+        let k = kernels::transpose(8, 8, 1);
+        let gen = TraceGen::new(&k, 2, 64);
+        let mut a = Vec::new();
+        dump_kernel_trace(&mut a, &k, 2, 64, Interleave::PerIteration).unwrap();
+        let mut b = Vec::new();
+        write_trace(
+            &mut b,
+            2,
+            gen.interleaved(Interleave::PerIteration).into_iter(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replayed_trace_matches_direct_simulation() {
+        let k = kernels::dotprod_partials(4, 32, false);
+        let machine = presets::paper48();
+        let direct = simulate_kernel(&k, &machine, SimOptions::new(4));
+        let mut buf = Vec::new();
+        dump_kernel_trace(&mut buf, &k, 4, 64, Interleave::PerIteration).unwrap();
+        let replayed = read_trace(&buf[..]).unwrap().replay(&machine, true);
+        assert_eq!(
+            direct.total_false_sharing(),
+            replayed.total_false_sharing()
+        );
+        assert_eq!(direct.makespan_cycles(), replayed.makespan_cycles());
+        assert_eq!(direct.total_accesses(), replayed.total_accesses());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "#fstrace v1 threads=2\n# a comment\n\n0 40 8 R\n1 48 8 W\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.accesses.len(), 2);
+        assert_eq!(t.accesses[0].addr, 0x40);
+        assert!(t.accesses[1].is_write);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_positions() {
+        assert!(matches!(
+            read_trace("not a trace\n".as_bytes()),
+            Err(TraceReadError::BadHeader(_))
+        ));
+        let err = read_trace("#fstrace v1 threads=2\n0 zz 8 R\n".as_bytes()).unwrap_err();
+        match err {
+            TraceReadError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+        assert!(matches!(
+            read_trace("#fstrace v1 threads=2\n0 40 8 X\n".as_bytes()),
+            Err(TraceReadError::BadLine { .. })
+        ));
+        assert!(matches!(
+            read_trace("#fstrace v1 threads=nope\n".as_bytes()),
+            Err(TraceReadError::BadHeader(_))
+        ));
+    }
+}

@@ -1,0 +1,264 @@
+//! `fsdetect` — analyze a kernel written in the loop DSL for false sharing.
+//!
+//! ```text
+//! fsdetect <kernel.loop | @bundled-name> [--threads N]
+//!          [--machine paper48|generic|tiny] [--predict RUNS]
+//!          [--advise] [--eliminate] [--sim] [--contention] [--baseline]
+//!          [--sweep] [--const NAME=VALUE ...] [--list]
+//! ```
+//!
+//! Prints the Eq. 1 cost breakdown, the FS case count, victim arrays, and
+//! (with `--advise`) a chunk-size recommendation. `--eliminate` runs the
+//! cost-model-driven mitigation search (padding vs rescheduling) and prints
+//! the transformed kernel. `--sim` replays the kernel through the MESI
+//! coherence simulator; `--contention` prints the shared-cache and
+//! memory-bus interference estimates. `@name` loads a bundled corpus
+//! kernel (`--list` shows them).
+
+use fs_core::{analyze, machines, recommend_chunk, AnalysisOptions};
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    threads: u32,
+    machine: String,
+    predict: Option<u64>,
+    advise: bool,
+    eliminate: bool,
+    sim: bool,
+    contention: bool,
+    baseline: bool,
+    sweep: bool,
+    consts: Vec<(String, i64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fsdetect <kernel.loop | @bundled> [--threads N] [--machine paper48|generic|tiny]\n\
+         \x20              [--predict RUNS] [--advise] [--eliminate] [--sim] [--contention]\n\
+         \x20              [--const NAME=VALUE ...] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        path: String::new(),
+        threads: 8,
+        machine: "paper48".to_string(),
+        predict: None,
+        advise: false,
+        eliminate: false,
+        sim: false,
+        contention: false,
+        baseline: false,
+        sweep: false,
+        consts: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--machine" => args.machine = it.next().unwrap_or_else(|| usage()),
+            "--predict" => {
+                args.predict = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--advise" => args.advise = true,
+            "--eliminate" => args.eliminate = true,
+            "--sim" => args.sim = true,
+            "--contention" => args.contention = true,
+            "--baseline" => args.baseline = true,
+            "--sweep" => args.sweep = true,
+            "--list" => {
+                for e in fs_core::CORPUS {
+                    println!("@{:<12} {}", e.name, e.blurb);
+                }
+                std::process::exit(0);
+            }
+            "--const" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let Some((name, value)) = kv.split_once('=') else {
+                    usage()
+                };
+                let Ok(value) = value.parse::<i64>() else {
+                    usage()
+                };
+                args.consts.push((name.to_string(), value));
+            }
+            "--help" | "-h" => usage(),
+            other if args.path.is_empty() && (!other.starts_with('-') || other.starts_with('@')) => {
+                args.path = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if args.path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let src = if let Some(name) = args.path.strip_prefix('@') {
+        match fs_core::corpus_entry(name) {
+            Some(e) => e.source.to_string(),
+            None => {
+                eprintln!("fsdetect: no bundled kernel '@{name}' (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&args.path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fsdetect: cannot read {}: {e}", args.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let consts: Vec<(&str, i64)> = args
+        .consts
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    let kernel = match fs_core::parse_kernel_with_consts(&src, &consts) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("fsdetect: {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let machine = match args.machine.as_str() {
+        "paper48" => machines::paper48(),
+        "generic" => machines::generic_x86(),
+        "tiny" => machines::tiny_test(),
+        other => {
+            eprintln!("fsdetect: unknown machine '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = AnalysisOptions::new(args.threads);
+    opts.predict_chunk_runs = args.predict;
+    let report = analyze(&kernel, &machine, &opts);
+    print!("{}", report.render());
+
+    if args.sim {
+        let stats = fs_core::simulation::simulate_kernel(
+            &kernel,
+            &machine,
+            fs_core::simulation::SimOptions::new(args.threads),
+        );
+        println!("-- MESI simulator (measured) --");
+        print!("{stats}");
+    }
+
+    if args.advise {
+        let advice = recommend_chunk(&kernel, &machine, args.threads, 1024, args.predict);
+        println!("-- chunk-size advice --");
+        println!("{:>8} {:>14} {:>16}", "chunk", "fs cases", "total cycles");
+        for p in &advice.points {
+            println!("{:>8} {:>14} {:>16.0}", p.chunk, p.fs_cases, p.total_cycles);
+        }
+        println!(
+            "recommended chunk size: {} ({:.2}x faster than chunk 1)",
+            advice.best_chunk, advice.speedup_vs_chunk1
+        );
+    }
+
+    if args.baseline {
+        let a = fs_core::simulation::SharingAnalysis::of_kernel(
+            &kernel,
+            args.threads,
+            machine.line_size(),
+        );
+        let (p, rs, ts, fs) = a.census();
+        println!("-- address-set baseline (LaRowe-style, §V related work) --");
+        println!("lines: {p} private, {rs} read-shared, {ts} true-shared, {fs} false-shared");
+        let bases = kernel.array_bases(machine.line_size());
+        for (line, rec) in a.false_shared_lines().into_iter().take(5) {
+            let addr = line * machine.line_size();
+            let name = kernel
+                .arrays
+                .iter()
+                .enumerate()
+                .find(|(i, d)| addr >= bases[*i] && addr < bases[*i] + d.size_bytes().max(1))
+                .map(|(_, d)| d.name.as_str())
+                .unwrap_or("?");
+            println!(
+                "  line {line:>8} in '{name}': {} sharers, {} accesses",
+                rec.sharer_count(),
+                rec.accesses
+            );
+        }
+    }
+
+    if args.contention {
+        let sc = fs_core::shared_cache_interference(&kernel, &machine, args.threads);
+        let bus = fs_core::bus_interference(&kernel, &machine, args.threads);
+        println!("-- contention extensions (paper §VI future work) --");
+        println!(
+            "shared cache: cluster footprint {:.0} KB of {} KB -> overflow {:.0}%, +{:.2} cy/iter",
+            sc.cluster_footprint / 1024.0,
+            sc.shared_capacity / 1024,
+            sc.overflow_fraction * 100.0,
+            sc.extra_cycles_per_iter.max(0.0)
+        );
+        println!(
+            "memory bus:   demand {:.1} B/cy of {:.1} B/cy -> slowdown {:.2}x",
+            bus.demanded_bytes_per_cycle, bus.available_bytes_per_cycle, bus.slowdown
+        );
+    }
+
+    if args.sweep {
+        let mut aopts = fs_core::AnalyzeOptions::new(args.threads);
+        aopts.predict_chunk_runs = args.predict;
+        println!("-- hardware sensitivity sweeps --");
+        for sweep in cost_model::standard_battery(&kernel, &machine, &aopts) {
+            println!("{}:", sweep.parameter);
+            for p in &sweep.points {
+                println!(
+                    "  {:>10} -> FS {:>5.1}% of {:>12.0} cycles ({} cases)",
+                    p.value, p.fs_fraction * 100.0, p.total_cycles, p.fs_cases
+                );
+            }
+        }
+    }
+
+    if args.eliminate {
+        let mut opts = fs_core::AnalyzeOptions::new(args.threads);
+        opts.predict_chunk_runs = args.predict;
+        let mit = fs_core::eliminate_false_sharing(&kernel, &machine, args.threads, &opts);
+        println!("-- mitigation search --");
+        if mit.candidates.is_empty() {
+            println!("no false sharing to eliminate");
+        } else {
+            for c in &mit.candidates {
+                println!(
+                    "  {:<48} {:>10.0} cycles ({:.2}x)",
+                    c.description, c.cost.total_cycles, c.speedup
+                );
+            }
+            let best = mit.best().unwrap();
+            println!("best: {}", best.description);
+            println!("-- transformed kernel --");
+            print!("{}", fs_core::kernel_to_dsl(&best.kernel));
+        }
+    }
+
+    if report.has_significant_fs() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

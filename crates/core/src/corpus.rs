@@ -1,0 +1,124 @@
+//! The bundled DSL kernel corpus (`kernels/*.loop` at the repository root):
+//! ready-made sources for the CLI, examples, and tests.
+
+use loop_ir::dsl::{parse_kernel, parse_kernel_with_consts, ParseError};
+use loop_ir::Kernel;
+
+/// A bundled kernel source.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// File stem (e.g. `"linreg"`).
+    pub name: &'static str,
+    /// The DSL source text.
+    pub source: &'static str,
+    /// One-line description of why the kernel is interesting.
+    pub blurb: &'static str,
+}
+
+/// All bundled kernels.
+pub const CORPUS: &[CorpusEntry] = &[
+    CorpusEntry {
+        name: "linreg",
+        source: include_str!("../../../kernels/linreg.loop"),
+        blurb: "Phoenix linear regression (paper Fig. 1): packed accumulator structs",
+    },
+    CorpusEntry {
+        name: "heat",
+        source: include_str!("../../../kernels/heat.loop"),
+        blurb: "2-D heat diffusion, inner loop work-shared: write-only FS on the output row",
+    },
+    CorpusEntry {
+        name: "dft",
+        source: include_str!("../../../kernels/dft.loop"),
+        blurb: "direct DFT: RMW false sharing on the output bins",
+    },
+    CorpusEntry {
+        name: "stencil",
+        source: include_str!("../../../kernels/stencil.loop"),
+        blurb: "1-D moving average: boundary-only false sharing",
+    },
+    CorpusEntry {
+        name: "histogram",
+        source: include_str!("../../../kernels/histogram.loop"),
+        blurb: "per-thread counters on one line: the classic FS bug",
+    },
+    CorpusEntry {
+        name: "matmul",
+        source: include_str!("../../../kernels/matmul.loop"),
+        blurb: "matrix multiply, middle loop work-shared",
+    },
+];
+
+/// Look up a corpus entry by name.
+pub fn corpus_entry(name: &str) -> Option<&'static CorpusEntry> {
+    CORPUS.iter().find(|e| e.name == name)
+}
+
+/// Parse a corpus kernel by name.
+pub fn corpus_kernel(name: &str) -> Result<Kernel, ParseError> {
+    let entry = corpus_entry(name).ok_or(ParseError {
+        message: format!(
+            "no bundled kernel named '{name}' (available: {})",
+            CORPUS
+                .iter()
+                .map(|e| e.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        line: 0,
+        col: 0,
+    })?;
+    parse_kernel(entry.source)
+}
+
+/// Parse a corpus kernel with `const` overrides (to rescale it).
+pub fn corpus_kernel_with_consts(
+    name: &str,
+    consts: &[(&str, i64)],
+) -> Result<Kernel, ParseError> {
+    let entry = corpus_entry(name).ok_or(ParseError {
+        message: format!("no bundled kernel named '{name}'"),
+        line: 0,
+        col: 0,
+    })?;
+    parse_kernel_with_consts(entry.source, consts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::validate::validate_bounds;
+
+    #[test]
+    fn every_corpus_kernel_parses_and_validates() {
+        for e in CORPUS {
+            let k = corpus_kernel(e.name).unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            validate_bounds(&k).unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            assert!(!e.blurb.is_empty());
+        }
+    }
+
+    #[test]
+    fn corpus_kernels_false_share_as_advertised() {
+        let m = crate::machines::paper48();
+        for name in ["linreg", "heat", "dft", "histogram", "matmul"] {
+            let k = corpus_kernel(name).unwrap();
+            let r = crate::analyze(&k, &m, &crate::AnalysisOptions::new(8).with_prediction(32));
+            assert!(r.cost.fs.fs_cases > 0, "{name} should false-share");
+        }
+    }
+
+    #[test]
+    fn const_overrides_rescale_corpus_kernels() {
+        let k = corpus_kernel_with_consts("heat", &[("N", 10), ("M", 34)]).unwrap();
+        assert_eq!(k.nest.parallel_trip_count(), Some(32));
+        assert_eq!(k.arrays[0].dims, vec![10, 34]);
+    }
+
+    #[test]
+    fn unknown_names_error_helpfully() {
+        let err = corpus_kernel("nope").unwrap_err();
+        assert!(err.message.contains("available"));
+        assert!(err.message.contains("linreg"));
+    }
+}

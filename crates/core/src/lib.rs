@@ -1,0 +1,144 @@
+//! # fs-core — compile-time false-sharing detection for parallel loops
+//!
+//! High-level API over the reproduction of *"Compile-Time Detection of
+//! False Sharing via Loop Cost Modeling"* (Tolubaeva, Yan, Chapman; IPDPS
+//! workshops 2012).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fs_core::{analyze, AnalysisOptions};
+//!
+//! // Describe the loop in the DSL (or build it with loop_ir::KernelBuilder).
+//! let kernel = fs_core::parse_kernel(
+//!     "kernel histogram {
+//!        array counts[8]: f64;
+//!        array data[8][4096]: f64;
+//!        parallel for t in 0..8 schedule(static, 1) {
+//!          for i in 0..4096 {
+//!            counts[t] += data[t][i];
+//!          }
+//!        }
+//!      }",
+//! ).unwrap();
+//!
+//! let machine = fs_core::machines::paper48();
+//! let report = analyze(&kernel, &machine, &AnalysisOptions::new(8));
+//! assert!(report.cost.fs.fs_cases > 0, "adjacent counters false-share");
+//! println!("{}", report.render());
+//! ```
+//!
+//! The report quantifies the FS cases the loop will generate, the share of
+//! execution time they cost (Eq. 1 of the paper), and which arrays are the
+//! victims. [`recommend_chunk`] searches schedules for the smallest chunk
+//! size that suppresses the false sharing.
+
+pub mod advisor;
+pub mod corpus;
+pub mod report;
+pub mod transform;
+
+pub use advisor::{recommend_chunk, ChunkAdvice, ChunkPoint};
+pub use corpus::{corpus_entry, corpus_kernel, corpus_kernel_with_consts, CorpusEntry, CORPUS};
+pub use report::{AnalysisReport, VictimArray};
+pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
+
+use loop_ir::Kernel;
+use machine::MachineConfig;
+
+/// Re-exported building blocks for users who need the full substrate.
+pub use cost_model::{
+    analyze_loop, bus_interference, modeled_fs_overhead, predict_fs, run_fs_model,
+    shared_cache_interference, AnalyzeOptions, BusInterference, FsModelConfig, FsModelResult,
+    LoopCost, SharedCacheInterference,
+};
+pub use loop_ir::dsl::parse_kernel_with_consts;
+pub use loop_ir::{dsl::parse_kernel, kernels, pretty::kernel_to_dsl, KernelBuilder};
+
+/// Machine presets (see [`machine::presets`]).
+pub mod machines {
+    pub use machine::presets::{generic_x86, paper48, tiny_test};
+    pub use machine::MachineConfig;
+}
+
+/// Simulation entry points (the "measured" side of experiments).
+pub mod simulation {
+    pub use cache_sim::{
+        simulate_kernel, simulated_time_cycles, Interleave, LineClass, SharingAnalysis,
+        SimOptions, SimStats,
+    };
+}
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    pub num_threads: u32,
+    /// Evaluate only this many chunk runs and extrapolate with the linear
+    /// regression predictor (paper §III-E); `None` runs the full model.
+    pub predict_chunk_runs: Option<u64>,
+}
+
+impl AnalysisOptions {
+    pub fn new(num_threads: u32) -> Self {
+        AnalysisOptions {
+            num_threads,
+            predict_chunk_runs: None,
+        }
+    }
+
+    pub fn with_prediction(mut self, chunk_runs: u64) -> Self {
+        self.predict_chunk_runs = Some(chunk_runs);
+        self
+    }
+}
+
+/// Analyze a kernel: run the full Eq. 1 cost model (including the FS model)
+/// and package the result with victim attribution and human-readable
+/// rendering.
+pub fn analyze(kernel: &Kernel, machine: &MachineConfig, opts: &AnalysisOptions) -> AnalysisReport {
+    loop_ir::validate(kernel).expect("kernel failed validation; call loop_ir::validate first");
+    let mut a = AnalyzeOptions::new(opts.num_threads);
+    a.predict_chunk_runs = opts.predict_chunk_runs;
+    let cost = analyze_loop(kernel, machine, &a);
+    AnalysisReport::new(kernel, machine, opts.num_threads, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_flags_false_sharing_kernels() {
+        let m = machines::paper48();
+        let k = kernels::transpose(32, 32, 1);
+        let r = analyze(&k, &m, &AnalysisOptions::new(8));
+        assert!(r.cost.fs.fs_cases > 0);
+        assert!(r.fs_percent() > 0.0);
+        let padded = kernels::dotprod_partials(8, 64, true);
+        let r2 = analyze(&padded, &m, &AnalysisOptions::new(8));
+        assert_eq!(r2.cost.fs.fs_cases, 0);
+        assert_eq!(r2.fs_percent(), 0.0);
+    }
+
+    #[test]
+    fn prediction_option_wires_through() {
+        let m = machines::paper48();
+        let k = kernels::dft(64, 128, 1);
+        let full = analyze(&k, &m, &AnalysisOptions::new(8));
+        let pred = analyze(&k, &m, &AnalysisOptions::new(8).with_prediction(48));
+        // Predicted evaluation touches fewer iterations.
+        assert!(pred.cost.fs.iterations < full.cost.fs.iterations);
+        // But the FS cycle estimates stay in the same ballpark.
+        let ratio = pred.cost.fs_cycles / full.cost.fs_cycles.max(1.0);
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "validation")]
+    fn analyze_rejects_invalid_kernels() {
+        let m = machines::paper48();
+        let mut k = kernels::stencil1d(66, 1);
+        k.nest.parallel.schedule = loop_ir::Schedule::Static { chunk: 0 };
+        analyze(&k, &m, &AnalysisOptions::new(2));
+    }
+}

@@ -1,0 +1,271 @@
+//! Human-readable analysis reports with victim attribution.
+
+use cost_model::LoopCost;
+use loop_ir::Kernel;
+use machine::MachineConfig;
+use std::fmt::Write;
+
+/// An array implicated in false sharing, with its share of the cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VictimArray {
+    pub array: String,
+    pub fs_cases: u64,
+    /// Fraction of all FS cases on this array's lines.
+    pub share: f64,
+}
+
+/// The packaged result of [`crate::analyze`].
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    pub kernel_name: String,
+    pub machine_name: String,
+    pub num_threads: u32,
+    pub cost: LoopCost,
+    pub victims: Vec<VictimArray>,
+    /// Estimated seconds for the loop on the target machine.
+    pub est_seconds: f64,
+}
+
+impl AnalysisReport {
+    pub(crate) fn new(
+        kernel: &Kernel,
+        machine: &MachineConfig,
+        num_threads: u32,
+        cost: LoopCost,
+    ) -> Self {
+        let victims = attribute_victims(kernel, machine, &cost);
+        let est_seconds = cost.seconds(machine);
+        AnalysisReport {
+            kernel_name: kernel.name.clone(),
+            machine_name: machine.name.clone(),
+            num_threads,
+            cost,
+            victims,
+            est_seconds,
+        }
+    }
+
+    /// False-sharing share of the loop's total modeled cost, in percent.
+    pub fn fs_percent(&self) -> f64 {
+        self.cost.fs_fraction() * 100.0
+    }
+
+    /// True if the model estimates a meaningful FS impact (>= 1% of time).
+    pub fn has_significant_fs(&self) -> bool {
+        self.fs_percent() >= 1.0
+    }
+
+    /// Render a plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let c = &self.cost;
+        let _ = writeln!(out, "== false-sharing analysis: {} ==", self.kernel_name);
+        let _ = writeln!(
+            out,
+            "machine: {} | threads: {}",
+            self.machine_name, self.num_threads
+        );
+        let _ = writeln!(
+            out,
+            "false-sharing cases (model): {}  (events: {}, true-sharing: {})",
+            c.fs.fs_cases, c.fs.fs_events, c.fs.true_sharing_cases
+        );
+        let _ = writeln!(
+            out,
+            "evaluated {} iterations over {} lockstep steps ({} of {} chunk runs)",
+            c.fs.iterations, c.fs.steps, c.fs.evaluated_chunk_runs, c.fs.total_chunk_runs
+        );
+        let _ = writeln!(out, "cost breakdown (cycles, per-thread critical path):");
+        let iters = c.iters_per_thread;
+        let _ = writeln!(
+            out,
+            "  machine   {:>14.0}   ({:.2}/iter)",
+            c.machine.cycles_per_iter * iters,
+            c.machine.cycles_per_iter
+        );
+        let _ = writeln!(
+            out,
+            "  cache     {:>14.0}   ({:.2}/iter)",
+            c.cache.cycles_per_iter * iters,
+            c.cache.cycles_per_iter
+        );
+        let _ = writeln!(
+            out,
+            "  tlb       {:>14.0}   ({:.4}/iter)",
+            c.tlb.cycles_per_iter * iters,
+            c.tlb.cycles_per_iter
+        );
+        let _ = writeln!(
+            out,
+            "  loop ovh  {:>14.0}   ({:.2}/iter)",
+            c.overhead.loop_per_iter * iters,
+            c.overhead.loop_per_iter
+        );
+        let _ = writeln!(out, "  parallel  {:>14.0}", c.overhead.parallel_total);
+        let _ = writeln!(out, "  false shr {:>14.0}", c.fs_cycles);
+        let _ = writeln!(
+            out,
+            "  TOTAL     {:>14.0}   (~{:.4} s)",
+            c.total_cycles, self.est_seconds
+        );
+        let _ = writeln!(
+            out,
+            "false-sharing impact: {:.1}% of estimated execution time",
+            self.fs_percent()
+        );
+        if self.victims.is_empty() {
+            let _ = writeln!(out, "no false-sharing victims detected");
+        } else {
+            let _ = writeln!(out, "victim data structures:");
+            for v in &self.victims {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>12} cases ({:.1}%)",
+                    v.array,
+                    v.fs_cases,
+                    v.share * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+impl AnalysisReport {
+    /// Render the report as a Markdown fragment (for CI summaries / docs).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let c = &self.cost;
+        let _ = writeln!(out, "### False-sharing analysis: `{}`", self.kernel_name);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "*{} threads on {}* — **{:.1}%** of the modeled execution time is false sharing.",
+            self.num_threads,
+            self.machine_name,
+            self.fs_percent()
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| term | cycles | per iteration |");
+        let _ = writeln!(out, "|---|---:|---:|");
+        let iters = c.iters_per_thread;
+        for (name, total, per) in [
+            ("machine", c.machine.cycles_per_iter * iters, c.machine.cycles_per_iter),
+            ("cache", c.cache.cycles_per_iter * iters, c.cache.cycles_per_iter),
+            ("tlb", c.tlb.cycles_per_iter * iters, c.tlb.cycles_per_iter),
+            ("loop overhead", c.overhead.loop_per_iter * iters, c.overhead.loop_per_iter),
+        ] {
+            let _ = writeln!(out, "| {name} | {total:.0} | {per:.2} |");
+        }
+        let _ = writeln!(out, "| parallel overhead | {:.0} | — |", c.overhead.parallel_total);
+        let _ = writeln!(out, "| **false sharing** | **{:.0}** | — |", c.fs_cycles);
+        let _ = writeln!(out, "| **total** | **{:.0}** | — |", c.total_cycles);
+        if !self.victims.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "Victims:");
+            for v in &self.victims {
+                let _ = writeln!(
+                    out,
+                    "- `{}` — {} cases ({:.1}%)",
+                    v.array,
+                    v.fs_cases,
+                    v.share * 100.0
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Map the FS model's per-line case counts back to the arrays whose address
+/// ranges contain those lines.
+fn attribute_victims(kernel: &Kernel, machine: &MachineConfig, cost: &LoopCost) -> Vec<VictimArray> {
+    let line_size = machine.line_size();
+    let bases = kernel.array_bases(line_size);
+    let total: u64 = cost.fs.per_line_cases.values().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut per_array: Vec<u64> = vec![0; kernel.arrays.len()];
+    for (&line, &cases) in &cost.fs.per_line_cases {
+        let addr = line * line_size;
+        for (idx, decl) in kernel.arrays.iter().enumerate() {
+            let lo = bases[idx];
+            let hi = lo + decl.size_bytes().max(1);
+            if addr >= lo && addr < hi {
+                per_array[idx] += cases;
+                break;
+            }
+        }
+    }
+    let mut victims: Vec<VictimArray> = per_array
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(i, c)| VictimArray {
+            array: kernel.arrays[i].name.clone(),
+            fs_cases: c,
+            share: c as f64 / total as f64,
+        })
+        .collect();
+    victims.sort_by(|a, b| b.fs_cases.cmp(&a.fs_cases));
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze, machines, AnalysisOptions};
+    use loop_ir::kernels;
+
+    #[test]
+    fn victims_point_at_the_written_array() {
+        let m = machines::paper48();
+        let k = kernels::linear_regression(64, 16, 1);
+        let r = analyze(&k, &m, &AnalysisOptions::new(8));
+        assert!(!r.victims.is_empty());
+        assert_eq!(r.victims[0].array, "args");
+        assert!(r.victims[0].share > 0.99, "share = {}", r.victims[0].share);
+    }
+
+    #[test]
+    fn render_mentions_the_key_numbers() {
+        let m = machines::paper48();
+        let k = kernels::transpose(32, 32, 1);
+        let r = analyze(&k, &m, &AnalysisOptions::new(4));
+        let text = r.render();
+        assert!(text.contains("transpose"));
+        assert!(text.contains("false-sharing cases"));
+        assert!(text.contains("victim data structures"));
+        assert!(text.contains("B"), "transpose victim is B:\n{text}");
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn markdown_rendering_has_table_and_victims() {
+        let m = machines::paper48();
+        let k = kernels::linear_regression(64, 16, 1);
+        let r = analyze(&k, &m, &AnalysisOptions::new(8));
+        let md = r.render_markdown();
+        assert!(md.contains("### False-sharing analysis: `linear_regression`"));
+        assert!(md.contains("| term | cycles |"));
+        assert!(md.contains("**false sharing**"));
+        assert!(md.contains("- `args`"));
+    }
+
+    #[test]
+    fn significance_threshold() {
+        let m = machines::paper48();
+        let fs = analyze(
+            &kernels::dotprod_partials(8, 512, false),
+            &m,
+            &AnalysisOptions::new(8),
+        );
+        assert!(fs.has_significant_fs(), "{:.2}%", fs.fs_percent());
+        let clean = analyze(
+            &kernels::dotprod_partials(8, 512, true),
+            &m,
+            &AnalysisOptions::new(8),
+        );
+        assert!(!clean.has_significant_fs());
+    }
+}

@@ -1,0 +1,264 @@
+//! False-sharing *elimination*: cost-model-driven IR transformations.
+//!
+//! The paper's conclusion defers "FS elimination using the cost model" to
+//! future work and cites two families of fixes: data-layout transformations
+//! (padding/alignment, Jeremiassen & Eggers) and scheduling-parameter
+//! selection (chunk size/stride, Chow & Sarkar). This module implements
+//! both and lets the cost model pick the cheaper one:
+//!
+//! * [`pad_array`] — pad a victim array's elements to a full cache line
+//!   (struct elements grow; scalar elements become single-field line-sized
+//!   structs, with every reference rewritten to the field);
+//! * [`eliminate_false_sharing`] — generate candidate kernels (per-victim
+//!   padding, advisor-chosen chunk size), cost each with Eq. 1, and return
+//!   them ranked.
+
+use crate::advisor::recommend_chunk;
+use cost_model::{analyze_loop, AnalyzeOptions, LoopCost};
+use loop_ir::{ArrayId, ElemLayout, FieldDef, FieldId, Kernel, Schedule};
+use machine::MachineConfig;
+
+/// A candidate transformed kernel with its modeled cost.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Human-readable description of the transformation.
+    pub description: String,
+    pub kernel: Kernel,
+    pub cost: LoopCost,
+    /// Modeled speedup over the untransformed kernel.
+    pub speedup: f64,
+}
+
+/// Outcome of [`eliminate_false_sharing`].
+#[derive(Debug, Clone)]
+pub struct MitigationReport {
+    /// Cost of the kernel as given.
+    pub baseline: LoopCost,
+    /// Candidates sorted best (cheapest) first. May be empty when the
+    /// kernel has no detectable false sharing.
+    pub candidates: Vec<Candidate>,
+}
+
+impl MitigationReport {
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.first()
+    }
+
+    /// True if some transformation is modeled to help by at least 2%.
+    pub fn worthwhile(&self) -> bool {
+        self.best().map(|c| c.speedup > 1.02).unwrap_or(false)
+    }
+}
+
+/// Pad `array`'s elements so consecutive elements never share a cache line.
+///
+/// * Struct elements: `size` is rounded up to a multiple of `line_size`
+///   (field offsets unchanged — layout-compatible with the original code).
+/// * Scalar elements: converted to a line-sized single-field struct and all
+///   references rewritten to access the field.
+///
+/// Returns the transformed kernel and the new element size, or `None` when
+/// the elements already fill whole lines.
+pub fn pad_array(kernel: &Kernel, array: ArrayId, line_size: u64) -> Option<(Kernel, usize)> {
+    let line = line_size as usize;
+    let decl = kernel.array(array);
+    let old = decl.elem.size_bytes();
+    if old % line == 0 {
+        return None;
+    }
+    let new_size = old.div_ceil(line) * line;
+    let mut out = kernel.clone();
+    match &decl.elem {
+        ElemLayout::Struct { fields, .. } => {
+            out.arrays[array.index()].elem = ElemLayout::Struct {
+                size: new_size,
+                fields: fields.clone(),
+            };
+        }
+        ElemLayout::Scalar(t) => {
+            out.arrays[array.index()].elem = ElemLayout::Struct {
+                size: new_size,
+                fields: vec![FieldDef {
+                    name: "v".to_string(),
+                    offset: 0,
+                    ty: *t,
+                }],
+            };
+            out.map_refs(|r| {
+                if r.array == array {
+                    r.field = Some(FieldId(0));
+                }
+            });
+        }
+    }
+    out.name = format!("{}_padded_{}", kernel.name, decl.name);
+    Some((out, new_size))
+}
+
+/// Generate and rank FS mitigations for `kernel` (see module docs).
+pub fn eliminate_false_sharing(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    num_threads: u32,
+    opts: &AnalyzeOptions,
+) -> MitigationReport {
+    let mut aopts = opts.clone();
+    aopts.num_threads = num_threads;
+    let baseline = analyze_loop(kernel, machine, &aopts);
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    if baseline.fs.fs_cases > 0 {
+        // Candidate family 1: pad each victim array.
+        let line = machine.line_size();
+        let bases = kernel.array_bases(line);
+        let mut victim_ids: Vec<ArrayId> = Vec::new();
+        for &l in baseline.fs.per_line_cases.keys() {
+            let addr = l * line;
+            for (idx, decl) in kernel.arrays.iter().enumerate() {
+                if addr >= bases[idx] && addr < bases[idx] + decl.size_bytes().max(1) {
+                    let id = ArrayId(idx as u32);
+                    if !victim_ids.contains(&id) {
+                        victim_ids.push(id);
+                    }
+                    break;
+                }
+            }
+        }
+        for id in victim_ids {
+            if let Some((padded, new_size)) = pad_array(kernel, id, line) {
+                let cost = analyze_loop(&padded, machine, &aopts);
+                let speedup = baseline.total_cycles / cost.total_cycles.max(1e-9);
+                candidates.push(Candidate {
+                    description: format!(
+                        "pad elements of '{}' from {} to {new_size} bytes",
+                        kernel.array(id).name,
+                        kernel.array(id).elem.size_bytes(),
+                    ),
+                    kernel: padded,
+                    cost,
+                    speedup,
+                });
+            }
+        }
+
+        // Candidate family 2: a better static chunk size.
+        let advice = recommend_chunk(kernel, machine, num_threads, 1024, opts.predict_chunk_runs);
+        if advice.best_chunk != kernel.nest.parallel.schedule.chunk() {
+            let mut rescheduled = kernel.clone();
+            rescheduled.nest.parallel.schedule = Schedule::Static {
+                chunk: advice.best_chunk,
+            };
+            rescheduled.name = format!("{}_chunk{}", kernel.name, advice.best_chunk);
+            let cost = analyze_loop(&rescheduled, machine, &aopts);
+            let speedup = baseline.total_cycles / cost.total_cycles.max(1e-9);
+            candidates.push(Candidate {
+                description: format!("schedule(static, {})", advice.best_chunk),
+                kernel: rescheduled,
+                cost,
+                speedup,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| a.cost.total_cycles.total_cmp(&b.cost.total_cycles));
+    MitigationReport {
+        baseline,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+    use loop_ir::kernels;
+    use loop_ir::validate::validate_bounds;
+
+    #[test]
+    fn padding_struct_arrays_rounds_size_up() {
+        let k = kernels::linear_regression(32, 8, 1);
+        let (args_id, _) = k.array_named("args").unwrap();
+        let (padded, new_size) = pad_array(&k, args_id, 64).unwrap();
+        assert_eq!(new_size, 64);
+        assert_eq!(padded.array(args_id).elem.size_bytes(), 64);
+        // Field offsets survive.
+        let (_, f) = padded.array(args_id).elem.field_named("sxy").unwrap();
+        assert_eq!(f.offset, 32);
+        validate_bounds(&padded).unwrap();
+    }
+
+    #[test]
+    fn padding_scalar_arrays_rewrites_refs() {
+        let k = kernels::matvec(16, 8, 1);
+        let (y_id, _) = k.array_named("y").unwrap();
+        let (padded, _) = pad_array(&k, y_id, 64).unwrap();
+        validate_bounds(&padded).unwrap();
+        // Every reference to y now carries the field.
+        for stmt in &padded.nest.body {
+            for r in stmt.references() {
+                if r.array == y_id {
+                    assert!(r.field.is_some());
+                }
+            }
+        }
+        // And the padded kernel has no false sharing on y anymore.
+        let m = machines::paper48();
+        let r = cost_model::run_fs_model(
+            &padded,
+            &cost_model::FsModelConfig::for_machine(&m, 8),
+        );
+        assert_eq!(r.fs_cases, 0, "matvec's only victim was y");
+    }
+
+    #[test]
+    fn already_padded_arrays_return_none() {
+        let k = kernels::linear_regression_padded(16, 8, 1);
+        let (args_id, _) = k.array_named("args").unwrap();
+        assert!(pad_array(&k, args_id, 64).is_none());
+    }
+
+    #[test]
+    fn elimination_ranks_padding_for_linreg() {
+        let m = machines::paper48();
+        let k = kernels::linear_regression(96, 32, 1);
+        let report = eliminate_false_sharing(&k, &m, 8, &AnalyzeOptions::new(8));
+        assert!(report.worthwhile());
+        let best = report.best().unwrap();
+        assert!(
+            best.cost.fs_cycles < report.baseline.fs_cycles / 4.0,
+            "best '{}' must cut FS: {} -> {}",
+            best.description,
+            report.baseline.fs_cycles,
+            best.cost.fs_cycles
+        );
+        // Padding the 40-byte accumulators should be among the candidates.
+        assert!(report
+            .candidates
+            .iter()
+            .any(|c| c.description.contains("pad elements of 'args'")));
+    }
+
+    #[test]
+    fn clean_kernels_produce_no_candidates() {
+        let m = machines::paper48();
+        let k = kernels::dotprod_partials(8, 128, true);
+        let report = eliminate_false_sharing(&k, &m, 8, &AnalyzeOptions::new(8));
+        assert!(report.candidates.is_empty());
+        assert!(!report.worthwhile());
+    }
+
+    #[test]
+    fn transpose_gets_a_chunk_recommendation() {
+        // Padding B would change the transpose's output layout contract and
+        // anyway B's *rows* are the victims; the chunk candidate must win.
+        let m = machines::paper48();
+        let k = kernels::transpose(128, 128, 1);
+        let report = eliminate_false_sharing(&k, &m, 8, &AnalyzeOptions::new(8));
+        assert!(report.worthwhile());
+        let chunk_cand = report
+            .candidates
+            .iter()
+            .find(|c| c.description.starts_with("schedule"))
+            .expect("chunk candidate exists");
+        assert!(chunk_cand.speedup > 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Contention extensions: shared-cache and memory-bus interference.
+//!
+//! The paper's conclusion (§VI) defers "other cache contention issues …
+//! such as shared cache and bus interferences" to future work; this module
+//! implements both as additive refinements of Eq. 1.
+//!
+//! * **Shared-cache interference** — the private-cache model assumes each
+//!   thread enjoys the full last-level cache; in reality a cluster's
+//!   threads share it. When the cluster's combined reuse footprint
+//!   overflows the shared level, groups that the base model serves from it
+//!   degrade to memory latency.
+//! * **Bus interference** — per-thread miss costs assume an uncontended
+//!   memory system. The aggregate line traffic of all threads is bounded by
+//!   the machine's bandwidth; when the computed traffic rate exceeds it,
+//!   iterations are stretched to the bandwidth bound.
+
+use crate::footprint::{cache_cost, CacheCost};
+use crate::processor::machine_cost;
+use loop_ir::Kernel;
+use machine::MachineConfig;
+
+/// Result of the shared-cache interference analysis.
+#[derive(Debug, Clone)]
+pub struct SharedCacheInterference {
+    /// Combined reuse footprint of the threads sharing one last-level
+    /// cache instance, in bytes.
+    pub cluster_footprint: f64,
+    /// Capacity of the shared level (0 if the hierarchy has none).
+    pub shared_capacity: u64,
+    /// Fraction of shared-level-serviced misses that overflow to memory.
+    pub overflow_fraction: f64,
+    /// Extra cycles per innermost iteration per thread caused by the
+    /// overflow.
+    pub extra_cycles_per_iter: f64,
+}
+
+/// Estimate shared-cache interference for `kernel` on a team of `threads`.
+pub fn shared_cache_interference(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    threads: u32,
+) -> SharedCacheInterference {
+    let cache: CacheCost = cache_cost(kernel, machine, threads);
+    let Some(shared) = machine.caches.levels.iter().find(|l| l.shared) else {
+        return SharedCacheInterference {
+            cluster_footprint: 0.0,
+            shared_capacity: 0,
+            overflow_fraction: 0.0,
+            extra_cycles_per_iter: 0.0,
+        };
+    };
+    let sharers = threads.min(machine.caches.shared_cluster_size).max(1);
+    let cluster_footprint = cache.inner_footprint_bytes * sharers as f64;
+    let capacity = shared.size_bytes as f64;
+    let overflow_fraction = if cluster_footprint <= capacity {
+        0.0
+    } else {
+        1.0 - capacity / cluster_footprint
+    };
+    // Misses the base model priced at the shared level now (partially) cost
+    // memory latency instead. Only read-side costs matter (stores drain
+    // through the store buffer either way).
+    let extra_per_miss =
+        (machine.caches.memory_latency - shared.hit_latency) as f64 * overflow_fraction;
+    let affected_rate: f64 = cache
+        .groups
+        .iter()
+        .filter(|g| g.has_read && g.service_latency == shared.hit_latency)
+        .map(|g| g.miss_rate)
+        .sum();
+    SharedCacheInterference {
+        cluster_footprint,
+        shared_capacity: shared.size_bytes,
+        overflow_fraction,
+        extra_cycles_per_iter: affected_rate * extra_per_miss,
+    }
+}
+
+/// Result of the bus/bandwidth interference analysis.
+#[derive(Debug, Clone)]
+pub struct BusInterference {
+    /// Line-sized memory transfers per innermost iteration per thread.
+    pub lines_per_iter: f64,
+    /// Aggregate demanded bandwidth in bytes/cycle at the team's compute
+    /// rate.
+    pub demanded_bytes_per_cycle: f64,
+    /// Machine limit in bytes/cycle.
+    pub available_bytes_per_cycle: f64,
+    /// `max(1, demanded/available)` — how much the team's iterations
+    /// stretch under the bandwidth bound.
+    pub slowdown: f64,
+}
+
+/// Estimate memory-bus contention: compare the team's aggregate traffic
+/// rate against the machine's bandwidth.
+pub fn bus_interference(kernel: &Kernel, machine: &MachineConfig, threads: u32) -> BusInterference {
+    let cache = cache_cost(kernel, machine, threads);
+    let mach = machine_cost(kernel, &machine.processor);
+    let line = machine.line_size() as f64;
+    // Every group miss moves one line regardless of which level serves it
+    // (prefetched lines still cross the bus when they come from memory);
+    // count only groups whose data ultimately streams from memory.
+    let lines_per_iter: f64 = cache
+        .groups
+        .iter()
+        .filter(|g| g.service_latency >= machine.caches.memory_latency)
+        .map(|g| g.miss_rate)
+        .sum();
+    // Unthrottled iteration time on one thread:
+    let iter_cycles = mach
+        .cycles_per_iter
+        .max(1.0);
+    let demanded = lines_per_iter * line * threads as f64 / iter_cycles;
+    let available = machine.mem_bandwidth_bytes_per_cycle.max(1e-9);
+    BusInterference {
+        lines_per_iter,
+        demanded_bytes_per_cycle: demanded,
+        available_bytes_per_cycle: available,
+        slowdown: (demanded / available).max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::kernels;
+    use machine::presets;
+
+    #[test]
+    fn small_kernels_fit_the_shared_cache() {
+        let m = presets::paper48();
+        let i = shared_cache_interference(&kernels::heat_diffusion(34, 258, 1), &m, 8);
+        assert_eq!(i.overflow_fraction, 0.0);
+        assert_eq!(i.extra_cycles_per_iter, 0.0);
+        assert!(i.cluster_footprint > 0.0);
+    }
+
+    #[test]
+    fn huge_rows_overflow_the_shared_cache() {
+        let m = presets::paper48();
+        // 1M-wide rows: 3 rows x 8 MB each per thread, 12 sharers.
+        let k = kernels::heat_diffusion(10, 1 << 20, 1);
+        let i = shared_cache_interference(&k, &m, 48);
+        assert!(i.cluster_footprint > i.shared_capacity as f64);
+        assert!(i.overflow_fraction > 0.5, "{}", i.overflow_fraction);
+    }
+
+    #[test]
+    fn no_shared_level_means_no_interference() {
+        let m = presets::tiny_test();
+        let i = shared_cache_interference(&kernels::stencil1d(130, 1), &m, 4);
+        assert_eq!(i.shared_capacity, 0);
+        assert_eq!(i.extra_cycles_per_iter, 0.0);
+    }
+
+    #[test]
+    fn bus_slowdown_grows_with_team_size() {
+        let m = presets::paper48();
+        let k = kernels::transpose(512, 512, 1); // streaming writes to memory
+        let t2 = bus_interference(&k, &m, 2);
+        let t48 = bus_interference(&k, &m, 48);
+        assert!(t48.demanded_bytes_per_cycle > t2.demanded_bytes_per_cycle);
+        assert!(t48.slowdown >= t2.slowdown);
+        assert!(t2.slowdown >= 1.0);
+    }
+
+    #[test]
+    fn compute_bound_kernels_do_not_saturate_the_bus() {
+        let m = presets::paper48();
+        // DFT: trig-dominated, bins reused in cache -> no memory streaming.
+        let b = bus_interference(&kernels::dft(64, 512, 16), &m, 48);
+        assert_eq!(b.slowdown, 1.0, "demand {}", b.demanded_bytes_per_cycle);
+    }
+}

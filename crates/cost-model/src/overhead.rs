@@ -1,0 +1,95 @@
+//! The parallel model's overhead terms: `Parallel_Overhead_c` and
+//! `Loop_Overhead_c` (paper §II-B3).
+
+use loop_ir::Kernel;
+use machine::MachineConfig;
+
+/// Overhead estimate for one execution of the kernel by one team.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadCost {
+    /// Total parallel overhead, cycles (startup + scheduling + barriers),
+    /// on the critical path of one thread.
+    pub parallel_total: f64,
+    /// Loop bookkeeping cycles per innermost iteration.
+    pub loop_per_iter: f64,
+    /// Number of parallel-region instances (one per iteration of the loops
+    /// outside the parallel level).
+    pub region_instances: u64,
+    /// Chunks dispatched to one thread per region instance.
+    pub chunks_per_thread: f64,
+}
+
+/// Estimate the runtime overheads of `kernel` on `machine` with a team of
+/// `num_threads`.
+pub fn overhead_cost(kernel: &Kernel, machine: &MachineConfig, num_threads: u32) -> OverheadCost {
+    let nest = &kernel.nest;
+    let o = &machine.overheads;
+    let t = num_threads.max(1) as u64;
+
+    // Loops outside the parallel level re-enter the worksharing region.
+    let region_instances = nest.outer_iters().unwrap_or(1).max(1);
+    let trip_p = nest.parallel_trip_count().unwrap_or(0);
+    let chunk = nest.parallel.schedule.chunk().max(1);
+    let num_chunks = trip_p.div_ceil(chunk);
+    let chunks_per_thread = (num_chunks as f64 / t as f64).ceil();
+
+    // Startup is paid once (thread team reuse across region instances is
+    // the common OpenMP implementation); each region instance pays per-chunk
+    // scheduling plus the closing barrier.
+    let parallel_total = o.parallel_startup as f64
+        + region_instances as f64
+            * (chunks_per_thread * o.per_chunk_schedule as f64 + o.barrier_per_thread as f64);
+
+    // Index increment + bound check at every level enclosing the body: the
+    // innermost pays per iteration; outer levels amortize.
+    let loop_per_iter = o.loop_overhead_per_iter * nest.depth() as f64;
+
+    OverheadCost {
+        parallel_total,
+        loop_per_iter,
+        region_instances,
+        chunks_per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::kernels;
+    use machine::presets;
+
+    #[test]
+    fn inner_parallel_pays_barrier_per_outer_iteration() {
+        let m = presets::paper48();
+        let heat = overhead_cost(&kernels::heat_diffusion(66, 66, 1), &m, 8);
+        assert_eq!(heat.region_instances, 64);
+        let linreg = overhead_cost(&kernels::linear_regression(64, 64, 1), &m, 8);
+        assert_eq!(linreg.region_instances, 1);
+        assert!(heat.parallel_total > linreg.parallel_total);
+    }
+
+    #[test]
+    fn smaller_chunks_mean_more_scheduling() {
+        let m = presets::paper48();
+        let c1 = overhead_cost(&kernels::stencil1d(4098, 1), &m, 8);
+        let c64 = overhead_cost(&kernels::stencil1d(4098, 64), &m, 8);
+        assert!(c1.chunks_per_thread > c64.chunks_per_thread);
+        assert!(c1.parallel_total > c64.parallel_total);
+    }
+
+    #[test]
+    fn loop_overhead_scales_with_depth() {
+        let m = presets::paper48();
+        let d1 = overhead_cost(&kernels::stencil1d(130, 1), &m, 4);
+        let d2 = overhead_cost(&kernels::heat_diffusion(18, 18, 1), &m, 4);
+        assert!(d2.loop_per_iter > d1.loop_per_iter);
+    }
+
+    #[test]
+    fn more_threads_fewer_chunks_each() {
+        let m = presets::paper48();
+        let t2 = overhead_cost(&kernels::stencil1d(4098, 1), &m, 2);
+        let t32 = overhead_cost(&kernels::stencil1d(4098, 1), &m, 32);
+        assert!(t2.chunks_per_thread > t32.chunks_per_thread);
+    }
+}

@@ -1,0 +1,186 @@
+//! The processor model: `Machine_c` cycles per innermost iteration.
+//!
+//! Mirrors Open64's LNO processor model (paper §II-B1): the per-iteration
+//! cost is the maximum of a *resource* term (how long the functional units
+//! need to issue the iteration's operations) and a *dependency-latency* term
+//! (how long loop-carried dependence chains force the iteration to take).
+
+use loop_ir::{Kernel, OpKind};
+use machine::processor::{OpLatencies, ProcessorParams};
+
+/// Throughput cost of an operation: how many cycles of its unit class one
+/// instance occupies. Fully pipelined ops cost 1; divides/square roots are
+/// partially pipelined; transcendentals are modeled as unpipelined library
+/// calls.
+fn throughput_cost(op: OpKind, lat: &OpLatencies) -> f64 {
+    match op {
+        OpKind::FAdd | OpKind::FMul => 1.0,
+        OpKind::FDiv => lat.fdiv as f64 / 4.0,
+        OpKind::FSqrt => lat.fsqrt as f64 / 4.0,
+        OpKind::FTrig => lat.ftrig as f64,
+        OpKind::IAdd => 1.0,
+        OpKind::IMul => 1.0,
+        OpKind::IDiv => lat.idiv as f64 / 4.0,
+        OpKind::Load | OpKind::Store => 1.0,
+    }
+}
+
+fn dep_latency(op: OpKind, lat: &OpLatencies) -> f64 {
+    match op {
+        OpKind::FAdd => lat.fadd as f64,
+        OpKind::FMul => lat.fmul as f64,
+        OpKind::FDiv => lat.fdiv as f64,
+        OpKind::FSqrt => lat.fsqrt as f64,
+        OpKind::FTrig => lat.ftrig as f64,
+        OpKind::IAdd => lat.iadd as f64,
+        OpKind::IMul => lat.imul as f64,
+        OpKind::IDiv => lat.idiv as f64,
+        OpKind::Load => lat.load as f64,
+        OpKind::Store => lat.store as f64,
+    }
+}
+
+/// Breakdown of the processor-model estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineCost {
+    /// Cycles the FP units need per iteration.
+    pub fp_cycles: f64,
+    /// Cycles the integer units need per iteration.
+    pub int_cycles: f64,
+    /// Cycles the memory ports need per iteration.
+    pub mem_cycles: f64,
+    /// Cycles the issue front-end needs per iteration.
+    pub issue_cycles: f64,
+    /// Longest loop-carried dependence chain per iteration (reductions).
+    pub dependency_cycles: f64,
+    /// The model's answer: `max` of all of the above.
+    pub cycles_per_iter: f64,
+}
+
+/// Estimate `Machine_c` per innermost iteration for `kernel` on a core
+/// described by `proc`.
+pub fn machine_cost(kernel: &Kernel, proc: &ProcessorParams) -> MachineCost {
+    let lat = &proc.latencies;
+    let innermost_var = kernel.nest.innermost().var;
+
+    let mut fp_work = 0.0;
+    let mut int_work = 0.0;
+    let mut n_ops = 0u64;
+    let mut n_mem = 0u64;
+    let mut dep = 0.0f64;
+
+    for stmt in &kernel.nest.body {
+        let arith = kernel.array(stmt.lhs.array).elem.arith_type();
+        let ops = stmt.ops(arith);
+        for &op in &ops {
+            let c = throughput_cost(op, lat);
+            if op.is_fp() {
+                fp_work += c;
+            } else {
+                int_work += c;
+            }
+            n_ops += 1;
+        }
+        let refs = stmt.references();
+        n_mem += refs.len() as u64;
+        n_ops += refs.len() as u64;
+
+        // Loop-carried dependence: a compound assignment whose target does
+        // not move with the innermost index serializes iterations on the
+        // latency of the combining operation (plus the load-use latency of
+        // re-reading the accumulator, which register allocation removes —
+        // so just the op latency).
+        if stmt.is_reduction_at(innermost_var) {
+            if let Some(b) = stmt.op.bin_op() {
+                let op = OpKind::from_binop(b, arith.is_float());
+                // Independent reductions to different accumulators overlap;
+                // the chain cost is the max, not the sum.
+                dep = dep.max(dep_latency(op, lat));
+            }
+        }
+    }
+
+    let fp_cycles = fp_work / proc.fp_units.max(1) as f64;
+    let int_cycles = int_work / proc.int_units.max(1) as f64;
+    let mem_cycles = n_mem as f64 / proc.mem_units.max(1) as f64;
+    let issue_cycles = n_ops as f64 / proc.issue_width.max(1) as f64;
+    let cycles_per_iter = fp_cycles
+        .max(int_cycles)
+        .max(mem_cycles)
+        .max(issue_cycles)
+        .max(dep)
+        .max(1.0);
+    MachineCost {
+        fp_cycles,
+        int_cycles,
+        mem_cycles,
+        issue_cycles,
+        dependency_cycles: dep,
+        cycles_per_iter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::kernels;
+
+    fn proc() -> ProcessorParams {
+        ProcessorParams::default_x86()
+    }
+
+    #[test]
+    fn linreg_is_memory_bound_with_reduction_chain() {
+        let k = kernels::linear_regression(16, 16, 1);
+        let m = machine_cost(&k, &proc());
+        // 5 stmts: refs = 1+2 reads... loads+stores = 18; 2 ports -> 9.
+        assert_eq!(m.mem_cycles, 9.0);
+        // 5 carried FAdd reductions overlap: dep = fadd latency.
+        assert_eq!(m.dependency_cycles, proc().latencies.fadd as f64);
+        assert_eq!(m.cycles_per_iter, 9.0);
+    }
+
+    #[test]
+    fn heat_has_no_carried_dependence() {
+        let k = kernels::heat_diffusion(18, 18, 1);
+        let m = machine_cost(&k, &proc());
+        assert_eq!(m.dependency_cycles, 0.0);
+        assert!(m.cycles_per_iter >= m.fp_cycles);
+        // 5 adds/subs + 2 muls on 2 FP units = 3.5 cycles.
+        assert!((m.fp_cycles - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dft_dominated_by_transcendentals() {
+        let k = kernels::dft(16, 16, 1);
+        let m = machine_cost(&k, &proc());
+        let trig = proc().latencies.ftrig as f64;
+        // 2 sincos + 2 muls + 2 compound adds on 2 FP units.
+        assert!(m.fp_cycles >= trig, "fp_cycles = {}", m.fp_cycles);
+        assert_eq!(m.cycles_per_iter, m.fp_cycles);
+        // Xre[k] += ... accumulates over the *outer* loop n; consecutive
+        // innermost (k) iterations are independent, so no carried chain.
+        assert_eq!(m.dependency_cycles, 0.0);
+    }
+
+    #[test]
+    fn cost_is_at_least_one_cycle() {
+        let mut b = loop_ir::KernelBuilder::new("nop");
+        let i = b.loop_var("i");
+        let a = b.array("a", &[8], loop_ir::ScalarType::F64);
+        b.parallel_for(i, 0, 8, loop_ir::Schedule::Static { chunk: 1 });
+        b.stmt(loop_ir::Stmt::assign(
+            loop_ir::ArrayRef::write(a, vec![loop_ir::AffineExpr::var(i)]),
+            loop_ir::Expr::num(0.0),
+        ));
+        let m = machine_cost(&b.build(), &proc());
+        assert!(m.cycles_per_iter >= 1.0);
+    }
+
+    #[test]
+    fn matvec_reduction_at_innermost_detected() {
+        let k = kernels::matvec(8, 8, 1);
+        let m = machine_cost(&k, &proc());
+        assert!(m.dependency_cycles > 0.0, "y[i] += ... carries over j");
+    }
+}

@@ -1,0 +1,290 @@
+//! Hardware sensitivity analysis: how the false-sharing verdict moves with
+//! the machine parameters.
+//!
+//! The paper motivates its model with architecture tuning ("the
+//! quantitative performance impact information will be especially helpful
+//! when tuning an application for specific hardware architectures",
+//! §IV-B). This module answers the concrete questions a porter asks:
+//! *what happens to this loop on a machine with 128-byte lines? with a
+//! slower interconnect? with more cores?* — by re-running the model across
+//! parameter sweeps.
+
+use crate::total::{analyze_loop, AnalyzeOptions, LoopCost};
+use loop_ir::Kernel;
+use machine::MachineConfig;
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter's value at this point.
+    pub value: f64,
+    /// FS share of the total modeled time, in [0, 1].
+    pub fs_fraction: f64,
+    /// Raw FS case count.
+    pub fs_cases: u64,
+    /// Total modeled cycles.
+    pub total_cycles: f64,
+}
+
+/// A labelled sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    pub parameter: &'static str,
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Largest FS fraction over the sweep.
+    pub fn worst_case(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.fs_fraction.total_cmp(&b.fs_fraction))
+    }
+
+    /// Ratio between the largest and smallest FS fraction — how sensitive
+    /// the kernel is to this parameter (1.0 = insensitive).
+    pub fn sensitivity(&self) -> f64 {
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.fs_fraction)
+            .fold(0.0f64, f64::max);
+        let min = self
+            .points
+            .iter()
+            .map(|p| p.fs_fraction)
+            .fold(f64::INFINITY, f64::min);
+        if min <= 0.0 {
+            if max <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max / min
+        }
+    }
+}
+
+fn point(kernel: &Kernel, machine: &MachineConfig, opts: &AnalyzeOptions, value: f64) -> SweepPoint {
+    let c: LoopCost = analyze_loop(kernel, machine, opts);
+    SweepPoint {
+        value,
+        fs_fraction: c.fs_fraction(),
+        fs_cases: c.fs.fs_cases,
+        total_cycles: c.total_cycles,
+    }
+}
+
+/// Sweep the cache-line size (e.g. 32/64/128 bytes). Bigger lines pull more
+/// neighbours onto each line — false sharing generally *grows* with the
+/// line size, the classic porting trap (POWER machines with 128-byte
+/// lines).
+pub fn sweep_line_size(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalyzeOptions,
+    sizes: &[u64],
+) -> Sweep {
+    let points = sizes
+        .iter()
+        .map(|&ls| {
+            let mut m = machine.clone();
+            m.caches.line_size = ls;
+            point(kernel, &m, opts, ls as f64)
+        })
+        .collect();
+    Sweep {
+        parameter: "line_size_bytes",
+        points,
+    }
+}
+
+/// Sweep the team size.
+pub fn sweep_threads(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalyzeOptions,
+    threads: &[u32],
+) -> Sweep {
+    let points = threads
+        .iter()
+        .map(|&t| {
+            let mut o = opts.clone();
+            o.num_threads = t;
+            point(kernel, machine, &o, t as f64)
+        })
+        .collect();
+    Sweep {
+        parameter: "threads",
+        points,
+    }
+}
+
+/// Sweep the coherence round-trip cost (interconnect quality): scale both
+/// the cache-to-cache and invalidation latencies.
+pub fn sweep_coherence_cost(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalyzeOptions,
+    scales: &[f64],
+) -> Sweep {
+    let points = scales
+        .iter()
+        .map(|&s| {
+            let mut m = machine.clone();
+            m.coherence.cache_to_cache = (machine.coherence.cache_to_cache as f64 * s) as u32;
+            m.coherence.invalidation = (machine.coherence.invalidation as f64 * s) as u32;
+            point(kernel, &m, opts, s)
+        })
+        .collect();
+    Sweep {
+        parameter: "coherence_cost_scale",
+        points,
+    }
+}
+
+/// Sweep the static chunk size (the schedule knob of Fig. 2).
+pub fn sweep_chunk(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalyzeOptions,
+    chunks: &[u64],
+) -> Sweep {
+    let points = chunks
+        .iter()
+        .map(|&c| {
+            let k = loop_ir::transforms::with_chunk(kernel, c);
+            point(&k, machine, opts, c as f64)
+        })
+        .collect();
+    Sweep {
+        parameter: "chunk_size",
+        points,
+    }
+}
+
+/// The standard battery: line size {32, 64, 128}, threads {2..max}, chunk
+/// {1..64}, coherence x{0.5, 1, 2}.
+pub fn standard_battery(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalyzeOptions,
+) -> Vec<Sweep> {
+    vec![
+        sweep_line_size(kernel, machine, opts, &[32, 64, 128]),
+        sweep_threads(
+            kernel,
+            machine,
+            opts,
+            &[2, 4, 8, machine.num_cores.min(48)],
+        ),
+        sweep_chunk(kernel, machine, opts, &[1, 4, 16, 64]),
+        sweep_coherence_cost(kernel, machine, opts, &[0.5, 1.0, 2.0]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loop_ir::kernels;
+    use machine::presets;
+
+    fn opts() -> AnalyzeOptions {
+        AnalyzeOptions::new(8)
+    }
+
+    #[test]
+    fn bigger_lines_mean_more_false_sharing() {
+        let m = presets::paper48();
+        // 40-byte accumulators: at 32-byte lines adjacent elements overlap
+        // less than at 128-byte lines (3+ structs per line).
+        let k = kernels::linear_regression(96, 16, 1);
+        let s = sweep_line_size(&k, &m, &opts(), &[32, 64, 128]);
+        assert_eq!(s.points.len(), 3);
+        assert!(
+            s.points[2].fs_cases > s.points[0].fs_cases,
+            "128B lines {} vs 32B lines {}",
+            s.points[2].fs_cases,
+            s.points[0].fs_cases
+        );
+        assert!(s.sensitivity() > 1.0);
+        // Case counts grow monotonically with line size; the *fraction* may
+        // peak earlier because larger lines also cheapen the cache model's
+        // denominator, so assert on counts.
+        assert!(s.points[1].fs_cases >= s.points[0].fs_cases);
+    }
+
+    #[test]
+    fn padded_kernels_are_insensitive_to_lines_up_to_padding() {
+        let m = presets::paper48();
+        let k = kernels::linear_regression_padded(96, 16, 1); // 64B elements
+        let s = sweep_line_size(&k, &m, &opts(), &[32, 64]);
+        for p in &s.points {
+            assert_eq!(p.fs_cases, 0, "64B padding covers lines <= 64B");
+        }
+        // But a 128-byte-line machine defeats 64-byte padding!
+        let s2 = sweep_line_size(&k, &m, &opts(), &[128]);
+        assert!(s2.points[0].fs_cases > 0, "porting trap detected");
+    }
+
+    #[test]
+    fn chunk_sweep_decreases_fs() {
+        let m = presets::paper48();
+        let k = kernels::stencil1d(1026, 1);
+        let s = sweep_chunk(&k, &m, &opts(), &[1, 4, 16, 64]);
+        assert!(s.points[0].fs_cases > s.points[3].fs_cases);
+        assert!(s.points[0].fs_fraction > s.points[3].fs_fraction);
+    }
+
+    #[test]
+    fn coherence_scale_moves_fraction_not_cases() {
+        let m = presets::paper48();
+        let k = kernels::dft(16, 256, 1);
+        let s = sweep_coherence_cost(&k, &m, &opts(), &[0.5, 1.0, 2.0]);
+        assert_eq!(s.points[0].fs_cases, s.points[2].fs_cases, "counts fixed");
+        assert!(
+            s.points[2].fs_fraction > s.points[0].fs_fraction,
+            "cost share rises with interconnect latency"
+        );
+    }
+
+    #[test]
+    fn battery_runs_on_every_builtin_kernel() {
+        let m = presets::paper48();
+        let o = AnalyzeOptions::new(4);
+        for k in [kernels::stencil1d(130, 1), kernels::transpose(16, 16, 1)] {
+            let sweeps = standard_battery(&k, &m, &o);
+            assert_eq!(sweeps.len(), 4);
+            for s in sweeps {
+                assert!(!s.points.is_empty());
+                for p in &s.points {
+                    assert!(p.total_cycles > 0.0);
+                    assert!((0.0..=1.0).contains(&p.fs_fraction));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_of_flat_sweeps_is_one() {
+        let s = Sweep {
+            parameter: "x",
+            points: vec![
+                SweepPoint {
+                    value: 1.0,
+                    fs_fraction: 0.0,
+                    fs_cases: 0,
+                    total_cycles: 10.0,
+                },
+                SweepPoint {
+                    value: 2.0,
+                    fs_fraction: 0.0,
+                    fs_cases: 0,
+                    total_cycles: 10.0,
+                },
+            ],
+        };
+        assert_eq!(s.sensitivity(), 1.0);
+    }
+}

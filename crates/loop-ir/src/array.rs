@@ -1,0 +1,252 @@
+//! Array declarations with element layouts (plain scalars or structs).
+//!
+//! The Phoenix linear-regression kernel that motivates the paper accumulates
+//! into an *array of structs* (`tid_args[j].sx += ...`), and the false
+//! sharing it suffers comes precisely from neighbouring structs sharing a
+//! cache line. [`ElemLayout`] therefore models both plain scalar elements and
+//! structured elements with named fields at byte offsets.
+
+use crate::types::ScalarType;
+
+/// Identifier of an array within a [`crate::Kernel`] (index into its array
+/// table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a field within a struct-element array (index into
+/// [`ElemLayout::fields`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldId(pub u32);
+
+impl FieldId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named field of a struct element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    /// Byte offset of the field within the element.
+    pub offset: usize,
+    pub ty: ScalarType,
+}
+
+/// Byte-level layout of one array element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElemLayout {
+    /// A single scalar per element.
+    Scalar(ScalarType),
+    /// A struct per element: `size` bytes total (including any padding the
+    /// declarer chose), with `fields` at fixed offsets.
+    Struct { size: usize, fields: Vec<FieldDef> },
+}
+
+impl ElemLayout {
+    /// Build a packed struct layout from `(name, type)` pairs, assigning
+    /// offsets sequentially with no padding (the layout a C compiler gives
+    /// homogeneous f64 structs, and the worst case for false sharing).
+    pub fn packed_struct(fields: &[(&str, ScalarType)]) -> Self {
+        let mut defs = Vec::with_capacity(fields.len());
+        let mut off = 0;
+        for &(name, ty) in fields {
+            defs.push(FieldDef {
+                name: name.to_string(),
+                offset: off,
+                ty,
+            });
+            off += ty.size_bytes();
+        }
+        ElemLayout::Struct {
+            size: off,
+            fields: defs,
+        }
+    }
+
+    /// Like [`Self::packed_struct`] but padded up to `size` bytes — the
+    /// classic false-sharing mitigation of padding each element to a full
+    /// cache line.
+    pub fn padded_struct(fields: &[(&str, ScalarType)], size: usize) -> Self {
+        match Self::packed_struct(fields) {
+            ElemLayout::Struct {
+                size: packed,
+                fields,
+            } => {
+                assert!(
+                    size >= packed,
+                    "padded size {size} smaller than packed size {packed}"
+                );
+                ElemLayout::Struct { size, fields }
+            }
+            ElemLayout::Scalar(_) => unreachable!(),
+        }
+    }
+
+    /// Total size of one element in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ElemLayout::Scalar(t) => t.size_bytes(),
+            ElemLayout::Struct { size, .. } => *size,
+        }
+    }
+
+    /// The struct fields (empty slice for scalar elements).
+    pub fn fields(&self) -> &[FieldDef] {
+        match self {
+            ElemLayout::Scalar(_) => &[],
+            ElemLayout::Struct { fields, .. } => fields,
+        }
+    }
+
+    /// Look up a field by name.
+    pub fn field_named(&self, name: &str) -> Option<(FieldId, &FieldDef)> {
+        self.fields()
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FieldId(i as u32), f))
+    }
+
+    /// Byte offset and access size of a field (or of the whole scalar when
+    /// `field` is `None`).
+    pub fn field_offset_size(&self, field: Option<FieldId>) -> (usize, usize) {
+        match (self, field) {
+            (ElemLayout::Scalar(t), _) => (0, t.size_bytes()),
+            (ElemLayout::Struct { size, .. }, None) => (0, *size),
+            (ElemLayout::Struct { fields, .. }, Some(fid)) => {
+                let f = &fields[fid.index()];
+                (f.offset, f.ty.size_bytes())
+            }
+        }
+    }
+
+    /// Scalar type used for arithmetic on this element (a struct uses the
+    /// type of its first field; homogeneous structs are the common case).
+    pub fn arith_type(&self) -> ScalarType {
+        match self {
+            ElemLayout::Scalar(t) => *t,
+            ElemLayout::Struct { fields, .. } => {
+                fields.first().map(|f| f.ty).unwrap_or(ScalarType::U8)
+            }
+        }
+    }
+}
+
+/// A declared array: a name, dimensions (row-major), and an element layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    pub name: String,
+    /// Extents, outermost dimension first (row-major storage).
+    pub dims: Vec<u64>,
+    pub elem: ElemLayout,
+}
+
+impl ArrayDecl {
+    /// Total number of elements.
+    pub fn num_elems(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_elems() * self.elem.size_bytes() as u64
+    }
+
+    /// Row-major linear element index for a subscript vector.
+    ///
+    /// Out-of-bounds subscripts are *not* rejected here (stencil kernels read
+    /// halo cells like `A[i-1]`); they linearize arithmetically, and
+    /// [`crate::validate()`] flags genuinely invalid programs.
+    #[inline]
+    pub fn linearize(&self, subs: &[i64]) -> i64 {
+        debug_assert_eq!(subs.len(), self.dims.len());
+        let mut lin: i64 = 0;
+        for (k, &s) in subs.iter().enumerate() {
+            lin = lin * self.dims[k] as i64 + s;
+        }
+        lin
+    }
+
+    /// Byte offset of `(subs, field)` from the start of the array.
+    #[inline]
+    pub fn byte_offset(&self, subs: &[i64], field: Option<FieldId>) -> i64 {
+        let (foff, _) = self.elem.field_offset_size(field);
+        self.linearize(subs) * self.elem.size_bytes() as i64 + foff as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_struct_layout() {
+        let l = ElemLayout::packed_struct(&[
+            ("sx", ScalarType::F64),
+            ("sy", ScalarType::F64),
+            ("n", ScalarType::I32),
+        ]);
+        assert_eq!(l.size_bytes(), 20);
+        let (fid, f) = l.field_named("sy").unwrap();
+        assert_eq!(fid, FieldId(1));
+        assert_eq!(f.offset, 8);
+        assert_eq!(l.field_offset_size(Some(fid)), (8, 8));
+        assert!(l.field_named("nope").is_none());
+    }
+
+    #[test]
+    fn padded_struct_layout() {
+        let l = ElemLayout::padded_struct(&[("sx", ScalarType::F64)], 64);
+        assert_eq!(l.size_bytes(), 64);
+        assert_eq!(l.field_offset_size(None), (0, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than packed")]
+    fn padded_struct_too_small_panics() {
+        ElemLayout::padded_struct(&[("a", ScalarType::F64), ("b", ScalarType::F64)], 8);
+    }
+
+    #[test]
+    fn linearize_row_major() {
+        let a = ArrayDecl {
+            name: "A".into(),
+            dims: vec![4, 8],
+            elem: ElemLayout::Scalar(ScalarType::F64),
+        };
+        assert_eq!(a.linearize(&[0, 0]), 0);
+        assert_eq!(a.linearize(&[1, 0]), 8);
+        assert_eq!(a.linearize(&[2, 3]), 19);
+        assert_eq!(a.byte_offset(&[1, 1], None), 9 * 8);
+        assert_eq!(a.num_elems(), 32);
+        assert_eq!(a.size_bytes(), 256);
+    }
+
+    #[test]
+    fn negative_halo_linearizes_arithmetically() {
+        let a = ArrayDecl {
+            name: "A".into(),
+            dims: vec![8],
+            elem: ElemLayout::Scalar(ScalarType::F64),
+        };
+        assert_eq!(a.linearize(&[-1]), -1);
+    }
+
+    #[test]
+    fn struct_array_byte_offsets() {
+        let a = ArrayDecl {
+            name: "args".into(),
+            dims: vec![16],
+            elem: ElemLayout::packed_struct(&[("sx", ScalarType::F64), ("sxx", ScalarType::F64)]),
+        };
+        let (sxx, _) = a.elem.field_named("sxx").unwrap();
+        assert_eq!(a.byte_offset(&[3], Some(sxx)), 3 * 16 + 8);
+    }
+}

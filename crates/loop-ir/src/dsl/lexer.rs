@@ -1,0 +1,400 @@
+//! Hand-written lexer for the kernel DSL.
+
+use std::fmt;
+
+/// A lexical token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds. Keywords are lexed as [`TokenKind::Ident`] and classified by
+/// the parser so field names like `static` never collide.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "'{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::DotDot => write!(f, "'..'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::PlusEq => write!(f, "'+='"),
+            TokenKind::MinusEq => write!(f, "'-='"),
+            TokenKind::StarEq => write!(f, "'*='"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            message: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// Tokenize DSL source. The result always ends with an [`TokenKind::Eof`]
+/// token carrying the final position.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and // comments.
+        loop {
+            match cur.peek() {
+                Some(c) if (c as char).is_whitespace() => {
+                    cur.bump();
+                }
+                Some(b'/') if cur.peek2() == Some(b'/') => {
+                    while let Some(c) = cur.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (line, col) = (cur.line, cur.col);
+        let Some(c) = cur.peek() else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                line,
+                col,
+            });
+            return Ok(out);
+        };
+        let kind = match c {
+            b'{' => {
+                cur.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                cur.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                cur.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                cur.bump();
+                TokenKind::RBracket
+            }
+            b'(' => {
+                cur.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                cur.bump();
+                TokenKind::RParen
+            }
+            b':' => {
+                cur.bump();
+                TokenKind::Colon
+            }
+            b';' => {
+                cur.bump();
+                TokenKind::Semi
+            }
+            b',' => {
+                cur.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                cur.bump();
+                if cur.peek() == Some(b'.') {
+                    cur.bump();
+                    TokenKind::DotDot
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            b'+' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::PlusEq
+                } else {
+                    TokenKind::Plus
+                }
+            }
+            b'-' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::MinusEq
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'*' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::StarEq
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                cur.bump();
+                TokenKind::Slash
+            }
+            b'=' => {
+                cur.bump();
+                TokenKind::Eq
+            }
+            b'0'..=b'9' => lex_number(&mut cur)?,
+            c if (c as char).is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = cur.peek() {
+                    if (c as char).is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            other => {
+                return Err(cur.err(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        out.push(Token { kind, line, col });
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> Result<TokenKind, LexError> {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() {
+            text.push(c as char);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let mut is_float = false;
+    // `.` starts a fraction only if followed by a digit; `..` is a range.
+    if cur.peek() == Some(b'.') && cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() {
+                text.push(c as char);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        is_float = true;
+        text.push('e');
+        cur.bump();
+        if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+            text.push(cur.bump().unwrap() as char);
+        }
+        let mut any = false;
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() {
+                text.push(c as char);
+                cur.bump();
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            return Err(cur.err("malformed exponent"));
+        }
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(TokenKind::Float)
+            .map_err(|e| cur.err(format!("bad float literal '{text}': {e}")))
+    } else {
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|e| cur.err(format!("bad integer literal '{text}': {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_ranges_vs_floats() {
+        assert_eq!(
+            kinds("0..8"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(8),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("0.5"), vec![TokenKind::Float(0.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("2.5e-1"),
+            vec![TokenKind::Float(0.25), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_assignment() {
+        assert_eq!(
+            kinds("a += b -= c *= d = e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::PlusEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::MinusEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::StarEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("a // comment\n  b").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("a".into()));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!(toks[1].kind, TokenKind::Ident("b".into()));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn field_access_lexes_single_dot() {
+        assert_eq!(
+            kinds("args.sx"),
+            vec![
+                TokenKind::Ident("args".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sx".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn malformed_exponent_rejected() {
+        assert!(lex("1e+").is_err());
+    }
+}

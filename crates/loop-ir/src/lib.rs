@@ -1,0 +1,52 @@
+//! Loop-nest intermediate representation for compile-time loop cost modeling.
+//!
+//! This crate is the substrate that replaces the Open64 compiler's WHIRL IR in
+//! our reproduction of *"Compile-Time Detection of False Sharing via Loop Cost
+//! Modeling"* (Tolubaeva, Yan, Chapman — IPDPS workshops 2012). The paper's
+//! false-sharing model only consumes a small amount of structural information
+//! about a parallel loop nest:
+//!
+//! * loop bounds, steps and index variables,
+//! * the parallelized loop level and its OpenMP `schedule(static, chunk)`
+//!   parameters,
+//! * the array references made in the innermost loop body (base array, affine
+//!   index expressions, struct-field offsets, read/write kind).
+//!
+//! [`Kernel`] captures exactly that. Kernels can be constructed three ways:
+//!
+//! 1. programmatically through [`KernelBuilder`],
+//! 2. by parsing the small textual DSL in [`dsl`] (see the grammar in the
+//!    module docs),
+//! 3. from the built-in library of paper kernels in [`kernels`]
+//!    (heat diffusion, DFT, Phoenix linear regression, and several extras).
+//!
+//! The [`walk`] module enumerates the iteration space the way the paper's
+//! model does: each thread owns a sequence of innermost-loop iterations
+//! determined by the static round-robin chunk schedule, and a
+//! [`walk::LockstepWalker`] advances all threads one innermost iteration at a
+//! time — the granularity at which cache-line ownership lists are generated.
+
+pub mod array;
+pub mod dsl;
+pub mod expr;
+pub mod kernel;
+pub mod kernels;
+pub mod nest;
+pub mod pretty;
+pub mod reference;
+pub mod schedule;
+pub mod stmt;
+pub mod transforms;
+pub mod types;
+pub mod validate;
+pub mod walk;
+
+pub use array::{ArrayDecl, ArrayId, ElemLayout, FieldDef, FieldId};
+pub use expr::{AffineExpr, VarId};
+pub use kernel::{AccessPlan, Kernel, KernelBuilder, PlannedAccess};
+pub use nest::{Loop, LoopNest, Parallel, Schedule};
+pub use reference::{AccessKind, ArrayRef};
+pub use stmt::{AssignOp, BinOp, Expr, OpKind, Stmt, UnOp};
+pub use transforms::{interchange, tile, unroll_innermost, with_chunk, with_parallel_level, TransformError};
+pub use types::ScalarType;
+pub use validate::{validate, validate_bounds, ValidateError};

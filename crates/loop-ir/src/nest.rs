@@ -1,0 +1,212 @@
+//! Loop nests and parallel annotations.
+
+use crate::expr::{AffineExpr, VarId};
+use crate::stmt::Stmt;
+
+/// One loop of a perfect nest: `for var in lower..upper step step`.
+///
+/// Bounds are affine in *outer* loop variables (triangular nests are
+/// allowed); `upper` is exclusive, matching both Rust ranges and the C
+/// `for (i = lo; i < hi; i += step)` idiom the paper's kernels use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    pub var: VarId,
+    pub lower: AffineExpr,
+    pub upper: AffineExpr,
+    /// Positive iteration step.
+    pub step: i64,
+}
+
+impl Loop {
+    /// Number of iterations given concrete values of outer variables.
+    #[inline]
+    pub fn trip_count(&self, env: &[i64]) -> u64 {
+        let lo = self.lower.eval(env);
+        let hi = self.upper.eval(env);
+        if hi <= lo {
+            0
+        } else {
+            ((hi - lo) as u64).div_ceil(self.step as u64)
+        }
+    }
+
+    /// Trip count if both bounds are compile-time constants.
+    pub fn const_trip_count(&self) -> Option<u64> {
+        let lo = self.lower.as_const()?;
+        let hi = self.upper.as_const()?;
+        Some(if hi <= lo {
+            0
+        } else {
+            ((hi - lo) as u64).div_ceil(self.step as u64)
+        })
+    }
+}
+
+/// OpenMP-style loop schedule. The paper's model assumes chunks are handed to
+/// threads round-robin, which is exactly `schedule(static, chunk)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static, chunk)`: chunk `c` of consecutive iterations goes to
+    /// thread `c mod num_threads`.
+    Static { chunk: u64 },
+}
+
+impl Schedule {
+    pub fn chunk(self) -> u64 {
+        match self {
+            Schedule::Static { chunk } => chunk,
+        }
+    }
+}
+
+/// The parallel annotation of a nest: which loop level is work-shared and
+/// how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallel {
+    /// Depth of the parallelized loop (0 = outermost).
+    pub level: usize,
+    pub schedule: Schedule,
+}
+
+/// A perfect loop nest with the statement body attached to the innermost
+/// loop — the shape the paper's model handles (§III-A: "array references
+/// made in the innermost loop").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Loops from outermost to innermost. Non-empty.
+    pub loops: Vec<Loop>,
+    /// Statements executed once per innermost iteration, in program order.
+    pub body: Vec<Stmt>,
+    pub parallel: Parallel,
+}
+
+impl LoopNest {
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The parallelized loop.
+    pub fn parallel_loop(&self) -> &Loop {
+        &self.loops[self.parallel.level]
+    }
+
+    /// The innermost loop.
+    pub fn innermost(&self) -> &Loop {
+        self.loops.last().expect("nest has at least one loop")
+    }
+
+    /// Trip count of the parallel loop when its bounds are constant. Bounds
+    /// of a parallel loop may not depend on outer sequential loops for the
+    /// static round-robin distribution to be well defined at compile time.
+    pub fn parallel_trip_count(&self) -> Option<u64> {
+        self.parallel_loop().const_trip_count()
+    }
+
+    /// Product of the trip counts of the loops strictly *inside* the
+    /// parallel loop, assuming constant bounds; i.e. how many innermost-body
+    /// executions one parallel-loop iteration performs. Returns `None` for
+    /// non-constant inner bounds (triangular nests), where callers fall back
+    /// to walking.
+    pub fn inner_iters_per_parallel_iter(&self) -> Option<u64> {
+        self.loops[self.parallel.level + 1..]
+            .iter()
+            .map(Loop::const_trip_count)
+            .product()
+    }
+
+    /// Product of trip counts of loops strictly *outside* the parallel loop
+    /// (executed identically by every thread).
+    pub fn outer_iters(&self) -> Option<u64> {
+        self.loops[..self.parallel.level]
+            .iter()
+            .map(Loop::const_trip_count)
+            .product()
+    }
+
+    /// Total innermost-body executions over the whole nest ("All num of
+    /// iters" in the paper), for constant bounds.
+    pub fn total_iterations(&self) -> Option<u64> {
+        self.loops.iter().map(Loop::const_trip_count).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::reference::ArrayRef;
+    use crate::stmt::Expr;
+
+    fn simple_loop(var: u32, lo: i64, hi: i64, step: i64) -> Loop {
+        Loop {
+            var: VarId(var),
+            lower: AffineExpr::constant(lo),
+            upper: AffineExpr::constant(hi),
+            step,
+        }
+    }
+
+    fn dummy_stmt() -> Stmt {
+        Stmt::assign(
+            ArrayRef::write(ArrayId(0), vec![AffineExpr::var(VarId(0))]),
+            Expr::num(0.0),
+        )
+    }
+
+    #[test]
+    fn trip_counts() {
+        assert_eq!(simple_loop(0, 0, 10, 1).const_trip_count(), Some(10));
+        assert_eq!(simple_loop(0, 0, 10, 3).const_trip_count(), Some(4));
+        assert_eq!(simple_loop(0, 5, 5, 1).const_trip_count(), Some(0));
+        assert_eq!(simple_loop(0, 8, 5, 1).const_trip_count(), Some(0));
+    }
+
+    #[test]
+    fn triangular_trip_count_evaluates_under_env() {
+        // for j in 0..i
+        let l = Loop {
+            var: VarId(1),
+            lower: AffineExpr::constant(0),
+            upper: AffineExpr::var(VarId(0)),
+            step: 1,
+        };
+        assert_eq!(l.trip_count(&[7, 0]), 7);
+        assert_eq!(l.trip_count(&[0, 0]), 0);
+        assert_eq!(l.const_trip_count(), None);
+    }
+
+    #[test]
+    fn nest_products() {
+        let nest = LoopNest {
+            loops: vec![
+                simple_loop(0, 0, 4, 1),
+                simple_loop(1, 0, 6, 1),
+                simple_loop(2, 0, 8, 1),
+            ],
+            body: vec![dummy_stmt()],
+            parallel: Parallel {
+                level: 1,
+                schedule: Schedule::Static { chunk: 2 },
+            },
+        };
+        assert_eq!(nest.total_iterations(), Some(4 * 6 * 8));
+        assert_eq!(nest.parallel_trip_count(), Some(6));
+        assert_eq!(nest.inner_iters_per_parallel_iter(), Some(8));
+        assert_eq!(nest.outer_iters(), Some(4));
+        assert_eq!(nest.parallel.schedule.chunk(), 2);
+    }
+
+    #[test]
+    fn innermost_parallel_nest_has_unit_inner_product() {
+        let nest = LoopNest {
+            loops: vec![simple_loop(0, 0, 4, 1), simple_loop(1, 0, 6, 1)],
+            body: vec![dummy_stmt()],
+            parallel: Parallel {
+                level: 1,
+                schedule: Schedule::Static { chunk: 1 },
+            },
+        };
+        assert_eq!(nest.inner_iters_per_parallel_iter(), Some(1));
+        assert_eq!(nest.outer_iters(), Some(4));
+    }
+}

@@ -1,0 +1,207 @@
+//! Pretty-printer: renders a [`Kernel`] in the textual DSL accepted by
+//! [`crate::dsl`], such that `parse(print(k)) == k`.
+
+use crate::array::ElemLayout;
+use crate::kernel::Kernel;
+use crate::nest::Schedule;
+use crate::reference::ArrayRef;
+use crate::stmt::{BinOp, Expr, Stmt, UnOp};
+use std::fmt::Write;
+
+/// Render `kernel` as DSL source text.
+pub fn kernel_to_dsl(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "kernel {} {{\n", kernel.name);
+    for a in &kernel.arrays {
+        let dims: String = a.dims.iter().map(|d| format!("[{d}]")).collect();
+        match &a.elem {
+            ElemLayout::Scalar(t) => {
+                let _ = writeln!(out, "  array {}{}: {};", a.name, dims, t.keyword());
+            }
+            ElemLayout::Struct { size, fields } => {
+                let fl: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, f.ty.keyword()))
+                    .collect();
+                let packed: usize = fields.iter().map(|f| f.ty.size_bytes()).sum();
+                let _ = write!(out, "  array {}{} of {{ {} }}", a.name, dims, fl.join(", "));
+                if *size > packed {
+                    let _ = write!(out, " pad {size}");
+                }
+                let _ = writeln!(out, ";");
+            }
+        }
+    }
+    print_loops(kernel, 0, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth + 1 {
+        out.push_str("  ");
+    }
+}
+
+fn print_loops(kernel: &Kernel, level: usize, out: &mut String) {
+    let nest = &kernel.nest;
+    if level == nest.depth() {
+        for s in &nest.body {
+            indent(out, level);
+            print_stmt(kernel, s, out);
+            out.push('\n');
+        }
+        return;
+    }
+    let l = &nest.loops[level];
+    indent(out, level);
+    let lo = l.lower.display_with(&kernel.vars).to_string();
+    let hi = l.upper.display_with(&kernel.vars).to_string();
+    if level == nest.parallel.level {
+        let Schedule::Static { chunk } = nest.parallel.schedule;
+        let _ = write!(
+            out,
+            "parallel for {} in {}..{}",
+            kernel.var_name(l.var),
+            lo,
+            hi
+        );
+        if l.step != 1 {
+            let _ = write!(out, " step {}", l.step);
+        }
+        let _ = write!(out, " schedule(static, {chunk}) {{\n");
+    } else {
+        let _ = write!(out, "for {} in {}..{}", kernel.var_name(l.var), lo, hi);
+        if l.step != 1 {
+            let _ = write!(out, " step {}", l.step);
+        }
+        out.push_str(" {\n");
+    }
+    print_loops(kernel, level + 1, out);
+    indent(out, level);
+    out.push_str("}\n");
+}
+
+fn print_stmt(kernel: &Kernel, s: &Stmt, out: &mut String) {
+    print_ref(kernel, &s.lhs, out);
+    let _ = write!(out, " {} ", s.op.symbol());
+    print_expr(kernel, &s.rhs, 0, out);
+    out.push(';');
+}
+
+fn print_ref(kernel: &Kernel, r: &ArrayRef, out: &mut String) {
+    let decl = kernel.array(r.array);
+    out.push_str(&decl.name);
+    for e in &r.indices {
+        let _ = write!(out, "[{}]", e.display_with(&kernel.vars));
+    }
+    if let Some(fid) = r.field {
+        let _ = write!(out, ".{}", decl.elem.fields()[fid.index()].name);
+    }
+}
+
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul | BinOp::Div => 2,
+    }
+}
+
+/// `min_prec` is the precedence context: wrap in parens if this node binds
+/// looser than required.
+fn print_expr(kernel: &Kernel, e: &Expr, min_prec: u8, out: &mut String) {
+    match e {
+        Expr::Num(v) => {
+            if *v < 0.0 {
+                let _ = write!(out, "({v:?})");
+            } else {
+                let _ = write!(out, "{v:?}");
+            }
+        }
+        Expr::Ref(r) => print_ref(kernel, r, out),
+        Expr::Unary(op, inner) => {
+            let name = match op {
+                UnOp::Neg => {
+                    out.push_str("-(");
+                    print_expr(kernel, inner, 0, out);
+                    out.push(')');
+                    return;
+                }
+                UnOp::Sqrt => "sqrt",
+                UnOp::SinCos => "sincos",
+            };
+            let _ = write!(out, "{name}(");
+            print_expr(kernel, inner, 0, out);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            let prec = bin_prec(*op);
+            let need_parens = prec < min_prec;
+            if need_parens {
+                out.push('(');
+            }
+            print_expr(kernel, a, prec, out);
+            let sym = match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Div => " / ",
+            };
+            out.push_str(sym);
+            // Right operands always require strictly higher precedence: for
+            // `-`/`/` this is semantic, for `+`/`*` it preserves the tree
+            // shape exactly so parse(print(e)) is structurally equal to `e`
+            // (the parser builds left-associative chains).
+            print_expr(kernel, b, prec + 1, out);
+            if need_parens {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn prints_linreg_recognizably() {
+        let src = kernel_to_dsl(&kernels::linear_regression(8, 8, 1));
+        assert!(src.contains("kernel linear_regression {"));
+        assert!(src.contains("array args[8] of { sx: f64, sxx: f64, sy: f64, syy: f64, sxy: f64 };"));
+        assert!(src.contains("parallel for j in 0..8 schedule(static, 1) {"));
+        assert!(src.contains("args[j].sx += points[j][i].x;"));
+        assert!(src.contains("args[j].sxy += points[j][i].x * points[j][i].y;"));
+    }
+
+    #[test]
+    fn prints_heat_with_offsets() {
+        let src = kernel_to_dsl(&kernels::heat_diffusion(18, 18, 2));
+        assert!(src.contains("for i in 1..17 {"));
+        assert!(src.contains("parallel for j in 1..17 schedule(static, 2) {"));
+        assert!(src.contains("A[i - 1][j]"));
+        assert!(src.contains("A[i][j + 1]"));
+    }
+
+    #[test]
+    fn padded_struct_prints_pad() {
+        let src = kernel_to_dsl(&kernels::linear_regression_padded(8, 8, 1));
+        assert!(src.contains("} pad 64;"));
+    }
+
+    #[test]
+    fn precedence_parens_only_where_needed() {
+        let src = kernel_to_dsl(&kernels::heat_diffusion(18, 18, 1));
+        // The laplacian sum times 0.1 must parenthesize the sum.
+        assert!(src.contains("0.1 * ("));
+        let src2 = kernel_to_dsl(&kernels::stencil1d(34, 1));
+        assert!(src2.contains("(A[i - 1] + A[i] + A[i + 1]) * "));
+    }
+
+    #[test]
+    fn sincos_prints_as_call() {
+        let src = kernel_to_dsl(&kernels::dft(8, 8, 1));
+        assert!(src.contains("sincos(x[n])"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Array references: the atoms the false-sharing model analyzes.
+
+use crate::array::{ArrayId, FieldId};
+use crate::expr::{AffineExpr, VarId};
+
+/// Whether a reference reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl AccessKind {
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A subscripted (possibly field-qualified) array reference, e.g.
+/// `tid_args[j].sx` or `A[i][j-1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    pub array: ArrayId,
+    /// One affine subscript per array dimension, outermost first.
+    pub indices: Vec<AffineExpr>,
+    /// For struct-element arrays, the accessed field; `None` reads/writes the
+    /// scalar element (or the whole struct).
+    pub field: Option<FieldId>,
+    pub access: AccessKind,
+}
+
+impl ArrayRef {
+    pub fn read(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array,
+            indices,
+            field: None,
+            access: AccessKind::Read,
+        }
+    }
+
+    pub fn write(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
+        ArrayRef {
+            array,
+            indices,
+            field: None,
+            access: AccessKind::Write,
+        }
+    }
+
+    /// Same reference but targeting a struct field.
+    pub fn with_field(mut self, field: FieldId) -> Self {
+        self.field = Some(field);
+        self
+    }
+
+    /// Same reference with the opposite/given access kind.
+    pub fn with_access(mut self, access: AccessKind) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Evaluate all subscripts under `env` into `out`.
+    ///
+    /// `out` must have length `indices.len()`; reused across iterations to
+    /// avoid per-access allocation in trace generation.
+    #[inline]
+    pub fn eval_indices(&self, env: &[i64], out: &mut [i64]) {
+        debug_assert_eq!(out.len(), self.indices.len());
+        for (o, e) in out.iter_mut().zip(&self.indices) {
+            *o = e.eval(env);
+        }
+    }
+
+    /// True if any subscript depends on loop variable `v`.
+    pub fn uses_var(&self, v: VarId) -> bool {
+        self.indices.iter().any(|e| e.uses_var(v))
+    }
+
+    /// True if two references are to the same array/field and their
+    /// subscripts differ only in the constant of the *last* dimension —
+    /// i.e. they are "uniformly generated" neighbours like `a[i]` and
+    /// `a[i+1]` that the Open64 cache model places in one reference group.
+    pub fn same_reference_group(&self, other: &ArrayRef) -> bool {
+        if self.array != other.array || self.field != other.field {
+            return false;
+        }
+        if self.indices.len() != other.indices.len() || self.indices.is_empty() {
+            return false;
+        }
+        let n = self.indices.len();
+        // All but the last dimension must match exactly.
+        if self.indices[..n - 1] != other.indices[..n - 1] {
+            return false;
+        }
+        // Last dimension: same variable terms, any constant.
+        let a = &self.indices[n - 1];
+        let b = &other.indices[n - 1];
+        a.terms() == b.terms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarId;
+
+    fn idx(v: u32, c: i64) -> AffineExpr {
+        AffineExpr::linear(VarId(v), 1, c)
+    }
+
+    #[test]
+    fn eval_indices_into_buffer() {
+        let r = ArrayRef::read(ArrayId(0), vec![idx(0, 0), idx(1, -1)]);
+        let mut out = [0i64; 2];
+        r.eval_indices(&[5, 7], &mut out);
+        assert_eq!(out, [5, 6]);
+    }
+
+    #[test]
+    fn reference_groups_merge_constant_offsets() {
+        let a = ArrayRef::read(ArrayId(0), vec![idx(0, 0), idx(1, 0)]);
+        let b = ArrayRef::read(ArrayId(0), vec![idx(0, 0), idx(1, 1)]);
+        assert!(a.same_reference_group(&b));
+    }
+
+    #[test]
+    fn reference_groups_respect_outer_dims_and_arrays() {
+        let a = ArrayRef::read(ArrayId(0), vec![idx(0, 0), idx(1, 0)]);
+        let c = ArrayRef::read(ArrayId(0), vec![idx(0, 1), idx(1, 0)]);
+        assert!(!a.same_reference_group(&c), "outer dim constant differs");
+        let d = ArrayRef::read(ArrayId(1), vec![idx(0, 0), idx(1, 0)]);
+        assert!(!a.same_reference_group(&d), "different arrays");
+        // Different variable in last dim: a[i][j] vs a[i][i].
+        let e = ArrayRef::read(ArrayId(0), vec![idx(0, 0), idx(0, 0)]);
+        assert!(!a.same_reference_group(&e));
+    }
+
+    #[test]
+    fn uses_var_checks_all_subscripts() {
+        let r = ArrayRef::write(ArrayId(0), vec![idx(0, 0), AffineExpr::constant(3)]);
+        assert!(r.uses_var(VarId(0)));
+        assert!(!r.uses_var(VarId(1)));
+    }
+}

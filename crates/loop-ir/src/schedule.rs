@@ -1,0 +1,238 @@
+//! Static round-robin chunk scheduling math.
+//!
+//! `schedule(static, chunk)` distributes consecutive blocks ("chunks") of
+//! `chunk` parallel-loop iterations to threads round-robin: chunk `c` runs on
+//! thread `c mod T`. A **chunk run** — the unit the paper's linear-regression
+//! predictor counts — is one round of the team: `T * chunk` parallel-loop
+//! iterations (Fig. 6: "one chunk run is a number of iterations equal to
+//! the product of chunk size with the number of threads").
+
+use crate::nest::Loop;
+
+/// The static round-robin distribution of one parallel loop across a thread
+/// team.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSchedule {
+    /// Lower bound of the parallel loop.
+    pub lower: i64,
+    /// Step of the parallel loop.
+    pub step: i64,
+    /// Trip count of the parallel loop.
+    pub trip_count: u64,
+    /// Iterations per chunk.
+    pub chunk: u64,
+    /// Team size.
+    pub num_threads: u64,
+}
+
+impl ChunkSchedule {
+    /// Build from a loop with constant bounds.
+    pub fn for_loop(l: &Loop, chunk: u64, num_threads: u64) -> Option<ChunkSchedule> {
+        assert!(chunk >= 1, "chunk size must be >= 1");
+        assert!(num_threads >= 1, "team must have >= 1 thread");
+        Some(ChunkSchedule {
+            lower: l.lower.as_const()?,
+            step: l.step,
+            trip_count: l.const_trip_count()?,
+            chunk,
+            num_threads,
+        })
+    }
+
+    /// Total number of chunks.
+    pub fn num_chunks(&self) -> u64 {
+        self.trip_count.div_ceil(self.chunk)
+    }
+
+    /// Number of chunk runs (full team rounds), counting a partial final
+    /// round as one run.
+    pub fn num_chunk_runs(&self) -> u64 {
+        self.num_chunks().div_ceil(self.num_threads)
+    }
+
+    /// Which thread executes logical iteration `iter` (0-based position in
+    /// the parallel loop's iteration sequence).
+    pub fn thread_of_iter(&self, iter: u64) -> u64 {
+        (iter / self.chunk) % self.num_threads
+    }
+
+    /// Number of parallel-loop iterations thread `t` executes in total.
+    pub fn iters_of_thread(&self, t: u64) -> u64 {
+        (0..self.num_chunks())
+            .filter(|c| c % self.num_threads == t)
+            .map(|c| self.chunk_len(c))
+            .sum()
+    }
+
+    /// Length of chunk `c` (the last chunk may be short).
+    pub fn chunk_len(&self, c: u64) -> u64 {
+        let start = c * self.chunk;
+        debug_assert!(start < self.trip_count);
+        self.chunk.min(self.trip_count - start)
+    }
+
+    /// The `k`-th parallel-loop iteration (0-based logical position) that
+    /// thread `t` executes, or `None` past the end of its work.
+    pub fn nth_iter_of_thread(&self, t: u64, k: u64) -> Option<u64> {
+        let chunk_ordinal = k / self.chunk; // t's own chunk counter
+        let within = k % self.chunk;
+        let c = chunk_ordinal * self.num_threads + t; // global chunk id
+        if c >= self.num_chunks() {
+            return None;
+        }
+        let pos = c * self.chunk + within;
+        if pos < self.trip_count {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+
+    /// Actual loop-variable value at logical position `pos`.
+    #[inline]
+    pub fn iter_value(&self, pos: u64) -> i64 {
+        self.lower + pos as i64 * self.step
+    }
+
+    /// Iterator over the loop-variable values thread `t` executes, in order.
+    pub fn thread_values(&self, t: u64) -> ThreadValues<'_> {
+        ThreadValues {
+            sched: self,
+            thread: t,
+            k: 0,
+        }
+    }
+
+    /// Largest number of parallel-loop iterations any thread executes — the
+    /// number of lockstep steps the model takes per outer iteration
+    /// ("All num of iters / num of threads", rounded up).
+    pub fn max_iters_per_thread(&self) -> u64 {
+        (0..self.num_threads.min(self.num_chunks().max(1)))
+            .map(|t| self.iters_of_thread(t))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Iterator over a thread's parallel-loop values (see
+/// [`ChunkSchedule::thread_values`]).
+pub struct ThreadValues<'a> {
+    sched: &'a ChunkSchedule,
+    thread: u64,
+    k: u64,
+}
+
+impl Iterator for ThreadValues<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        let pos = self.sched.nth_iter_of_thread(self.thread, self.k)?;
+        self.k += 1;
+        Some(self.sched.iter_value(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::expr::VarId;
+
+    fn sched(trip: u64, chunk: u64, threads: u64) -> ChunkSchedule {
+        ChunkSchedule {
+            lower: 0,
+            step: 1,
+            trip_count: trip,
+            chunk,
+            num_threads: threads,
+        }
+    }
+
+    #[test]
+    fn round_robin_assignment_chunk1() {
+        let s = sched(8, 1, 4);
+        let owners: Vec<u64> = (0..8).map(|i| s.thread_of_iter(i)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(s.thread_values(1).collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn round_robin_assignment_chunk3() {
+        let s = sched(14, 3, 2);
+        // chunks: [0..3)->t0, [3..6)->t1, [6..9)->t0, [9..12)->t1, [12..14)->t0
+        assert_eq!(
+            s.thread_values(0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 6, 7, 8, 12, 13]
+        );
+        assert_eq!(
+            s.thread_values(1).collect::<Vec<_>>(),
+            vec![3, 4, 5, 9, 10, 11]
+        );
+        assert_eq!(s.num_chunks(), 5);
+        assert_eq!(s.num_chunk_runs(), 3);
+        assert_eq!(s.iters_of_thread(0), 8);
+        assert_eq!(s.iters_of_thread(1), 6);
+        assert_eq!(s.max_iters_per_thread(), 8);
+    }
+
+    #[test]
+    fn every_iteration_owned_exactly_once() {
+        for &(trip, chunk, threads) in
+            &[(100u64, 7u64, 3u64), (64, 64, 8), (5, 2, 8), (1, 1, 1), (17, 4, 4)]
+        {
+            let s = sched(trip, chunk, threads);
+            let mut seen = vec![0u32; trip as usize];
+            for t in 0..threads {
+                for v in s.thread_values(t) {
+                    seen[v as usize] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "trip={trip} chunk={chunk} T={threads}: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_lower_and_step() {
+        let s = ChunkSchedule {
+            lower: 10,
+            step: 2,
+            trip_count: 6,
+            chunk: 2,
+            num_threads: 2,
+        };
+        // positions 0..6 map to values 10,12,14,16,18,20
+        assert_eq!(s.thread_values(0).collect::<Vec<_>>(), vec![10, 12, 18, 20]);
+        assert_eq!(s.thread_values(1).collect::<Vec<_>>(), vec![14, 16]);
+    }
+
+    #[test]
+    fn more_threads_than_chunks() {
+        let s = sched(3, 1, 8);
+        assert_eq!(s.thread_values(0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.thread_values(2).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(s.thread_values(5).count(), 0);
+        assert_eq!(s.num_chunk_runs(), 1);
+    }
+
+    #[test]
+    fn for_loop_requires_const_bounds() {
+        let l = Loop {
+            var: VarId(0),
+            lower: AffineExpr::constant(0),
+            upper: AffineExpr::var(VarId(1)),
+            step: 1,
+        };
+        assert!(ChunkSchedule::for_loop(&l, 1, 2).is_none());
+        let l2 = Loop {
+            var: VarId(0),
+            lower: AffineExpr::constant(0),
+            upper: AffineExpr::constant(10),
+            step: 1,
+        };
+        let s = ChunkSchedule::for_loop(&l2, 2, 3).unwrap();
+        assert_eq!(s.trip_count, 10);
+    }
+}

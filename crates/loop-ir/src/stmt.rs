@@ -1,0 +1,373 @@
+//! Statements of the innermost loop body: assignment expression trees plus
+//! their lowering to abstract machine operations for the processor model.
+
+use crate::array::ArrayId;
+use crate::reference::{AccessKind, ArrayRef};
+use crate::types::ScalarType;
+
+/// Binary arithmetic operators available in statement expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    /// `sqrt(x)` — appears in distance/normalization kernels.
+    Sqrt,
+    /// `sin(x)`/`cos(x)` twiddle factors of the DFT kernel; modeled as one
+    /// long-latency FP op.
+    SinCos,
+}
+
+/// Assignment operators. Compound forms read the LHS before writing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+}
+
+impl AssignOp {
+    pub fn is_compound(self) -> bool {
+        !matches!(self, AssignOp::Assign)
+    }
+
+    /// The arithmetic op a compound assignment performs, if any.
+    pub fn bin_op(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+        }
+    }
+}
+
+/// An expression tree on the right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A floating-point literal.
+    Num(f64),
+    /// An array (or struct-field) read.
+    Ref(ArrayRef),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn num(v: f64) -> Expr {
+        Expr::Num(v)
+    }
+
+    pub fn read(r: ArrayRef) -> Expr {
+        Expr::Ref(r.with_access(AccessKind::Read))
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// Collect every array read in evaluation order (left to right, depth
+    /// first — the order loads issue in).
+    pub fn collect_reads<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Ref(r) => out.push(r),
+            Expr::Unary(_, e) => e.collect_reads(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+
+    /// Count arithmetic operators by kind into `ops`.
+    fn collect_ops(&self, arith: ScalarType, out: &mut Vec<OpKind>) {
+        match self {
+            Expr::Num(_) | Expr::Ref(_) => {}
+            Expr::Unary(op, e) => {
+                e.collect_ops(arith, out);
+                out.push(match op {
+                    UnOp::Neg => {
+                        if arith.is_float() {
+                            OpKind::FAdd
+                        } else {
+                            OpKind::IAdd
+                        }
+                    }
+                    UnOp::Sqrt => OpKind::FSqrt,
+                    UnOp::SinCos => OpKind::FTrig,
+                });
+            }
+            Expr::Binary(op, a, b) => {
+                a.collect_ops(arith, out);
+                b.collect_ops(arith, out);
+                out.push(OpKind::from_binop(*op, arith.is_float()));
+            }
+        }
+    }
+
+    /// Visit every array read mutably (for IR transformations).
+    pub fn visit_refs_mut(&mut self, f: &mut impl FnMut(&mut ArrayRef)) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Ref(r) => f(r),
+            Expr::Unary(_, e) => e.visit_refs_mut(f),
+            Expr::Binary(_, a, b) => {
+                a.visit_refs_mut(f);
+                b.visit_refs_mut(f);
+            }
+        }
+    }
+
+    /// Depth of the operator tree — a lower bound on the dependence chain
+    /// through the expression, used by the processor model's latency term.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Ref(_) => 0,
+            Expr::Unary(_, e) => 1 + e.depth(),
+            Expr::Binary(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+/// Abstract machine operations the processor model schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    FAdd,
+    FMul,
+    FDiv,
+    FSqrt,
+    /// sin/cos/other transcendental.
+    FTrig,
+    IAdd,
+    IMul,
+    IDiv,
+    Load,
+    Store,
+}
+
+impl OpKind {
+    pub fn from_binop(op: BinOp, float: bool) -> OpKind {
+        match (op, float) {
+            (BinOp::Add | BinOp::Sub, true) => OpKind::FAdd,
+            (BinOp::Mul, true) => OpKind::FMul,
+            (BinOp::Div, true) => OpKind::FDiv,
+            (BinOp::Add | BinOp::Sub, false) => OpKind::IAdd,
+            (BinOp::Mul, false) => OpKind::IMul,
+            (BinOp::Div, false) => OpKind::IDiv,
+        }
+    }
+
+    /// True for floating-point operations (routed to FP units).
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpKind::FAdd | OpKind::FMul | OpKind::FDiv | OpKind::FSqrt | OpKind::FTrig
+        )
+    }
+
+    /// True for memory operations (routed to load/store units).
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+}
+
+/// One statement of the innermost loop body: `lhs op= rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub lhs: ArrayRef,
+    pub op: AssignOp,
+    pub rhs: Expr,
+}
+
+impl Stmt {
+    /// Build `lhs = rhs`.
+    pub fn assign(lhs: ArrayRef, rhs: Expr) -> Stmt {
+        Stmt {
+            lhs: lhs.with_access(AccessKind::Write),
+            op: AssignOp::Assign,
+            rhs,
+        }
+    }
+
+    /// Build `lhs += rhs`.
+    pub fn add_assign(lhs: ArrayRef, rhs: Expr) -> Stmt {
+        Stmt {
+            lhs: lhs.with_access(AccessKind::Write),
+            op: AssignOp::AddAssign,
+            rhs,
+        }
+    }
+
+    /// All memory references of the statement in program order: RHS reads,
+    /// then the LHS read for compound assignments, then the LHS write.
+    pub fn references(&self) -> Vec<ArrayRef> {
+        let mut reads = Vec::new();
+        self.rhs.collect_reads(&mut reads);
+        let mut out: Vec<ArrayRef> = reads.into_iter().cloned().collect();
+        if self.op.is_compound() {
+            out.push(self.lhs.clone().with_access(AccessKind::Read));
+        }
+        out.push(self.lhs.clone().with_access(AccessKind::Write));
+        out
+    }
+
+    /// Arithmetic operations of the statement, given the arithmetic scalar
+    /// type (which decides FP vs integer pipelines).
+    pub fn ops(&self, arith: ScalarType) -> Vec<OpKind> {
+        let mut ops = Vec::new();
+        self.rhs.collect_ops(arith, &mut ops);
+        if let Some(b) = self.op.bin_op() {
+            ops.push(OpKind::from_binop(b, arith.is_float()));
+        }
+        ops
+    }
+
+    /// A statement carries a loop-carried dependence (reduction) at loop
+    /// level `var` if it compound-assigns a location whose subscripts do not
+    /// vary with that loop's index — e.g. `s[j] += ...` inside a loop over
+    /// `i` serializes on the add latency.
+    pub fn is_reduction_at(&self, var: crate::expr::VarId) -> bool {
+        self.op.is_compound() && !self.lhs.uses_var(var)
+    }
+
+    /// Arrays the statement touches.
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        let mut ids: Vec<ArrayId> = self.references().iter().map(|r| r.array).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::expr::{AffineExpr, VarId};
+
+    fn aref(arr: u32, v: u32, c: i64) -> ArrayRef {
+        ArrayRef::read(ArrayId(arr), vec![AffineExpr::linear(VarId(v), 1, c)])
+    }
+
+    #[test]
+    fn references_in_program_order() {
+        // s[0] += a[i] * a[i+1]
+        let s = Stmt::add_assign(
+            ArrayRef::write(ArrayId(1), vec![AffineExpr::constant(0)]),
+            Expr::mul(Expr::read(aref(0, 0, 0)), Expr::read(aref(0, 0, 1))),
+        );
+        let refs = s.references();
+        assert_eq!(refs.len(), 4); // 2 reads + lhs read + lhs write
+        assert!(refs[0].access == AccessKind::Read && refs[0].array == ArrayId(0));
+        assert!(refs[2].access == AccessKind::Read && refs[2].array == ArrayId(1));
+        assert!(refs[3].access.is_write() && refs[3].array == ArrayId(1));
+    }
+
+    #[test]
+    fn plain_assign_has_no_lhs_read() {
+        let s = Stmt::assign(
+            ArrayRef::write(ArrayId(1), vec![AffineExpr::var(VarId(0))]),
+            Expr::read(aref(0, 0, 0)),
+        );
+        let refs = s.references();
+        assert_eq!(refs.len(), 2);
+        assert!(!refs[0].access.is_write());
+        assert!(refs[1].access.is_write());
+    }
+
+    #[test]
+    fn ops_lowering_counts_operators() {
+        // x = (a + b) * c / 2.0  => FAdd, FMul, FDiv
+        let e = Expr::div(
+            Expr::mul(
+                Expr::add(Expr::read(aref(0, 0, 0)), Expr::read(aref(0, 0, 1))),
+                Expr::read(aref(0, 0, 2)),
+            ),
+            Expr::num(2.0),
+        );
+        let s = Stmt::assign(ArrayRef::write(ArrayId(1), vec![AffineExpr::constant(0)]), e);
+        let ops = s.ops(ScalarType::F64);
+        assert_eq!(ops, vec![OpKind::FAdd, OpKind::FMul, OpKind::FDiv]);
+        let iops = s.ops(ScalarType::I32);
+        assert_eq!(iops, vec![OpKind::IAdd, OpKind::IMul, OpKind::IDiv]);
+    }
+
+    #[test]
+    fn compound_assign_adds_one_op() {
+        let s = Stmt::add_assign(
+            ArrayRef::write(ArrayId(1), vec![AffineExpr::constant(0)]),
+            Expr::read(aref(0, 0, 0)),
+        );
+        assert_eq!(s.ops(ScalarType::F64), vec![OpKind::FAdd]);
+    }
+
+    #[test]
+    fn reduction_detection() {
+        // s[j] += a[i]: reduction over i (lhs does not use i), not over j.
+        let lhs = ArrayRef::write(ArrayId(1), vec![AffineExpr::var(VarId(0))]);
+        let s = Stmt::add_assign(lhs, Expr::read(aref(0, 1, 0)));
+        assert!(s.is_reduction_at(VarId(1)));
+        assert!(!s.is_reduction_at(VarId(0)));
+        // Plain assignment is never a reduction.
+        let s2 = Stmt::assign(
+            ArrayRef::write(ArrayId(1), vec![AffineExpr::constant(0)]),
+            Expr::num(1.0),
+        );
+        assert!(!s2.is_reduction_at(VarId(0)));
+    }
+
+    #[test]
+    fn expr_depth() {
+        let e = Expr::add(
+            Expr::mul(Expr::num(1.0), Expr::num(2.0)),
+            Expr::num(3.0),
+        );
+        assert_eq!(e.depth(), 2);
+        assert_eq!(Expr::num(1.0).depth(), 0);
+        assert_eq!(Expr::Unary(UnOp::Sqrt, Box::new(Expr::num(4.0))).depth(), 1);
+    }
+
+    #[test]
+    fn trig_and_sqrt_lowering() {
+        let e = Expr::Unary(
+            UnOp::SinCos,
+            Box::new(Expr::Unary(UnOp::Sqrt, Box::new(Expr::num(1.0)))),
+        );
+        let s = Stmt::assign(ArrayRef::write(ArrayId(0), vec![AffineExpr::constant(0)]), e);
+        assert_eq!(s.ops(ScalarType::F64), vec![OpKind::FSqrt, OpKind::FTrig]);
+    }
+}

@@ -1,0 +1,499 @@
+//! Loop-nest transformations: the LNO toolbox the cost models exist to
+//! drive (paper §II-B: "loop interchange, tiling, and unrolling ... the
+//! compiler uses analytical models to estimate the costs of executing the
+//! loops in its original version and in the transformed version").
+//!
+//! The IR keeps the invariant that `VarId(d)` is the variable of the loop
+//! at depth `d`, so structural transformations renumber variables and
+//! rewrite every affine expression accordingly.
+
+use crate::expr::{AffineExpr, VarId};
+use crate::kernel::Kernel;
+use crate::nest::Schedule;
+use crate::validate::{validate, ValidateError};
+use std::fmt;
+
+/// Why a transformation was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// A loop level index was out of range.
+    BadLevel { level: usize, depth: usize },
+    /// The transformed nest is structurally invalid (e.g. a bound would
+    /// reference an inner loop's variable after the swap).
+    Invalid(ValidateError),
+    /// The body carries a loop dependence that the transformation would
+    /// reorder unsafely.
+    CarriedDependence { detail: String },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::BadLevel { level, depth } => {
+                write!(f, "loop level {level} out of range for depth-{depth} nest")
+            }
+            TransformError::Invalid(e) => write!(f, "transformed nest invalid: {e}"),
+            TransformError::CarriedDependence { detail } => {
+                write!(f, "interchange would reorder a carried dependence: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+fn remap_expr(e: &AffineExpr, perm: &[u32]) -> AffineExpr {
+    AffineExpr::from_terms(
+        e.terms()
+            .iter()
+            .map(|&(v, c)| (VarId(perm[v.index()]), c))
+            .collect(),
+        e.constant_part(),
+    )
+}
+
+/// Rewrite every variable occurrence in `kernel` through `perm`
+/// (`old id -> perm[old id]`), including loop headers, subscripts, and the
+/// variable-name table.
+fn remap_kernel(kernel: &mut Kernel, perm: &[u32]) {
+    for l in &mut kernel.nest.loops {
+        l.var = VarId(perm[l.var.index()]);
+        l.lower = remap_expr(&l.lower, perm);
+        l.upper = remap_expr(&l.upper, perm);
+    }
+    kernel.map_refs(|r| {
+        for idx in &mut r.indices {
+            *idx = remap_expr(idx, perm);
+        }
+    });
+    let mut names = vec![String::new(); kernel.vars.len()];
+    for (old, name) in kernel.vars.iter().enumerate() {
+        names[perm[old] as usize] = name.clone();
+    }
+    kernel.vars = names;
+}
+
+/// Check the (sufficient, conservative) dependence condition for reordering
+/// the iteration order: every statement either writes a location that moves
+/// with *every* loop (no two iterations touch the same element) or is a
+/// commutative reduction (`+=`, `*=` on FP/int data), whose partial order
+/// does not matter.
+fn reorder_safe(kernel: &Kernel) -> Result<(), TransformError> {
+    for (si, stmt) in kernel.nest.body.iter().enumerate() {
+        if stmt.op.is_compound() {
+            continue; // commutative reduction: any order
+        }
+        // Plain assignment: if some loop variable does not appear in the
+        // LHS subscripts, two iterations of that loop write the same
+        // element and the last writer must be preserved.
+        for l in &kernel.nest.loops {
+            if !stmt.lhs.uses_var(l.var) {
+                return Err(TransformError::CarriedDependence {
+                    detail: format!(
+                        "statement {si} overwrites '{}' across iterations of '{}'",
+                        kernel.array(stmt.lhs.array).name,
+                        kernel.var_name(l.var)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Interchange the loops at levels `a` and `b` (the parallel annotation
+/// follows its loop). Returns the transformed kernel.
+pub fn interchange(kernel: &Kernel, a: usize, b: usize) -> Result<Kernel, TransformError> {
+    let depth = kernel.nest.depth();
+    for &l in &[a, b] {
+        if l >= depth {
+            return Err(TransformError::BadLevel { level: l, depth });
+        }
+    }
+    if a == b {
+        return Ok(kernel.clone());
+    }
+    reorder_safe(kernel)?;
+
+    let mut out = kernel.clone();
+    out.nest.loops.swap(a, b);
+    if out.nest.parallel.level == a {
+        out.nest.parallel.level = b;
+    } else if out.nest.parallel.level == b {
+        out.nest.parallel.level = a;
+    }
+    // Renumber variables so VarId(d) is again the depth-d loop's variable.
+    let mut perm: Vec<u32> = (0..kernel.vars.len() as u32).collect();
+    let va = kernel.nest.loops[a].var.index();
+    let vb = kernel.nest.loops[b].var.index();
+    perm.swap(va, vb);
+    remap_kernel(&mut out, &perm);
+    out.name = format!("{}_interchanged", kernel.name);
+    validate(&out).map_err(TransformError::Invalid)?;
+    Ok(out)
+}
+
+/// Tile the loop at `level` by `factor`, producing a tile loop and an
+/// intra-tile loop (classic LNO tiling, §II-B). To keep bounds affine the
+/// trip count must be a multiple of `factor` and the loop's bounds must be
+/// compile-time constants with step 1. The parallel annotation follows the
+/// original loop's role: tiling the parallel loop makes the *tile* loop
+/// parallel (each thread owns whole tiles — the layout equivalent of a
+/// bigger chunk).
+pub fn tile(kernel: &Kernel, level: usize, factor: u64) -> Result<Kernel, TransformError> {
+    let depth = kernel.nest.depth();
+    if level >= depth {
+        return Err(TransformError::BadLevel { level, depth });
+    }
+    let factor = factor.max(1);
+    let l = &kernel.nest.loops[level];
+    let (Some(lo), Some(hi)) = (l.lower.as_const(), l.upper.as_const()) else {
+        return Err(TransformError::Invalid(
+            ValidateError::NonConstParallelBounds,
+        ));
+    };
+    let trip = (hi - lo).max(0) as u64;
+    if l.step != 1 || trip % factor != 0 {
+        return Err(TransformError::CarriedDependence {
+            detail: format!(
+                "tiling needs step 1 and trip {trip} divisible by factor {factor}"
+            ),
+        });
+    }
+    if factor == 1 || factor >= trip {
+        return Ok(kernel.clone());
+    }
+
+    let mut out = kernel.clone();
+    let old_var = l.var;
+    // New variable layout: a tile variable `<v>_t` inserted at `level`, the
+    // original variable becomes the intra-tile index at `level + 1` with
+    // value `factor*<v>_t + <v>_i + lo`. We keep the original VarId for the
+    // intra-tile offset and append a fresh VarId for the tile index, then
+    // renumber so VarId order matches depth order again.
+    let tile_raw = VarId(kernel.vars.len() as u32);
+    out.vars.push(format!("{}_t", kernel.var_name(old_var)));
+
+    // Rewrite subscripts: old_var -> factor*tile + old_var(+lo folded).
+    out.map_refs(|r| {
+        for idx in &mut r.indices {
+            let c = idx.coeff(old_var);
+            if c != 0 {
+                *idx = idx.substitute(old_var, 0)
+                    + AffineExpr::linear(old_var, c, 0)
+                    + AffineExpr::linear(tile_raw, c * factor as i64, c * lo);
+            }
+        }
+    });
+    // Same rewrite inside any inner loop bounds that used old_var.
+    for lp in &mut out.nest.loops {
+        for bound in [&mut lp.lower, &mut lp.upper] {
+            let c = bound.coeff(old_var);
+            if c != 0 {
+                *bound = bound.substitute(old_var, 0)
+                    + AffineExpr::linear(old_var, c, 0)
+                    + AffineExpr::linear(tile_raw, c * factor as i64, c * lo);
+            }
+        }
+    }
+
+    // Replace the loop with the tile/intra pair.
+    let tile_loop = crate::nest::Loop {
+        var: tile_raw,
+        lower: AffineExpr::constant(0),
+        upper: AffineExpr::constant((trip / factor) as i64),
+        step: 1,
+    };
+    let intra_loop = crate::nest::Loop {
+        var: old_var,
+        lower: AffineExpr::constant(0),
+        upper: AffineExpr::constant(factor as i64),
+        step: 1,
+    };
+    out.nest.loops.splice(level..=level, [tile_loop, intra_loop]);
+    if out.nest.parallel.level > level {
+        out.nest.parallel.level += 1;
+    }
+    // (If the tiled loop itself was parallel, the tile loop at `level`
+    // inherits the annotation — already correct.)
+
+    // Renumber VarIds to depth order.
+    let mut perm = vec![0u32; out.vars.len()];
+    for (d, lp) in out.nest.loops.iter().enumerate() {
+        perm[lp.var.index()] = d as u32;
+    }
+    remap_kernel(&mut out, &perm);
+    out.name = format!("{}_tiled{}", kernel.name, factor);
+    validate(&out).map_err(TransformError::Invalid)?;
+    Ok(out)
+}
+
+/// Unroll the innermost loop by `factor`: the body is replicated with the
+/// innermost index offset by `0..factor` and the loop step scaled — the
+/// transformation Open64's processor model exists to parameterize. The
+/// innermost loop must be sequential (not the parallel loop), step 1, with
+/// a constant-divisible trip count.
+pub fn unroll_innermost(kernel: &Kernel, factor: u64) -> Result<Kernel, TransformError> {
+    let depth = kernel.nest.depth();
+    let level = depth - 1;
+    if kernel.nest.parallel.level == level {
+        return Err(TransformError::CarriedDependence {
+            detail: "cannot unroll the parallel loop (iteration ownership would change)"
+                .to_string(),
+        });
+    }
+    let factor = factor.max(1);
+    if factor == 1 {
+        return Ok(kernel.clone());
+    }
+    let l = kernel.nest.innermost();
+    let var = l.var;
+    if l.step != 1 {
+        return Err(TransformError::CarriedDependence {
+            detail: "unrolling needs step 1".to_string(),
+        });
+    }
+    if let (Some(lo), Some(hi)) = (l.lower.as_const(), l.upper.as_const()) {
+        let trip = (hi - lo).max(0) as u64;
+        if trip % factor != 0 {
+            return Err(TransformError::CarriedDependence {
+                detail: format!("trip {trip} not divisible by unroll factor {factor}"),
+            });
+        }
+    } else {
+        return Err(TransformError::Invalid(
+            ValidateError::NonConstParallelBounds,
+        ));
+    }
+
+    let mut out = kernel.clone();
+    out.nest.loops[level].step = factor as i64;
+    let body = kernel.nest.body.clone();
+    let mut new_body = Vec::with_capacity(body.len() * factor as usize);
+    for k in 0..factor as i64 {
+        for stmt in &body {
+            let mut s = stmt.clone();
+            let shift = |idx: &mut AffineExpr| {
+                let c = idx.coeff(var);
+                if c != 0 {
+                    *idx = idx.clone() + AffineExpr::constant(c * k);
+                }
+            };
+            for idx in &mut s.lhs.indices {
+                shift(idx);
+            }
+            s.rhs.visit_refs_mut(&mut |r| {
+                for idx in &mut r.indices {
+                    shift(idx);
+                }
+            });
+            new_body.push(s);
+        }
+    }
+    out.nest.body = new_body;
+    out.name = format!("{}_unroll{}", kernel.name, factor);
+    validate(&out).map_err(TransformError::Invalid)?;
+    Ok(out)
+}
+
+/// Replace the static chunk size.
+pub fn with_chunk(kernel: &Kernel, chunk: u64) -> Kernel {
+    let mut out = kernel.clone();
+    out.nest.parallel.schedule = Schedule::Static { chunk: chunk.max(1) };
+    out
+}
+
+/// Move the parallel annotation to a different loop level (e.g. to compare
+/// inner- vs outer-loop parallelization, the axis the paper's Table III
+/// turns on). The target loop's bounds must be compile-time constants.
+pub fn with_parallel_level(kernel: &Kernel, level: usize) -> Result<Kernel, TransformError> {
+    let depth = kernel.nest.depth();
+    if level >= depth {
+        return Err(TransformError::BadLevel { level, depth });
+    }
+    let mut out = kernel.clone();
+    out.nest.parallel.level = level;
+    validate(&out).map_err(TransformError::Invalid)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::walk::ThreadWalker;
+
+    /// The transformed kernel must execute the same set of (array, element)
+    /// accesses as the original (order aside).
+    fn same_access_set(a: &Kernel, b: &Kernel) {
+        let collect = |k: &Kernel| {
+            let plan = k.access_plan();
+            let bases = k.array_bases(64);
+            let mut v: Vec<(u64, bool)> = Vec::new();
+            let mut buf = vec![0i64; plan.max_rank.max(1)];
+            let mut w = ThreadWalker::sequential(k);
+            while let Some(env) = w.next_env() {
+                for acc in &plan.accesses {
+                    v.push((acc.address(env, &bases, &mut buf), acc.is_write));
+                }
+            }
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(a), collect(b));
+    }
+
+    #[test]
+    fn interchange_matvec_preserves_accesses() {
+        let k = kernels::matvec(8, 12, 1);
+        let t = interchange(&k, 0, 1).unwrap();
+        assert_eq!(t.nest.parallel.level, 1, "parallel annotation follows");
+        assert_eq!(t.vars, vec!["j", "i"]);
+        same_access_set(&k, &t);
+        // Round trip restores the original structure (modulo the name).
+        let back = interchange(&t, 0, 1).unwrap();
+        assert_eq!(back.nest.loops, k.nest.loops);
+        assert_eq!(back.nest.body, k.nest.body);
+    }
+
+    #[test]
+    fn interchange_matmul_middle_and_inner() {
+        let k = kernels::matmul(4, 6, 5, 1);
+        let t = interchange(&k, 1, 2).unwrap();
+        assert_eq!(t.nest.parallel.level, 2, "parallel j moves innermost");
+        same_access_set(&k, &t);
+        crate::validate::validate_bounds(&t).unwrap();
+    }
+
+    #[test]
+    fn interchange_rejects_last_writer_conflicts() {
+        // B[i][j] = ... assigns each element once: safe.
+        let heat = kernels::heat_diffusion(10, 10, 1);
+        assert!(interchange(&heat, 0, 1).is_ok());
+        // A kernel whose plain assignment does NOT use the inner var would
+        // overwrite: y[i] = x[j] (last j wins).
+        let mut b = crate::kernel::KernelBuilder::new("lastwriter");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        let x = b.array("x", &[8], crate::types::ScalarType::F64);
+        let y = b.array("y", &[8], crate::types::ScalarType::F64);
+        b.parallel_for(i, 0, 8, Schedule::Static { chunk: 1 });
+        b.seq_for(j, 0, 8);
+        b.stmt(crate::stmt::Stmt::assign(
+            crate::reference::ArrayRef::write(y, vec![AffineExpr::var(i)]),
+            crate::stmt::Expr::read(crate::reference::ArrayRef::read(
+                x,
+                vec![AffineExpr::var(j)],
+            )),
+        ));
+        let k = b.build();
+        assert!(matches!(
+            interchange(&k, 0, 1),
+            Err(TransformError::CarriedDependence { .. })
+        ));
+    }
+
+    #[test]
+    fn interchange_rejects_bound_dependences() {
+        // Triangular nest: inner bound uses the outer var; swapping is
+        // structurally invalid.
+        let mut b = crate::kernel::KernelBuilder::new("tri");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        let a = b.array("A", &[8, 8], crate::types::ScalarType::F64);
+        b.parallel_for(i, 0, 8, Schedule::Static { chunk: 1 });
+        b.seq_for(j, 0, AffineExpr::var(i));
+        b.stmt(crate::stmt::Stmt::assign(
+            crate::reference::ArrayRef::write(a, vec![AffineExpr::var(i), AffineExpr::var(j)]),
+            crate::stmt::Expr::num(1.0),
+        ));
+        let k = b.build();
+        assert!(matches!(
+            interchange(&k, 0, 1),
+            Err(TransformError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn bad_levels_are_reported() {
+        let k = kernels::stencil1d(34, 1);
+        assert!(matches!(
+            interchange(&k, 0, 3),
+            Err(TransformError::BadLevel { level: 3, depth: 1 })
+        ));
+        assert!(with_parallel_level(&k, 2).is_err());
+    }
+
+    #[test]
+    fn with_chunk_and_parallel_level() {
+        let k = kernels::heat_diffusion(10, 34, 1);
+        let c = with_chunk(&k, 16);
+        assert_eq!(c.nest.parallel.schedule.chunk(), 16);
+        let p = with_parallel_level(&k, 0).unwrap();
+        assert_eq!(p.nest.parallel.level, 0);
+        // Level 0's bounds are constants, so the walker accepts it.
+        crate::validate::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn tiling_preserves_the_access_set() {
+        let k = kernels::matvec(8, 16, 1);
+        let t = tile(&k, 1, 4).unwrap(); // tile the inner (j) loop
+        assert_eq!(t.nest.depth(), 3);
+        assert_eq!(t.nest.parallel.level, 0, "parallel loop unmoved");
+        assert_eq!(t.vars, vec!["i", "j_t", "j"]);
+        same_access_set(&k, &t);
+        crate::validate::validate_bounds(&t).unwrap();
+    }
+
+    #[test]
+    fn tiling_the_parallel_loop_parallelizes_tiles() {
+        let k = kernels::stencil1d(66, 1); // parallel i in 1..65 (trip 64)
+        let t = tile(&k, 0, 8).unwrap();
+        assert_eq!(t.nest.depth(), 2);
+        assert_eq!(t.nest.parallel.level, 0, "tile loop is parallel");
+        assert_eq!(t.nest.parallel_trip_count(), Some(8));
+        same_access_set(&k, &t);
+    }
+
+    #[test]
+    fn tiling_rejects_indivisible_trips() {
+        let k = kernels::stencil1d(66, 1); // trip 64
+        assert!(tile(&k, 0, 7).is_err());
+        // factor 1 and factor >= trip are no-ops.
+        assert_eq!(tile(&k, 0, 1).unwrap().nest.depth(), 1);
+        assert_eq!(tile(&k, 0, 64).unwrap().nest.depth(), 1);
+    }
+
+    #[test]
+    fn unrolling_replicates_the_body() {
+        let k = kernels::matvec(8, 16, 1);
+        let u = unroll_innermost(&k, 4).unwrap();
+        assert_eq!(u.nest.body.len(), 4 * k.nest.body.len());
+        assert_eq!(u.nest.innermost().step, 4);
+        same_access_set(&k, &u);
+        crate::validate::validate_bounds(&u).unwrap();
+        // The replicated statements read A[i][j+k].
+        let mut reads = Vec::new();
+        u.nest.body[3].rhs.collect_reads(&mut reads);
+        assert_eq!(reads[0].indices[1].constant_part(), 3);
+    }
+
+    #[test]
+    fn unrolling_rejects_parallel_innermost_and_bad_factors() {
+        let heat = kernels::heat_diffusion(10, 34, 1);
+        assert!(unroll_innermost(&heat, 2).is_err(), "innermost is parallel");
+        let k = kernels::matvec(8, 15, 1); // inner trip 15
+        assert!(unroll_innermost(&k, 4).is_err(), "15 % 4 != 0");
+        assert!(unroll_innermost(&k, 1).is_ok());
+    }
+
+    #[test]
+    fn interchanged_kernel_roundtrips_through_dsl() {
+        let k = kernels::matvec(8, 12, 2);
+        let t = interchange(&k, 0, 1).unwrap();
+        let src = crate::pretty::kernel_to_dsl(&t);
+        let back = crate::dsl::parse_kernel(&src).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,121 @@
+//! Scalar element types for arrays.
+
+use std::fmt;
+
+/// Scalar machine types an array element (or struct field) can have.
+///
+/// The cost models only need the *size* of an element (to map references to
+/// cache lines) and whether arithmetic on it uses the floating-point or
+/// integer pipelines (for the processor model), so this enum is deliberately
+/// small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+}
+
+impl ScalarType {
+    /// Size of the type in bytes.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            ScalarType::I8 | ScalarType::U8 => 1,
+            ScalarType::I16 | ScalarType::U16 => 2,
+            ScalarType::F32 | ScalarType::I32 | ScalarType::U32 => 4,
+            ScalarType::F64 | ScalarType::I64 | ScalarType::U64 => 8,
+        }
+    }
+
+    /// True for the floating-point types; used by the processor model to
+    /// route arithmetic to FP functional units.
+    pub const fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// The DSL keyword for this type (`f64`, `i32`, ...).
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            ScalarType::F32 => "f32",
+            ScalarType::F64 => "f64",
+            ScalarType::I8 => "i8",
+            ScalarType::I16 => "i16",
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+            ScalarType::U8 => "u8",
+            ScalarType::U16 => "u16",
+            ScalarType::U32 => "u32",
+            ScalarType::U64 => "u64",
+        }
+    }
+
+    /// Parse a DSL keyword back into a type.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "f32" => ScalarType::F32,
+            "f64" => ScalarType::F64,
+            "i8" => ScalarType::I8,
+            "i16" => ScalarType::I16,
+            "i32" => ScalarType::I32,
+            "i64" => ScalarType::I64,
+            "u8" => ScalarType::U8,
+            "u16" => ScalarType::U16,
+            "u32" => ScalarType::U32,
+            "u64" => ScalarType::U64,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust_layout() {
+        assert_eq!(ScalarType::F64.size_bytes(), std::mem::size_of::<f64>());
+        assert_eq!(ScalarType::F32.size_bytes(), std::mem::size_of::<f32>());
+        assert_eq!(ScalarType::I64.size_bytes(), std::mem::size_of::<i64>());
+        assert_eq!(ScalarType::U8.size_bytes(), std::mem::size_of::<u8>());
+        assert_eq!(ScalarType::I16.size_bytes(), 2);
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for t in [
+            ScalarType::F32,
+            ScalarType::F64,
+            ScalarType::I8,
+            ScalarType::I16,
+            ScalarType::I32,
+            ScalarType::I64,
+            ScalarType::U8,
+            ScalarType::U16,
+            ScalarType::U32,
+            ScalarType::U64,
+        ] {
+            assert_eq!(ScalarType::from_keyword(t.keyword()), Some(t));
+        }
+        assert_eq!(ScalarType::from_keyword("f16"), None);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(ScalarType::F32.is_float());
+        assert!(ScalarType::F64.is_float());
+        assert!(!ScalarType::I32.is_float());
+        assert!(!ScalarType::U64.is_float());
+    }
+}

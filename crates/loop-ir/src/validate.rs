@@ -1,0 +1,342 @@
+//! Structural validation of kernels before analysis.
+
+use crate::expr::VarId;
+use crate::kernel::Kernel;
+use crate::walk::ThreadWalker;
+use std::fmt;
+
+/// Reasons a kernel is rejected by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    NoLoops,
+    EmptyBody,
+    /// The parallel level is deeper than the nest.
+    BadParallelLevel { level: usize, depth: usize },
+    /// Chunk size must be at least 1.
+    ZeroChunk,
+    /// Loop steps must be positive.
+    NonPositiveStep { level: usize },
+    /// The parallel loop needs compile-time-constant bounds for the static
+    /// round-robin distribution to be computable.
+    NonConstParallelBounds,
+    /// A loop bound refers to a variable of the same or a deeper level.
+    BoundUsesInnerVar { level: usize, var: String },
+    /// A subscript has the wrong arity for its array.
+    RankMismatch {
+        array: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A subscript references a variable not bound by any loop.
+    UnboundVar { array: String, var_index: u32 },
+    /// A field reference on a scalar-element array.
+    FieldOnScalar { array: String },
+    /// A field id out of range for the array's struct layout.
+    BadField { array: String, field: u32 },
+    /// A concrete iteration produced an out-of-bounds element index.
+    OutOfBounds {
+        array: String,
+        iteration: Vec<i64>,
+        linear: i64,
+        elems: u64,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoLoops => write!(f, "kernel has no loops"),
+            ValidateError::EmptyBody => write!(f, "kernel has an empty loop body"),
+            ValidateError::BadParallelLevel { level, depth } => {
+                write!(f, "parallel level {level} out of range for depth-{depth} nest")
+            }
+            ValidateError::ZeroChunk => write!(f, "chunk size must be >= 1"),
+            ValidateError::NonPositiveStep { level } => {
+                write!(f, "loop at level {level} has a non-positive step")
+            }
+            ValidateError::NonConstParallelBounds => {
+                write!(f, "parallel loop bounds must be compile-time constants")
+            }
+            ValidateError::BoundUsesInnerVar { level, var } => write!(
+                f,
+                "bound of loop at level {level} uses variable '{var}' of an inner or same level"
+            ),
+            ValidateError::RankMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array '{array}' has rank {expected} but subscript has {got} indices"
+            ),
+            ValidateError::UnboundVar { array, var_index } => write!(
+                f,
+                "subscript of array '{array}' uses unbound variable #{var_index}"
+            ),
+            ValidateError::FieldOnScalar { array } => {
+                write!(f, "field access on scalar-element array '{array}'")
+            }
+            ValidateError::BadField { array, field } => {
+                write!(f, "array '{array}' has no field #{field}")
+            }
+            ValidateError::OutOfBounds {
+                array,
+                iteration,
+                linear,
+                elems,
+            } => write!(
+                f,
+                "reference to array '{array}' at iteration {iteration:?} hits element {linear} \
+                 outside [0, {elems})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Check a kernel's structural invariants. Cheap (no iteration-space walk);
+/// see [`validate_bounds`] for the optional dynamic bounds check.
+pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
+    let nest = &kernel.nest;
+    if nest.loops.is_empty() {
+        return Err(ValidateError::NoLoops);
+    }
+    if nest.body.is_empty() {
+        return Err(ValidateError::EmptyBody);
+    }
+    if nest.parallel.level >= nest.depth() {
+        return Err(ValidateError::BadParallelLevel {
+            level: nest.parallel.level,
+            depth: nest.depth(),
+        });
+    }
+    if nest.parallel.schedule.chunk() == 0 {
+        return Err(ValidateError::ZeroChunk);
+    }
+    for (l, lp) in nest.loops.iter().enumerate() {
+        if lp.step <= 0 {
+            return Err(ValidateError::NonPositiveStep { level: l });
+        }
+        for bound in [&lp.lower, &lp.upper] {
+            if let Some(v) = bound.max_var() {
+                if v.index() >= l {
+                    return Err(ValidateError::BoundUsesInnerVar {
+                        level: l,
+                        var: kernel
+                            .vars
+                            .get(v.index())
+                            .cloned()
+                            .unwrap_or_else(|| format!("#{}", v.0)),
+                    });
+                }
+            }
+        }
+    }
+    if nest.parallel_trip_count().is_none() {
+        return Err(ValidateError::NonConstParallelBounds);
+    }
+    let nvars = kernel.vars.len() as u32;
+    for stmt in &nest.body {
+        for r in stmt.references() {
+            let decl = kernel.array(r.array);
+            if r.indices.len() != decl.dims.len() {
+                return Err(ValidateError::RankMismatch {
+                    array: decl.name.clone(),
+                    expected: decl.dims.len(),
+                    got: r.indices.len(),
+                });
+            }
+            for e in &r.indices {
+                if let Some(v) = e.max_var() {
+                    if v.0 >= nvars {
+                        return Err(ValidateError::UnboundVar {
+                            array: decl.name.clone(),
+                            var_index: v.0,
+                        });
+                    }
+                }
+            }
+            if let Some(fid) = r.field {
+                let fields = decl.elem.fields();
+                if fields.is_empty() {
+                    return Err(ValidateError::FieldOnScalar {
+                        array: decl.name.clone(),
+                    });
+                }
+                if fid.index() >= fields.len() {
+                    return Err(ValidateError::BadField {
+                        array: decl.name.clone(),
+                        field: fid.0,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walk the full sequential iteration space checking every reference stays
+/// inside its array. O(total iterations × references) — intended for tests
+/// and small kernels, not the analysis hot path.
+pub fn validate_bounds(kernel: &Kernel) -> Result<(), ValidateError> {
+    validate(kernel)?;
+    let plan = kernel.access_plan();
+    let mut idx = vec![0i64; plan.max_rank];
+    let mut w = ThreadWalker::sequential(kernel);
+    while let Some(env) = w.next_env() {
+        for a in &plan.accesses {
+            let decl = kernel.array(a.array);
+            for (k, e) in a.indices.iter().enumerate() {
+                idx[k] = e.eval(env);
+            }
+            let lin = decl.linearize(&idx[..a.indices.len()]);
+            let elems = decl.num_elems();
+            if lin < 0 || lin as u64 >= elems {
+                return Err(ValidateError::OutOfBounds {
+                    array: decl.name.clone(),
+                    iteration: env.to_vec(),
+                    linear: lin,
+                    elems,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Variable ids bound by the kernel's loops, outermost first.
+pub fn bound_vars(kernel: &Kernel) -> Vec<VarId> {
+    kernel.nest.loops.iter().map(|l| l.var).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::kernel::KernelBuilder;
+    use crate::nest::Schedule;
+    use crate::reference::ArrayRef;
+    use crate::stmt::{Expr, Stmt};
+    use crate::types::ScalarType;
+
+    fn good_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("ok");
+        let i = b.loop_var("i");
+        let a = b.array("A", &[16], ScalarType::F64);
+        b.parallel_for(i, 0, 16, Schedule::Static { chunk: 2 });
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![b.idx(i)]),
+            Expr::num(1.0),
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn accepts_good_kernel() {
+        let k = good_kernel();
+        assert_eq!(validate(&k), Ok(()));
+        assert_eq!(validate_bounds(&k), Ok(()));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let mut k = good_kernel();
+        k.nest.body[0].lhs.indices.push(AffineExpr::constant(0));
+        match validate(&k) {
+            Err(ValidateError::RankMismatch { expected, got, .. }) => {
+                assert_eq!((expected, got), (1, 2));
+            }
+            other => panic!("expected rank mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_zero_chunk() {
+        let mut k = good_kernel();
+        k.nest.parallel.schedule = Schedule::Static { chunk: 0 };
+        assert_eq!(validate(&k), Err(ValidateError::ZeroChunk));
+    }
+
+    #[test]
+    fn rejects_nonconst_parallel_bounds() {
+        let mut b = KernelBuilder::new("bad");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        let a = b.array("A", &[16, 16], ScalarType::F64);
+        b.seq_for(i, 0, 16);
+        // parallel loop with a bound depending on i
+        b.parallel_for(j, 0, AffineExpr::var(i), Schedule::Static { chunk: 1 });
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![b.idx(i), b.idx(j)]),
+            Expr::num(1.0),
+        ));
+        let k = b.build();
+        assert_eq!(validate(&k), Err(ValidateError::NonConstParallelBounds));
+    }
+
+    #[test]
+    fn rejects_field_on_scalar() {
+        let mut k = good_kernel();
+        k.nest.body[0].lhs.field = Some(crate::array::FieldId(0));
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::FieldOnScalar { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound_var() {
+        let mut k = good_kernel();
+        k.nest.body[0].lhs.indices[0] = AffineExpr::var(VarId(5));
+        assert!(matches!(validate(&k), Err(ValidateError::UnboundVar { .. })));
+    }
+
+    #[test]
+    fn bounds_walk_catches_overflow() {
+        let mut b = KernelBuilder::new("oob");
+        let i = b.loop_var("i");
+        let a = b.array("A", &[8], ScalarType::F64);
+        b.parallel_for(i, 0, 8, Schedule::Static { chunk: 1 });
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![AffineExpr::linear(i, 1, 1)]), // A[i+1]
+            Expr::num(0.0),
+        ));
+        let k = b.build();
+        assert_eq!(validate(&k), Ok(()), "static checks can't see this");
+        assert!(matches!(
+            validate_bounds(&k),
+            Err(ValidateError::OutOfBounds { linear: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bound_using_inner_var() {
+        let mut b = KernelBuilder::new("badbound");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        let a = b.array("A", &[16, 16], ScalarType::F64);
+        b.seq_for(i, 0, AffineExpr::var(j)); // upper bound uses inner var
+        b.parallel_for(j, 0, 4, Schedule::Static { chunk: 1 });
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![b.idx(i), b.idx(j)]),
+            Expr::num(1.0),
+        ));
+        let k = b.build();
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::BoundUsesInnerVar { level: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ValidateError::RankMismatch {
+            array: "A".into(),
+            expected: 2,
+            got: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("A") && msg.contains('2') && msg.contains('1'));
+    }
+}

@@ -1,0 +1,377 @@
+//! Iteration-space walkers.
+//!
+//! [`ThreadWalker`] enumerates the full index vectors (one value per loop
+//! variable) that a given thread executes, in that thread's program order:
+//! loops outside the parallel level are replicated across the team, the
+//! parallel level follows the static round-robin [`ChunkSchedule`], and
+//! loops inside it run to completion per parallel iteration.
+//!
+//! [`LockstepWalker`] advances every thread of the team by one innermost
+//! iteration per step — the granularity at which the paper's model generates
+//! cache-line ownership lists and checks for false sharing ("the model needs
+//! to evaluate `All_num_of_iters / num_of_threads` iterations", §III-D).
+
+use crate::kernel::Kernel;
+use crate::schedule::ChunkSchedule;
+
+/// Walks the iterations executed by one thread of the team.
+pub struct ThreadWalker<'k> {
+    kernel: &'k Kernel,
+    sched: ChunkSchedule,
+    thread: u64,
+    env: Vec<i64>,
+    /// Count of parallel-loop iterations this thread has taken in the
+    /// current parallel-loop instance.
+    par_k: u64,
+    started: bool,
+    done: bool,
+    /// Total innermost-body iterations yielded so far.
+    steps: u64,
+}
+
+impl<'k> ThreadWalker<'k> {
+    /// Create a walker for `thread` of a `num_threads`-wide team.
+    ///
+    /// # Panics
+    /// Panics if the parallel loop's bounds are not compile-time constants
+    /// (run [`crate::validate()`] first for a recoverable error).
+    pub fn new(kernel: &'k Kernel, num_threads: u64, thread: u64) -> Self {
+        assert!(thread < num_threads);
+        let nest = &kernel.nest;
+        let sched = ChunkSchedule::for_loop(
+            nest.parallel_loop(),
+            nest.parallel.schedule.chunk(),
+            num_threads,
+        )
+        .expect("parallel loop bounds must be compile-time constants");
+        ThreadWalker {
+            kernel,
+            sched,
+            thread,
+            env: vec![0; kernel.vars.len()],
+            par_k: 0,
+            started: false,
+            done: false,
+            steps: 0,
+        }
+    }
+
+    /// A sequential (single-"thread") walker over the whole nest.
+    pub fn sequential(kernel: &'k Kernel) -> Self {
+        Self::new(kernel, 1, 0)
+    }
+
+    fn depth(&self) -> usize {
+        self.kernel.nest.depth()
+    }
+
+    /// Set level `l` to its first value; false if the loop is empty under
+    /// the current outer values (or the thread owns no iterations).
+    fn enter(&mut self, l: usize) -> bool {
+        let nest = &self.kernel.nest;
+        if l == nest.parallel.level {
+            self.par_k = 0;
+            match self.sched.nth_iter_of_thread(self.thread, 0) {
+                Some(pos) => {
+                    self.env[nest.loops[l].var.index()] = self.sched.iter_value(pos);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            let lp = &nest.loops[l];
+            let lo = lp.lower.eval(&self.env);
+            let hi = lp.upper.eval(&self.env);
+            if lo < hi {
+                self.env[lp.var.index()] = lo;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Move level `l` to its next value; false when exhausted.
+    fn advance_level(&mut self, l: usize) -> bool {
+        let nest = &self.kernel.nest;
+        if l == nest.parallel.level {
+            self.par_k += 1;
+            match self.sched.nth_iter_of_thread(self.thread, self.par_k) {
+                Some(pos) => {
+                    self.env[nest.loops[l].var.index()] = self.sched.iter_value(pos);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            let lp = &nest.loops[l];
+            let next = self.env[lp.var.index()] + lp.step;
+            if next < lp.upper.eval(&self.env) {
+                self.env[lp.var.index()] = next;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Enter levels `l..depth`, backtracking through outer levels when an
+    /// inner loop turns out empty. Returns false if the walk is over.
+    fn descend(&mut self, mut l: usize) -> bool {
+        while l < self.depth() {
+            if self.enter(l) {
+                l += 1;
+                continue;
+            }
+            loop {
+                if l == 0 {
+                    self.done = true;
+                    return false;
+                }
+                l -= 1;
+                if self.advance_level(l) {
+                    break;
+                }
+            }
+            l += 1;
+        }
+        true
+    }
+
+    /// Advance to the next innermost iteration; returns the index
+    /// environment (`env[VarId(i).index()]` = value of variable `i`), or
+    /// `None` when this thread's work is exhausted.
+    pub fn next_env(&mut self) -> Option<&[i64]> {
+        if self.done {
+            return None;
+        }
+        let ok = if !self.started {
+            self.started = true;
+            self.descend(0)
+        } else {
+            let mut l = self.depth();
+            loop {
+                if l == 0 {
+                    self.done = true;
+                    break false;
+                }
+                l -= 1;
+                if self.advance_level(l) {
+                    break self.descend(l + 1);
+                }
+            }
+        };
+        if ok {
+            self.steps += 1;
+            Some(&self.env)
+        } else {
+            None
+        }
+    }
+
+    /// Innermost iterations yielded so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// True once the walk is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The schedule driving the parallel level.
+    pub fn schedule(&self) -> &ChunkSchedule {
+        &self.sched
+    }
+
+    /// Collect all index vectors (test/debug helper; allocates per step).
+    pub fn collect_all(mut self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        while let Some(env) = self.next_env() {
+            out.push(env.to_vec());
+        }
+        out
+    }
+}
+
+/// Advances a whole team one innermost iteration per thread per step.
+pub struct LockstepWalker<'k> {
+    walkers: Vec<ThreadWalker<'k>>,
+}
+
+impl<'k> LockstepWalker<'k> {
+    pub fn new(kernel: &'k Kernel, num_threads: u64) -> Self {
+        LockstepWalker {
+            walkers: (0..num_threads)
+                .map(|t| ThreadWalker::new(kernel, num_threads, t))
+                .collect(),
+        }
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Advance every still-active thread by one iteration, invoking
+    /// `f(thread, env)` for each. Returns `false` when every thread is done
+    /// (and `f` was not called).
+    pub fn step(&mut self, mut f: impl FnMut(usize, &[i64])) -> bool {
+        let mut any = false;
+        for (t, w) in self.walkers.iter_mut().enumerate() {
+            if let Some(env) = w.next_env() {
+                f(t, env);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Steps taken by the longest-running thread so far.
+    pub fn steps(&self) -> u64 {
+        self.walkers.iter().map(|w| w.steps()).max().unwrap_or(0)
+    }
+
+    /// The chunk schedule (same for the whole team).
+    pub fn schedule(&self) -> &ChunkSchedule {
+        self.walkers[0].schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::kernel::KernelBuilder;
+    use crate::nest::Schedule;
+    use crate::reference::ArrayRef;
+    use crate::stmt::{Expr, Stmt};
+    use crate::types::ScalarType;
+
+    /// outer seq i in 0..oi, parallel j in 0..pj chunk ck, inner seq k in 0..ik
+    fn kernel_3d(oi: i64, pj: i64, ik: i64, ck: u64) -> Kernel {
+        let mut b = KernelBuilder::new("t3d");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        let k = b.loop_var("k");
+        let a = b.array("A", &[64, 64, 64], ScalarType::F64);
+        b.seq_for(i, 0, oi);
+        b.parallel_for(j, 0, pj, Schedule::Static { chunk: ck });
+        b.seq_for(k, 0, ik);
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![b.idx(i), b.idx(j), b.idx(k)]),
+            Expr::num(1.0),
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn sequential_walk_visits_lexicographic_order() {
+        let k = kernel_3d(2, 2, 2, 1);
+        let all = ThreadWalker::sequential(&k).collect_all();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], vec![0, 0, 0]);
+        assert_eq!(all[1], vec![0, 0, 1]);
+        assert_eq!(all[2], vec![0, 1, 0]);
+        assert_eq!(all[7], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn thread_walk_partitions_parallel_level() {
+        let k = kernel_3d(1, 4, 1, 1);
+        let t0 = ThreadWalker::new(&k, 2, 0).collect_all();
+        let t1 = ThreadWalker::new(&k, 2, 1).collect_all();
+        assert_eq!(t0, vec![vec![0, 0, 0], vec![0, 2, 0]]);
+        assert_eq!(t1, vec![vec![0, 1, 0], vec![0, 3, 0]]);
+    }
+
+    #[test]
+    fn outer_loops_replicated_across_threads() {
+        let k = kernel_3d(2, 2, 1, 1);
+        let t0 = ThreadWalker::new(&k, 2, 0).collect_all();
+        // thread 0 owns j=0 in both outer iterations
+        assert_eq!(t0, vec![vec![0, 0, 0], vec![1, 0, 0]]);
+    }
+
+    #[test]
+    fn union_of_threads_equals_sequential_set() {
+        let k = kernel_3d(2, 5, 3, 2);
+        let mut expected = ThreadWalker::sequential(&k).collect_all();
+        let mut union: Vec<Vec<i64>> = Vec::new();
+        for t in 0..3 {
+            union.extend(ThreadWalker::new(&k, 3, t).collect_all());
+        }
+        expected.sort();
+        union.sort();
+        assert_eq!(expected, union);
+    }
+
+    #[test]
+    fn lockstep_interleaves_all_threads() {
+        let k = kernel_3d(1, 6, 1, 1);
+        let mut ls = LockstepWalker::new(&k, 3);
+        let mut per_step: Vec<Vec<(usize, i64)>> = Vec::new();
+        loop {
+            let mut row = Vec::new();
+            if !ls.step(|t, env| row.push((t, env[1]))) {
+                break;
+            }
+            per_step.push(row);
+        }
+        assert_eq!(per_step.len(), 2);
+        assert_eq!(per_step[0], vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(per_step[1], vec![(0, 3), (1, 4), (2, 5)]);
+    }
+
+    #[test]
+    fn lockstep_handles_uneven_tails() {
+        let k = kernel_3d(1, 5, 1, 1);
+        let mut ls = LockstepWalker::new(&k, 3);
+        let mut counts = [0u32; 3];
+        while ls.step(|t, _| counts[t] += 1) {}
+        assert_eq!(counts, [2, 2, 1]);
+        assert_eq!(ls.steps(), 2);
+    }
+
+    #[test]
+    fn thread_with_no_work_yields_nothing() {
+        let k = kernel_3d(1, 2, 4, 1);
+        let t3 = ThreadWalker::new(&k, 8, 3).collect_all();
+        assert!(t3.is_empty());
+    }
+
+    #[test]
+    fn triangular_inner_loop() {
+        // parallel i in 0..4, inner j in 0..i
+        let mut b = KernelBuilder::new("tri");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        let a = b.array("A", &[8, 8], ScalarType::F64);
+        b.parallel_for(i, 0, 4, Schedule::Static { chunk: 1 });
+        b.seq_for(j, 0, AffineExpr::var(i));
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![b.idx(i), b.idx(j)]),
+            Expr::num(0.0),
+        ));
+        let k = b.build();
+        let seq = ThreadWalker::sequential(&k).collect_all();
+        // i=0 contributes nothing; i=1 -> (1,0); i=2 -> (2,0),(2,1); i=3 -> 3
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq[0], vec![1, 0]);
+        // thread 0 of 2 owns i = 0, 2
+        let t0 = ThreadWalker::new(&k, 2, 0).collect_all();
+        assert_eq!(t0, vec![vec![2, 0], vec![2, 1]]);
+    }
+
+    #[test]
+    fn steps_counter_matches_yielded() {
+        let k = kernel_3d(2, 4, 3, 1);
+        let mut w = ThreadWalker::new(&k, 4, 1);
+        let mut n = 0;
+        while w.next_env().is_some() {
+            n += 1;
+        }
+        assert_eq!(w.steps(), n);
+        assert!(w.is_done());
+        assert!(w.next_env().is_none(), "exhausted walker stays exhausted");
+    }
+}

@@ -1,0 +1,78 @@
+//! Machine descriptions consumed by both the compile-time cost models and
+//! the execution-driven cache simulator.
+//!
+//! A [`MachineConfig`] bundles everything the paper's Eq. 1 needs:
+//!
+//! * [`cache::CacheHierarchy`] — per-core private levels plus a shared last
+//!   level, line size, associativity and hit latencies (the Cache model and
+//!   the stack-distance depth of the FS model),
+//! * [`processor::ProcessorParams`] — issue width, functional units and
+//!   operation latencies (the Processor model),
+//! * [`coherence::CoherenceParams`] — the cycle penalties of
+//!   write-invalidate coherence (converts FS *cases* into FS *cycles*),
+//! * [`tlb::TlbParams`] — TLB geometry (the TLB model),
+//! * [`overheads::RuntimeOverheads`] — parallel startup/scheduling/barrier
+//!   and per-iteration loop bookkeeping costs (the Parallel and Loop
+//!   overhead models).
+//!
+//! [`presets`] provides ready-made configurations, including
+//! [`presets::paper48`], which mirrors the evaluation platform of the paper:
+//! four 2.2 GHz 12-core processors (48 cores), 64 KB L1 and 512 KB L2 per
+//! core, 10 MB L3 shared per 12-core socket, 64-byte lines everywhere.
+
+pub mod cache;
+pub mod coherence;
+pub mod overheads;
+pub mod presets;
+pub mod processor;
+pub mod tlb;
+
+pub use cache::{Associativity, CacheHierarchy, CacheLevel};
+pub use coherence::CoherenceParams;
+pub use overheads::RuntimeOverheads;
+pub use processor::{OpLatencies, ProcessorParams};
+pub use tlb::TlbParams;
+
+/// A complete machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    pub name: String,
+    /// Total cores (= maximum team size).
+    pub num_cores: u32,
+    /// Clock frequency in GHz, used only to convert cycles to seconds in
+    /// reports.
+    pub freq_ghz: f64,
+    pub caches: CacheHierarchy,
+    /// Sustained memory bandwidth in bytes per core-cycle, machine-wide
+    /// (used by the bus-interference extension).
+    pub mem_bandwidth_bytes_per_cycle: f64,
+    pub processor: ProcessorParams,
+    pub coherence: CoherenceParams,
+    pub tlb: TlbParams,
+    pub overheads: RuntimeOverheads,
+}
+
+impl MachineConfig {
+    /// Cache line size in bytes (uniform across levels, as on the paper's
+    /// machine).
+    pub fn line_size(&self) -> u64 {
+        self.caches.line_size
+    }
+
+    /// Convert a cycle count to seconds at this machine's frequency.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        let m = presets::paper48();
+        let s = m.cycles_to_seconds(2.2e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

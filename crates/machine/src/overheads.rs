@@ -1,0 +1,47 @@
+//! Runtime overheads for the Parallel model and Loop-overhead model.
+
+/// Cycle costs of the parallel runtime and of loop bookkeeping.
+///
+/// The paper's Parallel model charges "parallel startup, scheduling
+/// iterations, synchronizations and worksharing between threads" (§II-B3);
+/// the Loop-overhead model charges index increments and bound checks per
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeOverheads {
+    /// One-time cost of entering a parallel region (fork + team wakeup).
+    pub parallel_startup: u32,
+    /// Cost per chunk handed to a thread (static scheduling arithmetic +
+    /// dispatch).
+    pub per_chunk_schedule: u32,
+    /// Cost of the implicit barrier at the end of a worksharing loop, per
+    /// participating thread.
+    pub barrier_per_thread: u32,
+    /// Cycles per loop iteration per nesting level for the index increment
+    /// and bound check.
+    pub loop_overhead_per_iter: f64,
+}
+
+impl RuntimeOverheads {
+    /// Overheads typical of an OpenMP runtime on a 2010s system.
+    pub fn default_openmp() -> Self {
+        RuntimeOverheads {
+            parallel_startup: 8000,
+            per_chunk_schedule: 12,
+            barrier_per_thread: 400,
+            loop_overhead_per_iter: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_order_of_magnitude() {
+        let o = RuntimeOverheads::default_openmp();
+        assert!(o.parallel_startup > o.barrier_per_thread);
+        assert!(o.barrier_per_thread > o.per_chunk_schedule);
+        assert!(o.loop_overhead_per_iter > 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Named machine configurations.
+
+use crate::cache::{Associativity, CacheHierarchy, CacheLevel};
+use crate::coherence::CoherenceParams;
+use crate::overheads::RuntimeOverheads;
+use crate::processor::ProcessorParams;
+use crate::tlb::TlbParams;
+use crate::MachineConfig;
+
+/// The paper's evaluation platform (§IV-B): four 2.2 GHz 12-core processors
+/// (48 cores total), per-core 64 KB L1 and 512 KB L2, 10240 KB L3 shared by
+/// each 12-core socket, 64-byte lines at every level.
+pub fn paper48() -> MachineConfig {
+    MachineConfig {
+        name: "paper48 (4 x 12-core, 2.2 GHz)".into(),
+        num_cores: 48,
+        freq_ghz: 2.2,
+        caches: CacheHierarchy {
+            line_size: 64,
+            levels: vec![
+                CacheLevel {
+                    name: "L1d".into(),
+                    size_bytes: 64 * 1024,
+                    associativity: Associativity::SetAssoc { ways: 2 },
+                    hit_latency: 3,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L2".into(),
+                    size_bytes: 512 * 1024,
+                    associativity: Associativity::SetAssoc { ways: 16 },
+                    hit_latency: 12,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L3".into(),
+                    size_bytes: 10240 * 1024,
+                    associativity: Associativity::SetAssoc { ways: 48 },
+                    hit_latency: 40,
+                    shared: true,
+                },
+            ],
+            shared_cluster_size: 12,
+            memory_latency: 230,
+        },
+        // ~50 GB/s aggregate at 2.2 GHz.
+        mem_bandwidth_bytes_per_cycle: 24.0,
+        processor: ProcessorParams::default_x86(),
+        coherence: CoherenceParams::default_smp(),
+        tlb: TlbParams::default_x86(),
+        overheads: RuntimeOverheads::default_openmp(),
+    }
+}
+
+/// A generic single-socket 8-core desktop machine.
+pub fn generic_x86() -> MachineConfig {
+    MachineConfig {
+        name: "generic x86 (8-core, 3.0 GHz)".into(),
+        num_cores: 8,
+        freq_ghz: 3.0,
+        caches: CacheHierarchy {
+            line_size: 64,
+            levels: vec![
+                CacheLevel {
+                    name: "L1d".into(),
+                    size_bytes: 32 * 1024,
+                    associativity: Associativity::SetAssoc { ways: 8 },
+                    hit_latency: 4,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L2".into(),
+                    size_bytes: 256 * 1024,
+                    associativity: Associativity::SetAssoc { ways: 8 },
+                    hit_latency: 12,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L3".into(),
+                    size_bytes: 16 * 1024 * 1024,
+                    associativity: Associativity::SetAssoc { ways: 16 },
+                    hit_latency: 38,
+                    shared: true,
+                },
+            ],
+            shared_cluster_size: 8,
+            memory_latency: 200,
+        },
+        // ~48 GB/s at 3.0 GHz.
+        mem_bandwidth_bytes_per_cycle: 16.0,
+        processor: ProcessorParams::default_x86(),
+        coherence: CoherenceParams {
+            cache_to_cache: 45,
+            invalidation: 30,
+            cross_socket_extra: 0,
+            store_miss_factor: 0.15,
+        },
+        tlb: TlbParams::default_x86(),
+        overheads: RuntimeOverheads::default_openmp(),
+    }
+}
+
+/// A deliberately tiny machine for unit tests: 4 cores, 4-line L1, 16-line
+/// L2, no shared level, cheap penalties — small enough that tests can
+/// reason about every eviction by hand.
+pub fn tiny_test() -> MachineConfig {
+    MachineConfig {
+        name: "tiny test machine".into(),
+        num_cores: 4,
+        freq_ghz: 1.0,
+        caches: CacheHierarchy {
+            line_size: 64,
+            levels: vec![
+                CacheLevel {
+                    name: "L1d".into(),
+                    size_bytes: 4 * 64,
+                    associativity: Associativity::Full,
+                    hit_latency: 1,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L2".into(),
+                    size_bytes: 16 * 64,
+                    associativity: Associativity::Full,
+                    hit_latency: 4,
+                    shared: false,
+                },
+            ],
+            shared_cluster_size: 4,
+            memory_latency: 50,
+        },
+        mem_bandwidth_bytes_per_cycle: 1e9, // effectively unbounded
+        processor: ProcessorParams::default_x86(),
+        coherence: CoherenceParams {
+            cache_to_cache: 10,
+            invalidation: 5,
+            cross_socket_extra: 0,
+            store_miss_factor: 1.0,
+        },
+        tlb: TlbParams {
+            entries: 8,
+            page_size: 4096,
+            miss_penalty: 10,
+        },
+        overheads: RuntimeOverheads {
+            parallel_startup: 100,
+            per_chunk_schedule: 2,
+            barrier_per_thread: 10,
+            loop_overhead_per_iter: 1.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper48_matches_section_iv_b() {
+        let m = paper48();
+        assert_eq!(m.num_cores, 48);
+        assert_eq!(m.freq_ghz, 2.2);
+        assert_eq!(m.line_size(), 64);
+        assert_eq!(m.caches.levels[0].size_bytes, 64 * 1024);
+        assert_eq!(m.caches.levels[1].size_bytes, 512 * 1024);
+        assert_eq!(m.caches.levels[2].size_bytes, 10240 * 1024);
+        assert!(m.caches.levels[2].shared);
+        assert_eq!(m.caches.shared_cluster_size, 12);
+        assert_eq!(m.caches.private_levels().count(), 2);
+    }
+
+    #[test]
+    fn tiny_test_is_tiny() {
+        let m = tiny_test();
+        assert_eq!(m.caches.l1().num_lines(64), 4);
+        assert_eq!(m.caches.levels[1].num_lines(64), 16);
+    }
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let names = [paper48().name, generic_x86().name, tiny_test().name];
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Processor resources and operation latencies for the Open64-style
+//! processor model.
+
+/// Latency, in cycles, of each abstract operation class. These are the
+//  dependence-chain costs; throughput is governed by the unit counts in
+/// [`ProcessorParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpLatencies {
+    pub fadd: u32,
+    pub fmul: u32,
+    pub fdiv: u32,
+    pub fsqrt: u32,
+    /// sin/cos and other transcendentals (libm call or microcoded).
+    pub ftrig: u32,
+    pub iadd: u32,
+    pub imul: u32,
+    pub idiv: u32,
+    /// L1-hit load-to-use latency.
+    pub load: u32,
+    pub store: u32,
+}
+
+impl OpLatencies {
+    /// Latencies typical of a 2010s x86 core (used by all presets).
+    pub fn default_x86() -> Self {
+        OpLatencies {
+            fadd: 4,
+            fmul: 4,
+            fdiv: 20,
+            fsqrt: 25,
+            // A sin+cos pair through libm on a 2010s core: ~60 cycles each.
+            ftrig: 130,
+            iadd: 1,
+            imul: 3,
+            idiv: 22,
+            load: 4,
+            store: 1,
+        }
+    }
+}
+
+/// Issue resources of one core: how many operations of each class can start
+/// per cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorParams {
+    /// Total instructions issued per cycle.
+    pub issue_width: u32,
+    /// Floating-point units (adds/muls; divides contend for one of these).
+    pub fp_units: u32,
+    /// Integer ALUs.
+    pub int_units: u32,
+    /// Load/store ports.
+    pub mem_units: u32,
+    pub latencies: OpLatencies,
+}
+
+impl ProcessorParams {
+    /// A 4-wide out-of-order core, 2 FP units, 2 memory ports.
+    pub fn default_x86() -> Self {
+        ProcessorParams {
+            issue_width: 4,
+            fp_units: 2,
+            int_units: 2,
+            mem_units: 2,
+            latencies: OpLatencies::default_x86(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = ProcessorParams::default_x86();
+        assert!(p.issue_width >= p.fp_units.max(p.mem_units));
+        assert!(p.latencies.fdiv > p.latencies.fmul);
+        assert!(p.latencies.ftrig > p.latencies.fsqrt);
+        assert!(p.latencies.iadd <= p.latencies.imul);
+    }
+}

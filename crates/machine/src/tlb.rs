@@ -1,0 +1,47 @@
+//! TLB geometry. The Open64 cost model treats the TLB "as another level of
+//! cache" with page-sized lines (§II-B2); these parameters feed that model.
+
+/// Data-TLB parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbParams {
+    /// Number of entries.
+    pub entries: u32,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Cycles to walk the page table on a miss.
+    pub miss_penalty: u32,
+}
+
+impl TlbParams {
+    pub fn default_x86() -> Self {
+        TlbParams {
+            entries: 64,
+            page_size: 4096,
+            miss_penalty: 30,
+        }
+    }
+
+    /// Bytes covered by the whole TLB.
+    pub fn reach(&self) -> u64 {
+        self.entries as u64 * self.page_size
+    }
+
+    /// Page number of an address.
+    #[inline]
+    pub fn page_of(&self, addr: u64) -> u64 {
+        addr / self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reach_and_pages() {
+        let t = TlbParams::default_x86();
+        assert_eq!(t.reach(), 64 * 4096);
+        assert_eq!(t.page_of(4095), 0);
+        assert_eq!(t.page_of(4096), 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! Native (really-executing) implementations of the paper's kernels, used
+//! by the examples to demonstrate *actual* false sharing on the host
+//! machine, and by tests to validate the runtime against serial references.
+//!
+//! Accumulator updates go through volatile read-modify-write: the C kernels
+//! the paper measures update `tid_args[j].sx` in memory every iteration
+//! (that is precisely what makes them false-share); a Rust compiler would
+//! otherwise happily keep the accumulator in a register and erase the
+//! effect being studied.
+
+use crate::parallel_for::parallel_for_static;
+use crate::pool::ThreadPool;
+use crate::shared::SharedSlice;
+
+/// The five running sums of the Phoenix linear-regression kernel. 40 bytes
+/// packed — two accumulators share a 64-byte line.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinRegAcc {
+    pub sx: f64,
+    pub sxx: f64,
+    pub sy: f64,
+    pub syy: f64,
+    pub sxy: f64,
+}
+
+/// A cache-line-padded accumulator: the classic FS mitigation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(align(64))]
+pub struct PaddedLinRegAcc(pub LinRegAcc);
+
+#[inline]
+unsafe fn vadd(p: *mut f64, v: f64) {
+    std::ptr::write_volatile(p, std::ptr::read_volatile(p) + v);
+}
+
+/// Accumulate one point into an accumulator through memory.
+#[inline]
+unsafe fn accumulate(acc: *mut LinRegAcc, x: f64, y: f64) {
+    let base = acc as *mut f64;
+    vadd(base, x);
+    vadd(base.add(1), x * x);
+    vadd(base.add(2), y);
+    vadd(base.add(3), y * y);
+    vadd(base.add(4), x * y);
+}
+
+/// Parallel linear regression over `n` independent series of `m_inner`
+/// points each (`points[j * m_inner + i]`), `schedule(static, chunk)` on
+/// the outer loop — the paper's Fig. 1.
+pub fn linreg_packed(
+    points: &[(f64, f64)],
+    n: usize,
+    m_inner: usize,
+    threads: usize,
+    chunk: u64,
+) -> Vec<LinRegAcc> {
+    assert_eq!(points.len(), n * m_inner);
+    let mut accs = vec![LinRegAcc::default(); n];
+    {
+        let shared = SharedSlice::new(&mut accs);
+        parallel_for_static(n as u64, threads, chunk, |_, r| {
+            for j in r {
+                // SAFETY: iteration j is owned by exactly one thread.
+                let acc = unsafe { shared.get_mut(j as usize) } as *mut LinRegAcc;
+                for i in 0..m_inner {
+                    let (x, y) = points[j as usize * m_inner + i];
+                    unsafe { accumulate(acc, x, y) };
+                }
+            }
+        });
+    }
+    accs
+}
+
+/// [`linreg_packed`] with line-padded accumulators (no false sharing).
+pub fn linreg_padded(
+    points: &[(f64, f64)],
+    n: usize,
+    m_inner: usize,
+    threads: usize,
+    chunk: u64,
+) -> Vec<PaddedLinRegAcc> {
+    assert_eq!(points.len(), n * m_inner);
+    let mut accs = vec![PaddedLinRegAcc::default(); n];
+    {
+        let shared = SharedSlice::new(&mut accs);
+        parallel_for_static(n as u64, threads, chunk, |_, r| {
+            for j in r {
+                let acc =
+                    unsafe { &mut shared.get_mut(j as usize).0 } as *mut LinRegAcc;
+                for i in 0..m_inner {
+                    let (x, y) = points[j as usize * m_inner + i];
+                    unsafe { accumulate(acc, x, y) };
+                }
+            }
+        });
+    }
+    accs
+}
+
+/// Serial reference for the linear-regression kernels.
+pub fn linreg_serial(points: &[(f64, f64)], n: usize, m_inner: usize) -> Vec<LinRegAcc> {
+    let mut accs = vec![LinRegAcc::default(); n];
+    for j in 0..n {
+        for i in 0..m_inner {
+            let (x, y) = points[j * m_inner + i];
+            let a = &mut accs[j];
+            a.sx += x;
+            a.sxx += x * x;
+            a.sy += y;
+            a.syy += y * y;
+            a.sxy += x * y;
+        }
+    }
+    accs
+}
+
+/// One sweep of 2-D heat diffusion (`n x m`, halo of 1), inner loop
+/// work-shared on `pool` with `schedule(static, chunk)`; writes `b` from
+/// `a`.
+pub fn heat_step(a: &[f64], b: &mut [f64], n: usize, m: usize, chunk: u64, pool: &ThreadPool) {
+    assert_eq!(a.len(), n * m);
+    assert_eq!(b.len(), n * m);
+    let shared = SharedSlice::new(b);
+    for i in 1..n - 1 {
+        let a = &a;
+        let shared = &shared;
+        pool.parallel_for((m - 2) as u64, chunk, move |_, r| {
+            for jj in r {
+                let j = jj as usize + 1;
+                let c = a[i * m + j];
+                let lap = a[(i - 1) * m + j] + a[(i + 1) * m + j] + a[i * m + j - 1]
+                    + a[i * m + j + 1]
+                    - 4.0 * c;
+                // SAFETY: element (i, j) belongs to exactly one thread.
+                unsafe { *shared.get_mut(i * m + j) = c + 0.1 * lap };
+            }
+        });
+    }
+}
+
+/// Serial reference for [`heat_step`].
+pub fn heat_step_serial(a: &[f64], b: &mut [f64], n: usize, m: usize) {
+    for i in 1..n - 1 {
+        for j in 1..m - 1 {
+            let c = a[i * m + j];
+            let lap =
+                a[(i - 1) * m + j] + a[(i + 1) * m + j] + a[i * m + j - 1] + a[i * m + j + 1]
+                    - 4.0 * c;
+            b[i * m + j] = c + 0.1 * lap;
+        }
+    }
+}
+
+/// Direct DFT: for each input sample, scatter its twiddled contribution
+/// into all output bins, inner (bin) loop work-shared with
+/// `schedule(static, chunk)` — the paper's DFT kernel shape.
+pub fn dft_scatter(
+    x: &[f64],
+    re: &mut [f64],
+    im: &mut [f64],
+    chunk: u64,
+    pool: &ThreadPool,
+) {
+    let n_in = x.len();
+    let n_out = re.len();
+    assert_eq!(im.len(), n_out);
+    let re_s = SharedSlice::new(re);
+    let im_s = SharedSlice::new(im);
+    for n in 0..n_in {
+        let (x, re_s, im_s) = (&x, &re_s, &im_s);
+        pool.parallel_for(n_out as u64, chunk, move |_, r| {
+            for k in r {
+                let ang =
+                    -2.0 * std::f64::consts::PI * k as f64 * n as f64 / n_in as f64;
+                let (s, c) = ang.sin_cos();
+                // SAFETY: bin k belongs to exactly one thread.
+                unsafe {
+                    vadd(re_s.get_mut(k as usize), x[n] * c);
+                    vadd(im_s.get_mut(k as usize), x[n] * s);
+                }
+            }
+        });
+    }
+}
+
+/// Serial reference DFT (direct evaluation).
+pub fn dft_serial(x: &[f64], re: &mut [f64], im: &mut [f64]) {
+    let n_in = x.len();
+    for k in 0..re.len() {
+        let (mut sr, mut si) = (0.0, 0.0);
+        for n in 0..n_in {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 * n as f64 / n_in as f64;
+            let (s, c) = ang.sin_cos();
+            sr += x[n] * c;
+            si += x[n] * s;
+        }
+        re[k] = sr;
+        im[k] = si;
+    }
+}
+
+/// Dot product with per-thread partials. `padded = false` packs the
+/// partials on one line (maximal false sharing); `true` pads each to its
+/// own line. Returns the dot product.
+pub fn dotprod_partials(x: &[f64], y: &[f64], threads: usize, padded: bool) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let stride = if padded { 8 } else { 1 };
+    let mut partials = vec![0.0f64; threads.max(1) * stride];
+    {
+        let shared = SharedSlice::new(&mut partials);
+        let len = x.len() as u64;
+        let per = len.div_ceil(threads.max(1) as u64);
+        parallel_for_static(threads.max(1) as u64, threads, 1, |_, r| {
+            for t in r {
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(len);
+                // SAFETY: slot t*stride is owned by this thread.
+                let slot = unsafe { shared.get_mut(t as usize * stride) } as *mut f64;
+                for i in lo..hi {
+                    unsafe { vadd(slot, x[i as usize] * y[i as usize]) };
+                }
+            }
+        });
+    }
+    partials.iter().step_by(stride).sum()
+}
+
+/// Matrix transpose `b[j][i] = a[i][j]` (`a` is `n x m`), parallel over the
+/// source rows with `schedule(static, chunk)` — with `chunk = 1` adjacent
+/// threads write adjacent elements of every destination row.
+pub fn transpose(a: &[f64], b: &mut [f64], n: usize, m: usize, threads: usize, chunk: u64) {
+    assert_eq!(a.len(), n * m);
+    assert_eq!(b.len(), n * m);
+    let shared = SharedSlice::new(b);
+    parallel_for_static(n as u64, threads, chunk, |_, r| {
+        for i in r {
+            for j in 0..m {
+                // SAFETY: destination column i belongs to one thread.
+                unsafe { *shared.get_mut(j * n + i as usize) = a[i as usize * m + j] };
+            }
+        }
+    });
+}
+
+/// Matrix multiply `c[i][j] += a[i][k] * b[k][j]` (`a` is `n x p`, `b` is
+/// `p x m`), the *middle* (column) loop work-shared per output row — the
+/// native twin of `loop_ir::kernels::matmul`. With `chunk = 1` adjacent
+/// threads accumulate into adjacent `c` elements.
+pub fn matmul(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    n: usize,
+    m: usize,
+    p: usize,
+    chunk: u64,
+    pool: &ThreadPool,
+) {
+    assert_eq!(a.len(), n * p);
+    assert_eq!(b.len(), p * m);
+    assert_eq!(c.len(), n * m);
+    let shared = SharedSlice::new(c);
+    for i in 0..n {
+        let (a, b, shared) = (&a, &b, &shared);
+        pool.parallel_for(m as u64, chunk, move |_, r| {
+            for jj in r {
+                let j = jj as usize;
+                // SAFETY: output column j of row i belongs to one thread.
+                let slot = unsafe { shared.get_mut(i * m + j) } as *mut f64;
+                for k in 0..p {
+                    unsafe { vadd(slot, a[i * p + k] * b[k * m + j]) };
+                }
+            }
+        });
+    }
+}
+
+/// Serial reference for [`matmul`].
+pub fn matmul_serial(a: &[f64], b: &[f64], c: &mut [f64], n: usize, m: usize, p: usize) {
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = c[i * m + j];
+            for k in 0..p {
+                acc += a[i * p + k] * b[k * m + j];
+            }
+            c[i * m + j] = acc;
+        }
+    }
+}
+
+/// 1-D 3-point stencil `b[i] = (a[i-1] + a[i] + a[i+1]) / 3`, work-shared
+/// with `schedule(static, chunk)`.
+pub fn stencil1d(a: &[f64], b: &mut [f64], threads: usize, chunk: u64) {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 3 {
+        return;
+    }
+    let shared = SharedSlice::new(b);
+    parallel_for_static((n - 2) as u64, threads, chunk, |_, r| {
+        for ii in r {
+            let i = ii as usize + 1;
+            // SAFETY: element i belongs to exactly one thread.
+            unsafe { *shared.get_mut(i) = (a[i - 1] + a[i] + a[i + 1]) / 3.0 };
+        }
+    });
+}
+
+/// Deterministic pseudo-random points for the linreg/dot kernels (no RNG
+/// dependency in the library crate).
+pub fn synth_points(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 500.0 - 1.0;
+            let y = 3.0 * x + ((i as u64).wrapping_mul(40503) % 100) as f64 / 100.0;
+            (x, y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+            "{a} != {b}"
+        );
+    }
+
+    #[test]
+    fn linreg_parallel_matches_serial() {
+        let (n, m) = (16, 37);
+        let pts = synth_points(n * m);
+        let serial = linreg_serial(&pts, n, m);
+        for threads in [1, 2, 4] {
+            for chunk in [1, 3, 16] {
+                let par = linreg_packed(&pts, n, m, threads, chunk);
+                for (s, p) in serial.iter().zip(&par) {
+                    assert_close(s.sx, p.sx);
+                    assert_close(s.sxx, p.sxx);
+                    assert_close(s.sxy, p.sxy);
+                }
+                let padded = linreg_padded(&pts, n, m, threads, chunk);
+                for (s, p) in serial.iter().zip(&padded) {
+                    assert_close(s.syy, p.0.syy);
+                    assert_close(s.sy, p.0.sy);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acc_layouts() {
+        assert_eq!(std::mem::size_of::<LinRegAcc>(), 40);
+        assert_eq!(std::mem::size_of::<PaddedLinRegAcc>(), 64);
+        assert_eq!(std::mem::align_of::<PaddedLinRegAcc>(), 64);
+    }
+
+    #[test]
+    fn heat_parallel_matches_serial() {
+        let (n, m) = (18, 22);
+        let a: Vec<f64> = (0..n * m).map(|i| (i % 13) as f64).collect();
+        let mut b_ser = vec![0.0; n * m];
+        heat_step_serial(&a, &mut b_ser, n, m);
+        let pool = ThreadPool::new(4);
+        for chunk in [1, 4, 64] {
+            let mut b_par = vec![0.0; n * m];
+            heat_step(&a, &mut b_par, n, m, chunk, &pool);
+            assert_eq!(b_ser, b_par, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn dft_parallel_matches_serial() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin()).collect();
+        let bins = 24;
+        let (mut re_s, mut im_s) = (vec![0.0; bins], vec![0.0; bins]);
+        dft_serial(&x, &mut re_s, &mut im_s);
+        let pool = ThreadPool::new(3);
+        let (mut re_p, mut im_p) = (vec![0.0; bins], vec![0.0; bins]);
+        dft_scatter(&x, &mut re_p, &mut im_p, 1, &pool);
+        for k in 0..bins {
+            assert_close(re_s[k], re_p[k]);
+            assert_close(im_s[k], im_p[k]);
+        }
+    }
+
+    #[test]
+    fn dotprod_matches_direct() {
+        let x: Vec<f64> = (0..1000).map(|i| i as f64 * 0.001).collect();
+        let y: Vec<f64> = (0..1000).map(|i| (1000 - i) as f64 * 0.002).collect();
+        let direct: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        for threads in [1, 3, 8] {
+            for padded in [false, true] {
+                let d = dotprod_partials(&x, &y, threads, padded);
+                assert_close(d, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_correct() {
+        let (n, m) = (13, 7);
+        let a: Vec<f64> = (0..n * m).map(|i| i as f64).collect();
+        let mut b = vec![0.0; n * m];
+        transpose(&a, &mut b, n, m, 4, 1);
+        for i in 0..n {
+            for j in 0..m {
+                assert_eq!(b[j * n + i], a[i * m + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_serial() {
+        let (n, m, p) = (9, 14, 11);
+        let a: Vec<f64> = (0..n * p).map(|i| (i % 7) as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..p * m).map(|i| ((i + 3) % 5) as f64 * 0.25).collect();
+        let mut c_ser = vec![1.0; n * m];
+        matmul_serial(&a, &b, &mut c_ser, n, m, p);
+        let pool = ThreadPool::new(3);
+        for chunk in [1u64, 4, 64] {
+            let mut c_par = vec![1.0; n * m];
+            matmul(&a, &b, &mut c_par, n, m, p, chunk, &pool);
+            for (s, q) in c_ser.iter().zip(&c_par) {
+                assert_close(*s, *q);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_matches_formula() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut b = vec![0.0; 40];
+        stencil1d(&a, &mut b, 4, 3);
+        for i in 1..39 {
+            assert_close(b[i], i as f64); // average of i-1, i, i+1
+        }
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[39], 0.0);
+        // Degenerate inputs are no-ops.
+        let tiny: Vec<f64> = vec![1.0, 2.0];
+        let mut out = vec![0.0; 2];
+        stencil1d(&tiny, &mut out, 4, 1);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn synth_points_deterministic() {
+        assert_eq!(synth_points(100), synth_points(100));
+    }
+}

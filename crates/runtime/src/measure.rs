@@ -1,0 +1,107 @@
+//! Wall-clock measurement harness.
+
+use std::time::{Duration, Instant};
+
+/// Summary of repeated timed runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    pub runs: Vec<Duration>,
+}
+
+impl Measurement {
+    pub fn min(&self) -> Duration {
+        self.runs.iter().copied().min().unwrap_or_default()
+    }
+
+    pub fn max(&self) -> Duration {
+        self.runs.iter().copied().max().unwrap_or_default()
+    }
+
+    pub fn median(&self) -> Duration {
+        if self.runs.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut v = self.runs.clone();
+        v.sort();
+        v[v.len() / 2]
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.runs.is_empty() {
+            return Duration::ZERO;
+        }
+        self.runs.iter().sum::<Duration>() / self.runs.len() as u32
+    }
+
+    /// Median in seconds, the number the experiment tables print.
+    pub fn seconds(&self) -> f64 {
+        self.median().as_secs_f64()
+    }
+}
+
+/// Time `body` `reps` times after `warmups` unmeasured runs.
+pub fn measure(warmups: usize, reps: usize, mut body: impl FnMut()) -> Measurement {
+    for _ in 0..warmups {
+        body();
+    }
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        body();
+        runs.push(start.elapsed());
+    }
+    Measurement { runs }
+}
+
+/// Relative slowdown of `slow` vs `fast`: `(slow - fast)/slow`, the
+/// "measured FS effect on execution time" of the paper's Tables I–III.
+pub fn relative_overhead(slow: f64, fast: f64) -> f64 {
+    if slow <= 0.0 {
+        0.0
+    } else {
+        ((slow - fast) / slow).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_over_known_runs() {
+        let m = Measurement {
+            runs: vec![
+                Duration::from_millis(30),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+            ],
+        };
+        assert_eq!(m.min(), Duration::from_millis(10));
+        assert_eq!(m.max(), Duration::from_millis(30));
+        assert_eq!(m.median(), Duration::from_millis(20));
+        assert_eq!(m.mean(), Duration::from_millis(20));
+        assert!((m.seconds() - 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_runs_the_right_number_of_times() {
+        let mut calls = 0;
+        let m = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(m.runs.len(), 5);
+    }
+
+    #[test]
+    fn relative_overhead_basics() {
+        assert!((relative_overhead(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_overhead(1.0, 2.0), 0.0, "clamped at zero");
+        assert_eq!(relative_overhead(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_measurement_is_zero() {
+        let m = Measurement { runs: vec![] };
+        assert_eq!(m.median(), Duration::ZERO);
+        assert_eq!(m.mean(), Duration::ZERO);
+    }
+}

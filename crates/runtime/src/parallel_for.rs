@@ -1,0 +1,115 @@
+//! OpenMP-style `parallel for schedule(static, chunk)` on OS threads.
+
+/// The chunks (as iteration ranges) thread `t` of `threads` executes for a
+/// `trip`-iteration loop under `schedule(static, chunk)`.
+pub fn chunks_of_thread(
+    trip: u64,
+    threads: usize,
+    chunk: u64,
+    t: usize,
+) -> impl Iterator<Item = std::ops::Range<u64>> {
+    let chunk = chunk.max(1);
+    let num_chunks = trip.div_ceil(chunk);
+    (t as u64..num_chunks)
+        .step_by(threads.max(1))
+        .map(move |c| {
+            let lo = c * chunk;
+            lo..(lo + chunk).min(trip)
+        })
+}
+
+/// Run `body(thread, range)` for every chunk, distributing chunks to
+/// `threads` scoped OS threads round-robin — the scheduling the paper's
+/// model assumes. Blocks until the loop (and its implicit barrier)
+/// completes.
+pub fn parallel_for_static<F>(trip: u64, threads: usize, chunk: u64, body: F)
+where
+    F: Fn(usize, std::ops::Range<u64>) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        for r in chunks_of_thread(trip, 1, chunk, 0) {
+            body(0, r);
+        }
+        return;
+    }
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let body = &body;
+            s.spawn(move |_| {
+                for r in chunks_of_thread(trip, threads, chunk, t) {
+                    body(t, r);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Per-iteration convenience wrapper over [`parallel_for_static`].
+pub fn parallel_for_each<F>(trip: u64, threads: usize, chunk: u64, body: F)
+where
+    F: Fn(usize, u64) + Sync,
+{
+    parallel_for_static(trip, threads, chunk, |t, r| {
+        for i in r {
+            body(t, i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn chunk_assignment_matches_round_robin() {
+        let c: Vec<_> = chunks_of_thread(14, 2, 3, 0).collect();
+        assert_eq!(c, vec![0..3, 6..9, 12..14]);
+        let c1: Vec<_> = chunks_of_thread(14, 2, 3, 1).collect();
+        assert_eq!(c1, vec![3..6, 9..12]);
+    }
+
+    #[test]
+    fn every_iteration_executes_exactly_once() {
+        for &(trip, threads, chunk) in &[(100u64, 4usize, 1u64), (97, 3, 7), (5, 8, 2), (64, 1, 64)]
+        {
+            let counts: Vec<AtomicU64> = (0..trip).map(|_| AtomicU64::new(0)).collect();
+            parallel_for_each(trip, threads, chunk, |_, i| {
+                counts[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "iteration {i} (trip={trip} T={threads} C={chunk})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_ids_are_in_range() {
+        let max_t = AtomicU64::new(0);
+        parallel_for_each(1000, 4, 8, |t, _| {
+            max_t.fetch_max(t as u64, Ordering::Relaxed);
+        });
+        assert!(max_t.load(Ordering::Relaxed) < 4);
+    }
+
+    #[test]
+    fn empty_loop_is_fine() {
+        parallel_for_each(0, 4, 1, |_, _| panic!("no iterations expected"));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let sum = AtomicU64::new(0);
+        parallel_for_each(10, 1, 3, |t, i| {
+            assert_eq!(t, 0);
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared-slice utilities for disjoint parallel writes.
+//!
+//! OpenMP kernels freely let every thread write *its own* elements of a
+//! shared array; safe Rust's `chunks_mut` cannot express the interleaved
+//! (round-robin) ownership a `schedule(static, chunk)` loop produces. The
+//! [`SharedSlice`] wrapper reintroduces that idiom with an explicit safety
+//! contract: callers guarantee that no element is written by two threads
+//! concurrently (which the static schedule provides by construction — each
+//! iteration, and therefore each written element, belongs to exactly one
+//! thread).
+
+use std::cell::UnsafeCell;
+
+/// A slice that may be mutated concurrently from several threads at
+/// *disjoint* indices.
+///
+/// ```
+/// # use fs_runtime::shared::SharedSlice;
+/// let mut data = vec![0u64; 8];
+/// let shared = SharedSlice::new(&mut data);
+/// crossbeam::scope(|s| {
+///     for t in 0..2 {
+///         let shared = &shared;
+///         s.spawn(move |_| {
+///             for i in (t..8).step_by(2) {
+///                 // Safety contract: thread t only writes indices ≡ t (mod 2).
+///                 unsafe { *shared.get_mut(i) = t as u64 };
+///             }
+///         });
+///     }
+/// })
+/// .unwrap();
+/// assert_eq!(data, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+/// ```
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: access discipline is delegated to the caller per the type's
+// contract; the wrapper itself adds no aliasing.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice for the duration of a parallel region.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`; exclusive
+        // access to the whole slice is held for 'a.
+        let data = unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const UnsafeCell<T>, slice.len())
+        };
+        SharedSlice { data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw mutable access to element `i`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent access (read or write) to
+    /// index `i` from another thread for the lifetime of the returned
+    /// reference. Bounds are checked.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.data[i].get()
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No concurrent write to index `i` may be in progress.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        &*self.data[i].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_disjoint_writes() {
+        let mut v = vec![0u32; 64];
+        let s = SharedSlice::new(&mut v);
+        crossbeam::scope(|scope| {
+            for t in 0..4usize {
+                let s = &s;
+                scope.spawn(move |_| {
+                    for i in (t..64).step_by(4) {
+                        unsafe { *s.get_mut(i) = t as u32 + 1 };
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i % 4) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn len_and_get() {
+        let mut v = vec![7i64; 5];
+        let s = SharedSlice::new(&mut v);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        unsafe {
+            *s.get_mut(2) = 9;
+            assert_eq!(*s.get(2), 9);
+            assert_eq!(*s.get(0), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounds_are_checked() {
+        let mut v = vec![0u8; 2];
+        let s = SharedSlice::new(&mut v);
+        unsafe {
+            let _ = s.get(5);
+        }
+    }
+}

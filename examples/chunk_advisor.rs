@@ -1,0 +1,49 @@
+//! Reproduce the paper's motivating observation (Fig. 2): execution time of
+//! the linear-regression kernel falls as the chunk size grows, because
+//! false sharing fades — and show the advisor picking a good chunk
+//! automatically.
+//!
+//! The "execution" here is the MESI coherence simulator (our stand-in for
+//! the paper's 48-core machine); the model column is the compile-time
+//! estimate. The two should tell the same story.
+//!
+//! ```text
+//! cargo run --release --example chunk_advisor
+//! ```
+
+use fs_core::simulation::{simulate_kernel, SimOptions};
+use fs_core::{analyze, machines, recommend_chunk, AnalysisOptions};
+
+fn main() {
+    let machine = machines::paper48();
+    let threads = 8u32;
+    let (n, m_inner) = (192, 64);
+
+    println!("linear regression: {n} series x {m_inner} points, {threads} threads\n");
+    println!(
+        "{:>6} | {:>14} {:>12} | {:>14} {:>12}",
+        "chunk", "model FS cases", "model cycles", "sim FS misses", "sim cycles"
+    );
+    println!("{}", "-".repeat(70));
+    for chunk in [1u64, 2, 4, 8, 16, 30] {
+        let kernel = fs_core::kernels::linear_regression(n, m_inner, chunk);
+        let report = analyze(&kernel, &machine, &AnalysisOptions::new(threads));
+        let sim = simulate_kernel(&kernel, &machine, SimOptions::new(threads));
+        println!(
+            "{:>6} | {:>14} {:>12.0} | {:>14} {:>12}",
+            chunk,
+            report.cost.fs.fs_cases,
+            report.cost.total_cycles,
+            sim.total_false_sharing(),
+            sim.makespan_cycles()
+        );
+    }
+
+    println!();
+    let kernel = fs_core::kernels::linear_regression(n, m_inner, 1);
+    let advice = recommend_chunk(&kernel, &machine, threads, 64, None);
+    println!(
+        "advisor: chunk {} is modeled {:.2}x faster than chunk 1",
+        advice.best_chunk, advice.speedup_vs_chunk1
+    );
+}

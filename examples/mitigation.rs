@@ -1,0 +1,52 @@
+//! Automatic false-sharing elimination: the compiler workflow the paper's
+//! conclusion sketches as future work. For each bundled kernel, detect the
+//! false sharing, search mitigations (element padding vs a better static
+//! chunk), and verify the winner against the MESI simulator.
+//!
+//! ```text
+//! cargo run --release --example mitigation
+//! ```
+
+use fs_core::simulation::{simulate_kernel, SimOptions};
+use fs_core::{corpus_kernel, eliminate_false_sharing, machines, AnalyzeOptions, CORPUS};
+
+fn main() {
+    let machine = machines::paper48();
+    let threads = 8;
+    let opts = AnalyzeOptions::new(threads);
+
+    for entry in CORPUS {
+        let kernel = corpus_kernel(entry.name).expect("bundled kernels parse");
+        let report = eliminate_false_sharing(&kernel, &machine, threads, &opts);
+        println!("== {} ==", entry.name);
+        println!(
+            "baseline: {} FS cases, {:.1}% of modeled time",
+            report.baseline.fs.fs_cases,
+            report.baseline.fs_fraction() * 100.0
+        );
+        let Some(best) = report.best() else {
+            println!("   no false sharing detected; nothing to do\n");
+            continue;
+        };
+        println!(
+            "best fix: {} (modeled {:.2}x speedup)",
+            best.description, best.speedup
+        );
+
+        // Cross-check the model's verdict against the simulator.
+        let before = simulate_kernel(&kernel, &machine, SimOptions::new(threads));
+        let after = simulate_kernel(&best.kernel, &machine, SimOptions::new(threads));
+        let sim_speedup = before.makespan_cycles() as f64 / after.makespan_cycles().max(1) as f64;
+        println!(
+            "simulator: fs misses {} -> {}, makespan speedup {:.2}x",
+            before.total_false_sharing(),
+            after.total_false_sharing(),
+            sim_speedup
+        );
+        if report.worthwhile() && sim_speedup > 1.0 {
+            println!("   model and simulator agree the fix helps\n");
+        } else {
+            println!("   (marginal case — see EXPERIMENTS.md for calibration notes)\n");
+        }
+    }
+}

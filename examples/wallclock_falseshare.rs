@@ -1,0 +1,74 @@
+//! False sharing on *your* machine: run the native kernels on real OS
+//! threads and watch the wall clock, then compare with what the
+//! compile-time model said would happen.
+//!
+//! ```text
+//! cargo run --release --example wallclock_falseshare
+//! ```
+
+use fs_core::{analyze, machines, AnalysisOptions};
+use fs_runtime::kernels::{dotprod_partials, linreg_packed, synth_points};
+use fs_runtime::{measure, relative_overhead};
+
+fn main() {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let threads = hw.min(8);
+    println!("host has {hw} logical CPUs; using {threads} threads");
+    if hw == 1 {
+        println!("(single-core host: expect no false-sharing effect — the runs below");
+        println!(" still demonstrate the API and the padded/packed layouts)");
+    }
+    println!();
+
+    // --- dot product with per-thread partials: packed vs padded ---
+    let len = 1_000_000usize;
+    let x: Vec<f64> = (0..len).map(|i| (i % 1000) as f64 * 1e-3).collect();
+    let y: Vec<f64> = (0..len).map(|i| ((i + 7) % 1000) as f64 * 1e-3).collect();
+
+    let packed = measure(1, 5, || {
+        std::hint::black_box(dotprod_partials(&x, &y, threads, false));
+    });
+    let padded = measure(1, 5, || {
+        std::hint::black_box(dotprod_partials(&x, &y, threads, true));
+    });
+    let measured_pct = relative_overhead(packed.seconds(), padded.seconds()) * 100.0;
+    println!("dot product ({len} elements, {threads} threads):");
+    println!("  packed partials: {:>8.2} ms", packed.seconds() * 1e3);
+    println!("  padded partials: {:>8.2} ms", padded.seconds() * 1e3);
+    println!("  measured false-sharing overhead: {measured_pct:.1}%");
+
+    let machine = machines::generic_x86();
+    let model = analyze(
+        &fs_core::kernels::dotprod_partials(threads as u64, (len / threads) as u64, false),
+        &machine,
+        &AnalysisOptions::new(threads as u32).with_prediction(8),
+    );
+    println!(
+        "  model (generic_x86 preset) attributes {:.1}% of time to false sharing\n",
+        model.fs_percent()
+    );
+
+    // --- linear regression: chunk size sweep (the paper's Fig. 2 on real
+    // hardware) ---
+    let (n, m_inner) = (512usize, 512usize);
+    let pts = synth_points(n * m_inner);
+    println!("linear regression ({n} series x {m_inner} points, {threads} threads):");
+    let mut base = None;
+    for chunk in [1u64, 2, 4, 8, 16, 30] {
+        let m = measure(1, 2, || {
+            std::hint::black_box(linreg_packed(&pts, n, m_inner, threads, chunk));
+        });
+        let secs = m.seconds();
+        if base.is_none() {
+            base = Some(secs);
+        }
+        println!(
+            "  chunk {chunk:>2}: {:>8.2} ms  ({:+5.1}% vs chunk 1)",
+            secs * 1e3,
+            (secs / base.unwrap() - 1.0) * 100.0
+        );
+    }
+    println!("\n(expect times to fall as the chunk grows, most sharply on multicore hosts)");
+}

@@ -1,0 +1,115 @@
+//! Integration: the DSL front-end and pretty-printer are exact inverses on
+//! every kernel the library ships, and on randomly generated kernels.
+
+use loop_ir::dsl::parse_kernel;
+use loop_ir::pretty::kernel_to_dsl;
+use loop_ir::{kernels, validate};
+use proptest::prelude::*;
+
+#[test]
+fn builtin_kernels_roundtrip_exactly() {
+    for k in kernels::all_kernels_small() {
+        let src = kernel_to_dsl(&k);
+        let back = parse_kernel(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
+        assert_eq!(k, back, "{}", k.name);
+        // And the second generation is a fixed point.
+        assert_eq!(src, kernel_to_dsl(&back));
+    }
+}
+
+#[test]
+fn paper_scale_kernels_roundtrip() {
+    for k in [
+        kernels::linear_regression(9600, 128, 1),
+        kernels::heat_diffusion(5000, 5000, 64),
+        kernels::dft(4096, 4096, 16),
+    ] {
+        let src = kernel_to_dsl(&k);
+        let back = parse_kernel(&src).unwrap();
+        assert_eq!(k, back);
+        validate(&back).unwrap();
+    }
+}
+
+proptest! {
+    /// Random rectangular 2-level kernels with random strides/offsets and
+    /// chunk sizes survive print -> parse unchanged.
+    #[test]
+    fn random_stencils_roundtrip(
+        n in 4u64..64,
+        m in 4u64..64,
+        chunk in 1u64..16,
+        offs in prop::collection::vec(-2i64..=2, 1..5),
+        par_outer in any::<bool>(),
+        coeff in 1i64..3,
+    ) {
+        let mut b = loop_ir::KernelBuilder::new("rand");
+        let i = b.loop_var("i");
+        let j = b.loop_var("j");
+        // Generous bounds so offsets stay inside.
+        let a = b.array("a", &[n + 8, coeff as u64 * (m + 8)], loop_ir::ScalarType::F64);
+        let out = b.array("o", &[n + 8, m + 8], loop_ir::ScalarType::F64);
+        if par_outer {
+            b.parallel_for(i, 2, (n - 1) as i64, loop_ir::Schedule::Static { chunk });
+            b.seq_for(j, 2, (m - 1) as i64);
+        } else {
+            b.seq_for(i, 2, (n - 1) as i64);
+            b.parallel_for(j, 2, (m - 1) as i64, loop_ir::Schedule::Static { chunk });
+        }
+        let mut rhs = loop_ir::Expr::num(0.5);
+        for &o in &offs {
+            rhs = loop_ir::Expr::add(
+                rhs,
+                loop_ir::Expr::read(loop_ir::ArrayRef::read(
+                    a,
+                    vec![
+                        loop_ir::AffineExpr::linear(i, 1, o),
+                        loop_ir::AffineExpr::linear(j, coeff, o.abs()),
+                    ],
+                )),
+            );
+        }
+        b.stmt(loop_ir::Stmt::assign(
+            loop_ir::ArrayRef::write(out, vec![loop_ir::AffineExpr::var(i), loop_ir::AffineExpr::var(j)]),
+            rhs,
+        ));
+        let k = b.build();
+        validate(&k).unwrap();
+        let src = kernel_to_dsl(&k);
+        let back = parse_kernel(&src).unwrap();
+        prop_assert_eq!(k, back);
+    }
+
+    /// Round numbers written by the printer always re-lex as one float.
+    #[test]
+    fn float_literals_roundtrip(v in -1e12f64..1e12) {
+        let mut b = loop_ir::KernelBuilder::new("f");
+        let i = b.loop_var("i");
+        let a = b.array("a", &[8], loop_ir::ScalarType::F64);
+        b.parallel_for(i, 0, 8, loop_ir::Schedule::Static { chunk: 1 });
+        b.stmt(loop_ir::Stmt::assign(
+            loop_ir::ArrayRef::write(a, vec![loop_ir::AffineExpr::var(i)]),
+            loop_ir::Expr::num(v),
+        ));
+        let k = b.build();
+        let back = parse_kernel(&kernel_to_dsl(&k)).unwrap();
+        prop_assert_eq!(k, back);
+    }
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let cases = [
+        ("kernel k { array a[4]: f64;\n  parallel for i in 0..4 { a[i] = 1.0; } }", "schedule"),
+        ("kernel k { array a[4]: f64;\n  parallel for i in 0..4 schedule(static, 1) { b[i] = 1.0; } }", "unknown array"),
+        ("kernel k {\n  array a[4]: f32x;\n}", "unknown scalar type"),
+    ];
+    for (src, needle) in cases {
+        let err = parse_kernel(src).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "expected '{needle}' in: {err}"
+        );
+        assert!(err.line >= 1 && err.col >= 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration: the full public pipeline — DSL/builder -> validation ->
+//! analysis -> report -> advice — on every built-in kernel.
+
+use fs_core::{analyze, machines, recommend_chunk, AnalysisOptions};
+use loop_ir::kernels;
+
+#[test]
+fn analyze_every_builtin_kernel_on_every_preset() {
+    let presets = [machines::paper48(), machines::generic_x86(), machines::tiny_test()];
+    for machine in &presets {
+        for k in kernels::all_kernels_small() {
+            let threads = machine.num_cores.min(8);
+            let r = analyze(&k, machine, &AnalysisOptions::new(threads));
+            assert!(r.cost.total_cycles > 0.0, "{} on {}", k.name, machine.name);
+            assert!(
+                r.cost.fs_cycles >= 0.0 && r.cost.fs_fraction() <= 1.0,
+                "{} on {}",
+                k.name,
+                machine.name
+            );
+            // Rendering never panics and always includes the kernel name.
+            assert!(r.render().contains(&k.name));
+        }
+    }
+}
+
+#[test]
+fn dsl_to_report_pipeline() {
+    let src = "
+        kernel stencil {
+          const N = 514;
+          array A[N]: f64;
+          array B[N]: f64;
+          parallel for i in 1..N-1 schedule(static, 1) {
+            B[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+          }
+        }";
+    let k = fs_core::parse_kernel(src).unwrap();
+    let m = machines::paper48();
+    let r = analyze(&k, &m, &AnalysisOptions::new(8));
+    assert!(r.cost.fs.fs_cases > 0, "chunk 1 stencil false-shares on B");
+    assert_eq!(r.victims[0].array, "B");
+
+    // Override the const to scale the kernel without editing the source.
+    let big = fs_core::parse_kernel_with_consts(src, &[("N", 2050)]).unwrap();
+    assert_eq!(big.nest.parallel_trip_count(), Some(2048));
+}
+
+#[test]
+fn advisor_fixes_the_motivating_kernel() {
+    // The paper's Fig. 2 workflow: linreg with chunk 1 suffers; the advisor
+    // must recommend a chunk that removes most of the modeled FS cost.
+    let m = machines::paper48();
+    let k = kernels::linear_regression(192, 32, 1);
+    let advice = recommend_chunk(&k, &m, 8, 64, None);
+    assert!(advice.best_chunk >= 2, "best = {}", advice.best_chunk);
+    let best = advice
+        .points
+        .iter()
+        .find(|p| p.chunk == advice.best_chunk)
+        .unwrap();
+    let chunk1 = &advice.points[0];
+    assert!(
+        best.fs_cycles < chunk1.fs_cycles / 2.0,
+        "advice must cut FS cycles: {} -> {}",
+        chunk1.fs_cycles,
+        best.fs_cycles
+    );
+}
+
+#[test]
+fn padded_and_packed_variants_rank_correctly() {
+    let m = machines::paper48();
+    let packed = analyze(
+        &kernels::linear_regression(96, 32, 1),
+        &m,
+        &AnalysisOptions::new(8),
+    );
+    let padded = analyze(
+        &kernels::linear_regression_padded(96, 32, 1),
+        &m,
+        &AnalysisOptions::new(8),
+    );
+    assert!(packed.cost.fs.fs_cases > 0);
+    assert_eq!(padded.cost.fs.fs_cases, 0);
+    assert!(packed.cost.total_cycles > padded.cost.total_cycles);
+}
+
+#[test]
+fn report_is_stable_across_identical_runs() {
+    let m = machines::paper48();
+    let k = kernels::transpose(32, 32, 1);
+    let a = analyze(&k, &m, &AnalysisOptions::new(4));
+    let b = analyze(&k, &m, &AnalysisOptions::new(4));
+    assert_eq!(a.cost.fs.fs_cases, b.cost.fs.fs_cases);
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn prediction_pipeline_scales_to_paper_sizes() {
+    // Paper-scale linreg (9600 series) is far too big to fully evaluate in
+    // a test, but the predictor handles it in milliseconds.
+    let m = machines::paper48();
+    let k = kernels::linear_regression(9600, 50, 1);
+    let r = analyze(&k, &m, &AnalysisOptions::new(48).with_prediction(4));
+    assert!(r.cost.fs.fs_cases > 0);
+    assert!(r.cost.fs.iterations <= 4 * 48 * 50 * 2);
+}

@@ -1,0 +1,164 @@
+//! Integration: the qualitative shapes of the paper's evaluation hold on
+//! scaled-down instances — who wins, in which direction effects move, and
+//! where the structure of a kernel changes the trend.
+
+use cache_sim::{simulate_kernel, SimOptions};
+use cost_model::{modeled_fs_overhead, run_fs_model, AnalyzeOptions, FsModelConfig};
+use loop_ir::kernels;
+use machine::presets;
+
+fn modeled_pct(fs: &loop_ir::Kernel, nfs: &loop_ir::Kernel, threads: u32) -> f64 {
+    modeled_fs_overhead(fs, nfs, &presets::paper48(), &AnalyzeOptions::new(threads))
+        .fs_overhead_fraction
+        * 100.0
+}
+
+fn measured_pct(fs: &loop_ir::Kernel, nfs: &loop_ir::Kernel, threads: u32) -> f64 {
+    let m = presets::paper48();
+    let t_fs = simulate_kernel(fs, &m, SimOptions::new(threads)).makespan_cycles() as f64;
+    let t_nfs = simulate_kernel(nfs, &m, SimOptions::new(threads)).makespan_cycles() as f64;
+    ((t_fs - t_nfs) / t_fs).max(0.0) * 100.0
+}
+
+/// Tables I & II shape: DFT suffers several times more from FS than heat
+/// diffusion, in both the model and the measurement.
+#[test]
+fn dft_fs_impact_exceeds_heat() {
+    let threads = 8;
+    let heat_m = modeled_pct(
+        &kernels::heat_diffusion(34, 514, 1),
+        &kernels::heat_diffusion(34, 514, 64),
+        threads,
+    );
+    let dft_m = modeled_pct(
+        &kernels::dft(48, 512, 1),
+        &kernels::dft(48, 512, 16),
+        threads,
+    );
+    assert!(
+        dft_m > 1.5 * heat_m,
+        "modeled: dft {dft_m:.1}% vs heat {heat_m:.1}%"
+    );
+    let heat_s = measured_pct(
+        &kernels::heat_diffusion(34, 514, 1),
+        &kernels::heat_diffusion(34, 514, 64),
+        threads,
+    );
+    let dft_s = measured_pct(
+        &kernels::dft(48, 512, 1),
+        &kernels::dft(48, 512, 16),
+        threads,
+    );
+    assert!(
+        dft_s > heat_s,
+        "measured: dft {dft_s:.1}% vs heat {heat_s:.1}%"
+    );
+}
+
+/// Table III shape: linreg's *modeled* FS decays as threads grow. The
+/// paper's kernel strong-scales — its inner loop runs `M/num_threads`
+/// points — so the total work and with it the FS case count fall with the
+/// team size.
+#[test]
+fn linreg_modeled_fs_decays_with_threads() {
+    let cases: Vec<u64> = [2u32, 8, 24]
+        .iter()
+        .map(|&t| {
+            run_fs_model(
+                &kernels::linear_regression_scaled(96, 768, t as u64, 1),
+                &FsModelConfig::for_machine(&presets::paper48(), t),
+            )
+            .fs_cases
+        })
+        .collect();
+    assert!(
+        cases[0] > cases[1] && cases[1] > cases[2],
+        "cases must decay with threads: {cases:?}"
+    );
+}
+
+/// Heat/DFT (inner-parallel) keep x_max = (m*n)/(T*C) and their FS case
+/// totals stay roughly flat (paper: 94M -> 98M over 2..48 threads).
+#[test]
+fn inner_parallel_fs_roughly_flat_in_threads() {
+    let cases: Vec<u64> = [2u32, 4, 8]
+        .iter()
+        .map(|&t| {
+            run_fs_model(
+                &kernels::heat_diffusion(18, 514, 1),
+                &FsModelConfig::for_machine(&presets::paper48(), t),
+            )
+            .fs_events
+        })
+        .collect();
+    let max = *cases.iter().max().unwrap() as f64;
+    let min = *cases.iter().min().unwrap() as f64;
+    assert!(
+        max / min.max(1.0) < 2.0,
+        "events should be roughly flat: {cases:?}"
+    );
+}
+
+/// Fig. 2 shape: simulated execution time decreases as chunk size grows
+/// from 1 toward 30 on the linreg kernel.
+#[test]
+fn fig2_chunk_sweep_monotone() {
+    // 960 series across 8 threads: even at chunk 30 every thread gets
+    // several chunks (the paper used 9600 series for the same reason).
+    let m = presets::paper48();
+    let times: Vec<u64> = [1u64, 4, 30]
+        .iter()
+        .map(|&c| {
+            simulate_kernel(
+                &kernels::linear_regression(960, 16, c),
+                &m,
+                SimOptions::new(8),
+            )
+            .makespan_cycles()
+        })
+        .collect();
+    assert!(
+        times[0] > times[1] && times[1] > times[2],
+        "time must fall with chunk: {times:?}"
+    );
+    // And the gain is substantial (paper reports up to 30%).
+    let gain = (times[0] - times[2]) as f64 / times[0] as f64;
+    assert!(gain > 0.10, "gain = {:.1}%", gain * 100.0);
+}
+
+/// Fig. 6 shape: cumulative FS cases grow linearly in chunk runs.
+#[test]
+fn fig6_linearity() {
+    let k = kernels::transpose(96, 96, 1);
+    let r = run_fs_model(&k, &FsModelConfig::for_machine(&presets::paper48(), 8));
+    let pts: Vec<(f64, f64)> = r.series.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+    assert!(pts.len() >= 8);
+    let fit = cost_model::least_squares(&pts[2..]).unwrap();
+    assert!(fit.r2 > 0.99, "r2 = {}", fit.r2);
+    assert!(fit.a > 0.0);
+}
+
+/// Modeled and measured FS percentages land in the same band (the paper's
+/// accuracy claim, Tables I-II): within a factor ~2.5 of each other for
+/// inner-parallel kernels.
+#[test]
+fn modeled_tracks_measured_percentages() {
+    let threads = 8;
+    for (fs_k, nfs_k) in [
+        (
+            kernels::heat_diffusion(34, 514, 1),
+            kernels::heat_diffusion(34, 514, 64),
+        ),
+        (kernels::dft(48, 512, 1), kernels::dft(48, 512, 16)),
+    ] {
+        let mm = modeled_pct(&fs_k, &nfs_k, threads);
+        let ms = measured_pct(&fs_k, &nfs_k, threads);
+        assert!(mm > 0.0 && ms > 0.0, "{}: {mm:.1}% vs {ms:.1}%", fs_k.name);
+        let ratio = mm / ms;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "{}: modeled {mm:.1}% vs measured {ms:.1}% (ratio {ratio:.2})",
+            fs_k.name
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration: the linear-regression prediction model stays close to the
+//! full FS model at a fraction of the evaluation cost (the paper's Tables
+//! IV-VI claim), across kernels and team sizes.
+
+use cost_model::{predict_fs, run_fs_model, FsModelConfig};
+use loop_ir::{kernels, Kernel};
+use machine::presets;
+
+fn cfg(threads: u32) -> FsModelConfig {
+    FsModelConfig::for_machine(&presets::paper48(), threads)
+}
+
+fn check(kernel: &Kernel, threads: u32, runs: u64, tolerance: f64) {
+    let full = run_fs_model(kernel, &cfg(threads));
+    let pred = predict_fs(kernel, &cfg(threads), runs)
+        .unwrap_or_else(|| panic!("{}: series too short to fit", kernel.name));
+    let err = (pred.predicted_cases - full.fs_cases as f64).abs() / full.fs_cases.max(1) as f64;
+    assert!(
+        err <= tolerance,
+        "{} (T={threads}): predicted {:.0} vs modeled {} (err {:.1}%, tol {:.0}%)",
+        kernel.name,
+        pred.predicted_cases,
+        full.fs_cases,
+        err * 100.0,
+        tolerance * 100.0
+    );
+    assert!(
+        pred.sample.iterations < full.iterations,
+        "{}: prediction must evaluate fewer iterations",
+        kernel.name
+    );
+}
+
+#[test]
+fn dft_prediction_accurate_across_teams() {
+    for threads in [2u32, 4, 8] {
+        // Sample enough runs to cross several outer-loop instances.
+        let runs = 3 * 256 / threads as u64;
+        check(&kernels::dft(96, 256, 1), threads, runs, 0.06);
+    }
+}
+
+#[test]
+fn heat_prediction_accurate() {
+    for threads in [4u32, 8] {
+        let runs = 3 * 128 / threads as u64;
+        check(&kernels::heat_diffusion(66, 130, 1), threads, runs, 0.08);
+    }
+}
+
+#[test]
+fn linreg_prediction_accurate() {
+    // Outer-parallel: chunk runs are coarse; a handful suffices.
+    check(&kernels::linear_regression(96, 64, 1), 8, 6, 0.15);
+    check(&kernels::linear_regression(96, 64, 1), 4, 8, 0.15);
+}
+
+#[test]
+fn prediction_efficiency_grows_with_problem_size() {
+    let k = kernels::dft(256, 512, 1);
+    let pred = predict_fs(&k, &cfg(8), 128).unwrap();
+    // 128 of 256*64 = 16384 chunk runs evaluated.
+    assert!(pred.evaluation_fraction() < 0.01);
+    assert!(pred.fit.r2 > 0.99, "r2 = {}", pred.fit.r2);
+}
+
+#[test]
+fn predicted_events_also_track_full_model() {
+    let k = kernels::dft(96, 256, 1);
+    let full = run_fs_model(&k, &cfg(8));
+    let pred = predict_fs(&k, &cfg(8), 96).unwrap();
+    let err = (pred.predicted_events - full.fs_events as f64).abs() / full.fs_events.max(1) as f64;
+    assert!(err < 0.06, "events: {} vs {}", pred.predicted_events, full.fs_events);
+}
+
+#[test]
+fn non_fs_loops_predict_zero() {
+    let k = kernels::linear_regression_padded(96, 32, 1);
+    if let Some(pred) = predict_fs(&k, &cfg(8), 6) {
+        assert_eq!(pred.predicted_cases, 0.0);
+        assert_eq!(pred.predicted_events, 0.0);
+    }
+}
+
+#[test]
+fn series_linearity_matches_fig6() {
+    // Fig. 6: cumulative FS cases grow linearly with chunk runs. Check the
+    // fit quality on the full series of a steady kernel.
+    let k = kernels::dft(64, 256, 1);
+    let full = run_fs_model(&k, &cfg(8));
+    let pts: Vec<(f64, f64)> = full
+        .series
+        .iter()
+        .map(|&(x, y)| (x as f64, y as f64))
+        .collect();
+    let fit = cost_model::least_squares(&pts[pts.len() / 4..]).unwrap();
+    assert!(fit.r2 > 0.999, "series should be near-linear, r2 = {}", fit.r2);
+}

@@ -1,0 +1,186 @@
+//! Integration: the compiler workflow the cost models exist for — estimate
+//! a loop's cost, transform it (interchange / tile / unroll / pad /
+//! reschedule), estimate again, and keep the cheaper version. Verifies the
+//! model's verdicts against the MESI simulator.
+
+use cache_sim::{simulate_kernel, SimOptions};
+use cost_model::{analyze_loop, AnalyzeOptions};
+use loop_ir::transforms::{interchange, tile, unroll_innermost, with_chunk};
+use loop_ir::validate::validate_bounds;
+use loop_ir::{kernels, Kernel};
+use machine::presets;
+
+fn total_cycles(k: &Kernel, threads: u32) -> f64 {
+    analyze_loop(k, &presets::paper48(), &AnalyzeOptions::new(threads)).total_cycles
+}
+
+fn sim_makespan(k: &Kernel, threads: u32) -> u64 {
+    simulate_kernel(k, &presets::paper48(), SimOptions::new(threads)).makespan_cycles()
+}
+
+/// Tiling the parallel loop coarsens each thread's ownership exactly like a
+/// larger chunk: the model must price the transformed nest lower, and the
+/// simulator must agree.
+#[test]
+fn tiling_the_parallel_loop_removes_false_sharing() {
+    let base = kernels::stencil1d(1026, 1); // trip 1024, chunk 1
+    let tiled = tile(&base, 0, 64).unwrap(); // 16 parallel tiles of 64
+    validate_bounds(&tiled).unwrap();
+
+    let c_base = analyze_loop(&base, &presets::paper48(), &AnalyzeOptions::new(8));
+    let c_tiled = analyze_loop(&tiled, &presets::paper48(), &AnalyzeOptions::new(8));
+    assert!(
+        c_tiled.fs.fs_cases * 10 < c_base.fs.fs_cases.max(1),
+        "tiling must kill FS: {} -> {}",
+        c_base.fs.fs_cases,
+        c_tiled.fs.fs_cases
+    );
+    assert!(c_tiled.total_cycles < c_base.total_cycles);
+
+    let s_base = sim_makespan(&base, 8);
+    let s_tiled = sim_makespan(&tiled, 8);
+    assert!(
+        s_tiled < s_base,
+        "simulator agrees: {s_base} -> {s_tiled} cycles"
+    );
+}
+
+/// Tiling a *sequential* loop must not change the FS verdict materially
+/// (ownership is untouched).
+#[test]
+fn tiling_a_sequential_loop_preserves_fs() {
+    let base = kernels::matvec(64, 64, 1);
+    let tiled = tile(&base, 1, 16).unwrap();
+    let c_base = analyze_loop(&base, &presets::paper48(), &AnalyzeOptions::new(8));
+    let c_tiled = analyze_loop(&tiled, &presets::paper48(), &AnalyzeOptions::new(8));
+    let ratio = c_tiled.fs.fs_events as f64 / c_base.fs.fs_events.max(1) as f64;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "FS events {} -> {}",
+        c_base.fs.fs_events,
+        c_tiled.fs.fs_events
+    );
+}
+
+/// Interchanging matvec (parallel rows -> parallel columns... here: swap
+/// i/j so the reduction loop becomes outermost) changes the FS exposure;
+/// the model and the simulator must agree on the *direction*.
+#[test]
+fn interchange_direction_agreement() {
+    let base = kernels::matvec(64, 64, 1); // parallel i, inner j
+    let swapped = interchange(&base, 0, 1).unwrap(); // seq j outer, parallel i inner
+    validate_bounds(&swapped).unwrap();
+
+    let m_base = analyze_loop(&base, &presets::paper48(), &AnalyzeOptions::new(8));
+    let m_sw = analyze_loop(&swapped, &presets::paper48(), &AnalyzeOptions::new(8));
+    let s_base = sim_makespan(&base, 8);
+    let s_sw = sim_makespan(&swapped, 8);
+
+    let model_prefers_base = m_base.total_cycles <= m_sw.total_cycles;
+    let sim_prefers_base = s_base <= s_sw;
+    assert_eq!(
+        model_prefers_base, sim_prefers_base,
+        "model ({:.0} vs {:.0}) and sim ({} vs {}) must rank alike",
+        m_base.total_cycles, m_sw.total_cycles, s_base, s_sw
+    );
+}
+
+/// Unrolling multiplies per-iteration work and divides the iteration count;
+/// the processor model's totals must stay within a small factor (unrolling
+/// alone doesn't change the algorithm).
+#[test]
+fn unrolling_keeps_total_compute_stable() {
+    let base = kernels::matvec(32, 64, 1);
+    let unrolled = unroll_innermost(&base, 4).unwrap();
+    let m = presets::paper48();
+    let c_base = analyze_loop(&base, &m, &AnalyzeOptions::new(4));
+    let c_unr = analyze_loop(&unrolled, &m, &AnalyzeOptions::new(4));
+    // 4x ops per iteration, 1/4 the iterations.
+    assert_eq!(
+        c_unr.iters_per_thread * 4.0,
+        c_base.iters_per_thread,
+        "iteration count divides"
+    );
+    let total_ratio = c_unr.total_cycles / c_base.total_cycles;
+    assert!(
+        (0.4..=1.6).contains(&total_ratio),
+        "total cost roughly preserved: ratio {total_ratio:.2}"
+    );
+    // Unrolling is itself a mild FS mitigation: one unrolled iteration
+    // bursts 4 accesses to the accumulator line between interleaving
+    // points, so the line ping-pongs once per burst instead of once per
+    // original iteration — events drop by ~the unroll factor.
+    let ev_ratio = c_unr.fs.fs_events as f64 / c_base.fs.fs_events.max(1) as f64;
+    assert!(
+        (0.15..=0.4).contains(&ev_ratio),
+        "events ratio {ev_ratio:.2} (expected ~1/factor)"
+    );
+}
+
+/// The chunk transformation and the tiling transformation of the parallel
+/// loop are equivalent reschedulings; their modeled costs must be close.
+#[test]
+fn chunking_and_parallel_tiling_agree() {
+    let base = kernels::stencil1d(1026, 1);
+    let chunked = with_chunk(&base, 64);
+    let tiled = tile(&base, 0, 64).unwrap();
+    let c_chunk = total_cycles(&chunked, 8);
+    let c_tile = total_cycles(&tiled, 8);
+    let ratio = c_tile / c_chunk;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "chunk-64 {c_chunk:.0} vs tile-64 {c_tile:.0} (ratio {ratio:.2})"
+    );
+}
+
+/// Transformed kernels keep round-tripping through the DSL, so `fsdetect
+/// --eliminate` can always print its output as source.
+#[test]
+fn transformed_kernels_roundtrip_dsl() {
+    let base = kernels::matvec(16, 32, 1);
+    for k in [
+        interchange(&base, 0, 1).unwrap(),
+        tile(&base, 1, 8).unwrap(),
+        unroll_innermost(&base, 2).unwrap(),
+    ] {
+        let src = loop_ir::pretty::kernel_to_dsl(&k);
+        let back = loop_ir::dsl::parse_kernel(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
+        assert_eq!(k, back, "{}", k.name);
+    }
+}
+
+/// End-to-end compiler loop: enumerate candidate schedules + layouts with
+/// the public API and confirm the chosen winner simulates fastest among the
+/// candidates.
+#[test]
+fn model_choice_matches_simulation_ranking() {
+    let base = kernels::linear_regression(192, 32, 1);
+    let candidates: Vec<Kernel> = vec![
+        base.clone(),
+        with_chunk(&base, 4),
+        with_chunk(&base, 16),
+        kernels::linear_regression_padded(192, 32, 1),
+    ];
+    let model_best = candidates
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| total_cycles(a, 8).total_cmp(&total_cycles(b, 8)))
+        .map(|(i, _)| i)
+        .unwrap();
+    let sim_times: Vec<u64> = candidates.iter().map(|k| sim_makespan(k, 8)).collect();
+    let sim_best = sim_times
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, t)| *t)
+        .map(|(i, _)| i)
+        .unwrap();
+    // Model's pick must be within 25% of the simulator's optimum (exact
+    // index agreement is not required — candidates can tie).
+    let m = sim_times[model_best] as f64;
+    let s = sim_times[sim_best] as f64;
+    assert!(
+        m <= s * 1.25,
+        "model picked #{model_best} ({m} cy), sim optimum #{sim_best} ({s} cy): {sim_times:?}"
+    );
+}
