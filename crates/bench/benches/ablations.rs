@@ -24,9 +24,8 @@ fn print_ablation_effects() {
     let base = run_fs_model(&kernel, &base_cfg);
 
     let mut deep = base_cfg.clone();
-    deep.stack_lines = (machine.caches.levels[0].size_bytes
-        + machine.caches.levels[1].size_bytes) as usize
-        / 64;
+    deep.stack_lines =
+        (machine.caches.levels[0].size_bytes + machine.caches.levels[1].size_bytes) as usize / 64;
     let deep_r = run_fs_model(&kernel, &deep);
 
     let mut inval = base_cfg.clone();
@@ -38,15 +37,30 @@ fn print_ablation_effects() {
     let line_r = run_fs_model(&kernel, &linegran);
 
     println!("--- ablation effects on FS cases (dft, 8 threads) ---");
-    println!("baseline (L1 stack, faithful, byte-split): {}", base.fs_cases);
-    println!("L1+L2-deep stacks:                         {}", deep_r.fs_cases);
-    println!("invalidate-on-detect:                      {}", inval_r.fs_cases);
-    println!("line-granularity (paper counting):         {}", line_r.fs_cases);
+    println!(
+        "baseline (L1 stack, faithful, byte-split): {}",
+        base.fs_cases
+    );
+    println!(
+        "L1+L2-deep stacks:                         {}",
+        deep_r.fs_cases
+    );
+    println!(
+        "invalidate-on-detect:                      {}",
+        inval_r.fs_cases
+    );
+    println!(
+        "line-granularity (paper counting):         {}",
+        line_r.fs_cases
+    );
 
     let mut setassoc = base_cfg.clone();
     setassoc.stack_sets = 64; // 16-way over the same capacity
     let sa_r = run_fs_model(&kernel, &setassoc);
-    println!("16-way set-associative cache states:       {}", sa_r.fs_cases);
+    println!(
+        "16-way set-associative cache states:       {}",
+        sa_r.fs_cases
+    );
 
     let gen = TraceGen::new(&kernel, 8, 64);
     for (name, il) in [
@@ -159,7 +173,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g2 = c.benchmark_group("associativity");
     g2.sample_size(20);
     for (name, m) in [("set_assoc", &machine), ("fully_assoc", &fa_machine)] {
-        g2.bench_function(*&name, |b| {
+        g2.bench_function(name, |b| {
             b.iter(|| cache_sim::simulate_kernel(&kernel, m, SimOptions::new(8)))
         });
     }

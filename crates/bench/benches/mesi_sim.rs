@@ -72,5 +72,10 @@ fn bench_sharing_baseline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_raw_access_patterns, bench_kernel_sim, bench_sharing_baseline);
+criterion_group!(
+    benches,
+    bench_raw_access_patterns,
+    bench_kernel_sim,
+    bench_sharing_baseline
+);
 criterion_main!(benches);

@@ -13,12 +13,7 @@ fn main() {
     for chunk in [1u64, 2, 4, 6, 8, 10, 14, 18, 22, 26, 30] {
         let t = measured_time_seconds(&scale::linreg(chunk, threads), &machine, threads);
         let b = *base.get_or_insert(t);
-        println!(
-            "{:>8} {:>14.6} {:>15.1}%",
-            chunk,
-            t,
-            (t / b - 1.0) * 100.0
-        );
+        println!("{:>8} {:>14.6} {:>15.1}%", chunk, t, (t / b - 1.0) * 100.0);
     }
     println!("(expect a falling curve: larger chunks remove the false sharing)");
 }

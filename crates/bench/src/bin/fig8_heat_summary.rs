@@ -2,9 +2,7 @@
 //! false-sharing effect (% of execution time) vs thread count, heat
 //! diffusion kernel.
 
-use fs_bench::{
-    fs_effect_table, paper48, prediction_table, scale, thread_counts_from_env,
-};
+use fs_bench::{fs_effect_table, paper48, prediction_table, scale, thread_counts_from_env};
 
 fn main() {
     let machine = paper48();

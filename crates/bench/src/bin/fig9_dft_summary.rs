@@ -1,9 +1,7 @@
 //! Fig. 9: summary comparison of measured / modeled / predicted
 //! false-sharing effect (% of execution time) vs thread count, DFT kernel.
 
-use fs_bench::{
-    fs_effect_table, paper48, prediction_table, scale, thread_counts_from_env,
-};
+use fs_bench::{fs_effect_table, paper48, prediction_table, scale, thread_counts_from_env};
 
 fn main() {
     let machine = paper48();

@@ -10,7 +10,7 @@
 //! scales keep the *structure* (trip-count ratios, chunk sizes, thread
 //! sweep 2..48) while shrinking totals to simulator-friendly sizes.
 
-use cost_model::{machine_cost, modeled_fs_overhead, AnalyzeOptions};
+use cost_model::{machine_cost, modeled_fs_overhead, AnalysisOptions};
 use loop_ir::Kernel;
 use machine::MachineConfig;
 
@@ -56,12 +56,8 @@ pub mod scale {
 /// wall-clock columns.
 pub fn measured_time_seconds(kernel: &Kernel, machine: &MachineConfig, threads: u32) -> f64 {
     let compute = machine_cost(kernel, &machine.processor).cycles_per_iter;
-    let cycles = cache_sim::simulated_time_cycles(
-        kernel,
-        machine,
-        SimOptions::new(threads),
-        compute,
-    );
+    let cycles =
+        cache_sim::simulated_time_cycles(kernel, machine, SimOptions::new(threads), compute);
     machine.cycles_to_seconds(cycles)
 }
 
@@ -94,8 +90,7 @@ pub fn fs_effect_table(
             let k_nfs = mk(c_nfs, t);
             let t_fs = measured_time_seconds(&k_fs, machine, t);
             let t_nfs = measured_time_seconds(&k_nfs, machine, t);
-            let modeled =
-                modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalyzeOptions::new(t));
+            let modeled = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalysisOptions::new(t));
             FsEffectRow {
                 threads: t,
                 t_fs,
@@ -154,8 +149,8 @@ pub fn prediction_table(
             let runs_fs = sample_runs(&k_fs, t, nominal_runs);
             let runs_nfs = sample_runs(&k_nfs, t, nominal_runs);
 
-            let full = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalyzeOptions::new(t));
-            let mut popts = AnalyzeOptions::new(t);
+            let full = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalysisOptions::new(t));
+            let mut popts = AnalysisOptions::new(t);
             popts.predict_chunk_runs = Some(runs_fs);
             let pred_fs_loop = cost_model::analyze_loop(&k_fs, machine, &popts);
             popts.predict_chunk_runs = Some(runs_nfs);

@@ -70,17 +70,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Read a value without touching recency.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.map
-            .get(key)
-            .map(|&i| &self.slab[i as usize].as_ref().expect("mapped slot is live").value)
+        self.map.get(key).map(|&i| {
+            &self.slab[i as usize]
+                .as_ref()
+                .expect("mapped slot is live")
+                .value
+        })
     }
 
     fn node(&self, idx: u32) -> &Node<K, V> {
-        self.slab[idx as usize].as_ref().expect("linked slot is live")
+        self.slab[idx as usize]
+            .as_ref()
+            .expect("linked slot is live")
     }
 
     fn node_mut(&mut self, idx: u32) -> &mut Node<K, V> {
-        self.slab[idx as usize].as_mut().expect("linked slot is live")
+        self.slab[idx as usize]
+            .as_mut()
+            .expect("linked slot is live")
     }
 
     fn detach(&mut self, idx: u32) {

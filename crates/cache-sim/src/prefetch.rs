@@ -111,11 +111,7 @@ impl StreamPrefetcher {
         };
         if self.streams.len() < self.capacity {
             self.streams.push(fresh);
-        } else if let Some(victim) = self
-            .streams
-            .iter_mut()
-            .min_by_key(|s| s.last_used)
-        {
+        } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.last_used) {
             *victim = fresh;
         }
     }
@@ -190,7 +186,7 @@ mod tests {
         observe(&mut p, 200);
         observe(&mut p, 300); // allocates by evicting stream(100)
         observe(&mut p, 101); // near 100? gone; nearest is none within 64 of 101? 100 evicted
-        // stream 200 and one of the new ones survive; no panic, no prefetch
+                              // stream 200 and one of the new ones survive; no panic, no prefetch
         assert!(observe(&mut p, 9999).is_empty());
     }
 }

@@ -77,16 +77,8 @@ mod tests {
     #[test]
     fn chunk1_false_shares_more_than_chunk64_on_transpose() {
         let m = presets::paper48();
-        let fs = simulate_kernel(
-            &kernels::transpose(64, 64, 1),
-            &m,
-            SimOptions::new(8),
-        );
-        let nofs = simulate_kernel(
-            &kernels::transpose(64, 64, 8),
-            &m,
-            SimOptions::new(8),
-        );
+        let fs = simulate_kernel(&kernels::transpose(64, 64, 1), &m, SimOptions::new(8));
+        let nofs = simulate_kernel(&kernels::transpose(64, 64, 8), &m, SimOptions::new(8));
         assert!(
             fs.total_false_sharing() > 10 * nofs.total_false_sharing().max(1),
             "chunk=1: {} vs chunk=8: {}",

@@ -78,7 +78,10 @@ pub enum TraceReadError {
     /// The header line is missing or malformed.
     BadHeader(String),
     /// A data line failed to parse (1-based line number included).
-    BadLine { line: usize, content: String },
+    BadLine {
+        line: usize,
+        content: String,
+    },
 }
 
 impl std::fmt::Display for TraceReadError {
@@ -218,10 +221,7 @@ mod tests {
         let mut buf = Vec::new();
         dump_kernel_trace(&mut buf, &k, 4, 64, Interleave::PerIteration).unwrap();
         let replayed = read_trace(&buf[..]).unwrap().replay(&machine, true);
-        assert_eq!(
-            direct.total_false_sharing(),
-            replayed.total_false_sharing()
-        );
+        assert_eq!(direct.total_false_sharing(), replayed.total_false_sharing());
         assert_eq!(direct.makespan_cycles(), replayed.makespan_cycles());
         assert_eq!(direct.total_accesses(), replayed.total_accesses());
     }

@@ -3,8 +3,8 @@
 //! chunk size for OpenMP loops", §IV-B) — sweep candidate chunk sizes,
 //! model each, and recommend the cheapest schedule.
 
-use cost_model::{analyze_loop, AnalyzeOptions};
-use loop_ir::{Kernel, Schedule};
+use cost_model::sweep::{evaluate_point, kernel_at_chunk, EvalMode, MemoCache};
+use loop_ir::Kernel;
 use machine::MachineConfig;
 
 /// One evaluated schedule point.
@@ -30,6 +30,11 @@ pub struct ChunkAdvice {
 /// Sweep power-of-two chunk sizes (plus 1) up to `max_chunk` and recommend
 /// the cheapest. Uses the linear-regression predictor with
 /// `predict_chunk_runs` when given, keeping the sweep fast on big loops.
+///
+/// Internally runs on the memoized sweep primitives: the schedule-independent
+/// terms (machine cost, access plan, array layout) are prepared once and
+/// shared across every candidate chunk size, so the sweep does the O(chunks)
+/// FS-model work but only O(1) of everything else.
 pub fn recommend_chunk(
     kernel: &Kernel,
     machine: &MachineConfig,
@@ -46,14 +51,16 @@ pub fn recommend_chunk(
         c *= 2;
     }
 
-    let mut opts = AnalyzeOptions::new(num_threads);
-    opts.predict_chunk_runs = predict_chunk_runs;
+    let mode = match predict_chunk_runs {
+        Some(runs) => EvalMode::Predict(runs),
+        None => EvalMode::Full,
+    };
+    let mut memo = MemoCache::new();
 
     let mut points = Vec::with_capacity(candidates.len());
     for &chunk in &candidates {
-        let mut k = kernel.clone();
-        k.nest.parallel.schedule = Schedule::Static { chunk };
-        let cost = analyze_loop(&k, machine, &opts);
+        let k = kernel_at_chunk(kernel, chunk);
+        let cost = evaluate_point(&k, machine, num_threads, mode, &mut memo);
         points.push(ChunkPoint {
             chunk,
             fs_cases: cost.fs.fs_cases,

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! fsdetect <kernel.loop | @bundled-name> [--threads N]
-//!          [--machine paper48|generic|tiny] [--predict RUNS]
+//!          [--machine paper48|generic|tiny] [--predict RUNS] [--json]
 //!          [--advise] [--eliminate] [--sim] [--contention] [--baseline]
-//!          [--sweep] [--const NAME=VALUE ...] [--list]
+//!          [--sweep] [--sweep-grid THREADS:CHUNKS] [--workers N]
+//!          [--early-exit] [--const NAME=VALUE ...] [--list]
 //! ```
 //!
 //! Prints the Eq. 1 cost breakdown, the FS case count, victim arrays, and
@@ -14,8 +15,17 @@
 //! coherence simulator; `--contention` prints the shared-cache and
 //! memory-bus interference estimates. `@name` loads a bundled corpus
 //! kernel (`--list` shows them).
+//!
+//! `--sweep-grid 2,4,8:1,4,16` evaluates the kernel over a threads × chunks
+//! grid on the parallel memoized sweep engine (`--workers` sets the pool
+//! size; `--early-exit` switches the per-point FS model to the adaptive
+//! predictor). `--json` emits the analysis — and the grid, when requested —
+//! as one structured JSON document on stdout.
 
-use fs_core::{analyze, machines, recommend_chunk, AnalysisOptions};
+use fs_core::{
+    machines, recommend_chunk, try_analyze, AnalysisOptions, EarlyExit, EvalMode, JsonValue,
+    SweepEngine, SweepGrid,
+};
 use std::process::ExitCode;
 
 struct Args {
@@ -29,16 +39,32 @@ struct Args {
     contention: bool,
     baseline: bool,
     sweep: bool,
+    sweep_grid: Option<(Vec<u32>, Vec<u64>)>,
+    workers: Option<usize>,
+    early_exit: bool,
+    json: bool,
     consts: Vec<(String, i64)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fsdetect <kernel.loop | @bundled> [--threads N] [--machine paper48|generic|tiny]\n\
-         \x20              [--predict RUNS] [--advise] [--eliminate] [--sim] [--contention]\n\
+         \x20              [--predict RUNS] [--json] [--advise] [--eliminate] [--sim] [--contention]\n\
+         \x20              [--sweep] [--sweep-grid THREADS:CHUNKS] [--workers N] [--early-exit]\n\
          \x20              [--const NAME=VALUE ...] [--list]"
     );
     std::process::exit(2);
+}
+
+/// Parse `2,4,8:1,4,16,64` into (threads, chunks).
+fn parse_grid_spec(spec: &str) -> Option<(Vec<u32>, Vec<u64>)> {
+    let (t, c) = spec.split_once(':')?;
+    let threads: Option<Vec<u32>> = t.split(',').map(|v| v.trim().parse().ok()).collect();
+    let chunks: Option<Vec<u64>> = c.split(',').map(|v| v.trim().parse().ok()).collect();
+    match (threads, chunks) {
+        (Some(t), Some(c)) if !t.is_empty() && !c.is_empty() => Some((t, c)),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Args {
@@ -53,6 +79,10 @@ fn parse_args() -> Args {
         contention: false,
         baseline: false,
         sweep: false,
+        sweep_grid: None,
+        workers: None,
+        early_exit: false,
+        json: false,
         consts: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -78,6 +108,19 @@ fn parse_args() -> Args {
             "--contention" => args.contention = true,
             "--baseline" => args.baseline = true,
             "--sweep" => args.sweep = true,
+            "--sweep-grid" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.sweep_grid = Some(parse_grid_spec(&spec).unwrap_or_else(|| usage()));
+            }
+            "--workers" => {
+                args.workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--early-exit" => args.early_exit = true,
+            "--json" => args.json = true,
             "--list" => {
                 for e in fs_core::CORPUS {
                     println!("@{:<12} {}", e.name, e.blurb);
@@ -95,7 +138,9 @@ fn parse_args() -> Args {
                 args.consts.push((name.to_string(), value));
             }
             "--help" | "-h" => usage(),
-            other if args.path.is_empty() && (!other.starts_with('-') || other.starts_with('@')) => {
+            other
+                if args.path.is_empty() && (!other.starts_with('-') || other.starts_with('@')) =>
+            {
                 args.path = other.to_string()
             }
             _ => usage(),
@@ -126,11 +171,7 @@ fn main() -> ExitCode {
             }
         }
     };
-    let consts: Vec<(&str, i64)> = args
-        .consts
-        .iter()
-        .map(|(n, v)| (n.as_str(), *v))
-        .collect();
+    let consts: Vec<(&str, i64)> = args.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     let kernel = match fs_core::parse_kernel_with_consts(&src, &consts) {
         Ok(k) => k,
         Err(e) => {
@@ -150,8 +191,83 @@ fn main() -> ExitCode {
 
     let mut opts = AnalysisOptions::new(args.threads);
     opts.predict_chunk_runs = args.predict;
-    let report = analyze(&kernel, &machine, &opts);
+    let report = match try_analyze(&kernel, &machine, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fsdetect: {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let grid_result = if let Some((threads, chunks)) = &args.sweep_grid {
+        let grid = SweepGrid::new(
+            vec![(kernel.name.clone(), kernel.clone())],
+            (machine.name.clone(), machine.clone()),
+            threads.clone(),
+            chunks.clone(),
+        );
+        let mode = if args.early_exit {
+            EvalMode::EarlyExit(EarlyExit::default())
+        } else {
+            match args.predict {
+                Some(runs) => EvalMode::Predict(runs),
+                None => EvalMode::Full,
+            }
+        };
+        let mut engine = SweepEngine::new().mode(mode);
+        if let Some(w) = args.workers {
+            engine = engine.workers(w);
+        }
+        match engine.run(&grid) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("fsdetect: sweep grid: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    if args.json {
+        let mut doc = JsonValue::obj().field("report", report.to_json());
+        if let Some(r) = &grid_result {
+            doc = doc.field("sweep_grid", r.to_json());
+        }
+        print!("{}", doc.render_pretty());
+        return if report.has_significant_fs() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     print!("{}", report.render());
+
+    if let Some(r) = &grid_result {
+        println!("-- sweep grid ({} points) --", r.outcomes.len());
+        println!(
+            "{:>8} {:>8} {:>12} {:>16} {:>8}",
+            "threads", "chunk", "fs cases", "total cycles", "fs %"
+        );
+        for o in &r.outcomes {
+            println!(
+                "{:>8} {:>8} {:>12} {:>16.0} {:>7.1}%",
+                o.threads,
+                o.chunk,
+                o.cost.fs.fs_cases,
+                o.cost.total_cycles,
+                o.cost.fs_fraction() * 100.0
+            );
+        }
+        if let Some(best) = r.best() {
+            println!(
+                "best point: {} threads, chunk {} ({:.0} cycles)",
+                best.threads, best.chunk, best.cost.total_cycles
+            );
+        }
+        println!("memo: {} hits, {} misses", r.memo_hits, r.memo_misses);
+    }
 
     if args.sim {
         let stats = fs_core::simulation::simulate_kernel(
@@ -221,7 +337,7 @@ fn main() -> ExitCode {
     }
 
     if args.sweep {
-        let mut aopts = fs_core::AnalyzeOptions::new(args.threads);
+        let mut aopts = fs_core::AnalysisOptions::new(args.threads);
         aopts.predict_chunk_runs = args.predict;
         println!("-- hardware sensitivity sweeps --");
         for sweep in cost_model::standard_battery(&kernel, &machine, &aopts) {
@@ -229,14 +345,17 @@ fn main() -> ExitCode {
             for p in &sweep.points {
                 println!(
                     "  {:>10} -> FS {:>5.1}% of {:>12.0} cycles ({} cases)",
-                    p.value, p.fs_fraction * 100.0, p.total_cycles, p.fs_cases
+                    p.value,
+                    p.fs_fraction * 100.0,
+                    p.total_cycles,
+                    p.fs_cases
                 );
             }
         }
     }
 
     if args.eliminate {
-        let mut opts = fs_core::AnalyzeOptions::new(args.threads);
+        let mut opts = fs_core::AnalysisOptions::new(args.threads);
         opts.predict_chunk_runs = args.predict;
         let mit = fs_core::eliminate_false_sharing(&kernel, &machine, args.threads, &opts);
         println!("-- mitigation search --");

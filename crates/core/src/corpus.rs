@@ -59,11 +59,7 @@ pub fn corpus_kernel(name: &str) -> Result<Kernel, ParseError> {
     let entry = corpus_entry(name).ok_or(ParseError {
         message: format!(
             "no bundled kernel named '{name}' (available: {})",
-            CORPUS
-                .iter()
-                .map(|e| e.name)
-                .collect::<Vec<_>>()
-                .join(", ")
+            CORPUS.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
         ),
         line: 0,
         col: 0,
@@ -72,10 +68,7 @@ pub fn corpus_kernel(name: &str) -> Result<Kernel, ParseError> {
 }
 
 /// Parse a corpus kernel with `const` overrides (to rescale it).
-pub fn corpus_kernel_with_consts(
-    name: &str,
-    consts: &[(&str, i64)],
-) -> Result<Kernel, ParseError> {
+pub fn corpus_kernel_with_consts(name: &str, consts: &[(&str, i64)]) -> Result<Kernel, ParseError> {
     let entry = corpus_entry(name).ok_or(ParseError {
         message: format!("no bundled kernel named '{name}'"),
         line: 0,
@@ -103,7 +96,8 @@ mod tests {
         let m = crate::machines::paper48();
         for name in ["linreg", "heat", "dft", "histogram", "matmul"] {
             let k = corpus_kernel(name).unwrap();
-            let r = crate::analyze(&k, &m, &crate::AnalysisOptions::new(8).with_prediction(32));
+            let r = crate::try_analyze(&k, &m, &crate::AnalysisOptions::new(8).predict(32).build())
+                .expect("corpus kernels analyze cleanly");
             assert!(r.cost.fs.fs_cases > 0, "{name} should false-share");
         }
     }

@@ -1,0 +1,252 @@
+//! A hand-rolled JSON value + serializer, so the default (fully offline)
+//! build can emit structured output with zero dependencies.
+//!
+//! Objects are ordered vectors, not maps: serialization order is exactly
+//! insertion order, which is what makes `--sweep-grid` output byte-stable
+//! across runs and evaluation strategies.
+
+use std::fmt::Write as _;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Serialized via [`fmt_f64`]; integral values print without a
+    /// fractional part.
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    /// Ordered key/value pairs (insertion order is serialization order).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Append a field (builder-style; on non-objects this is a no-op).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        if let JsonValue::Obj(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => out.push_str(&fmt_f64(*n)),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float the way JSON expects: integral values without a
+/// fractional part, non-finite values as `null` (JSON has no NaN/Inf).
+pub fn fmt_f64(n: f64) -> String {
+    if !n.is_finite() {
+        "null".to_string()
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Num(n)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_compactly() {
+        let v = JsonValue::obj()
+            .field("name", "heat")
+            .field("ok", true)
+            .field("cycles", 1234u64)
+            .field("frac", 0.5)
+            .field("tags", JsonValue::Arr(vec!["a".into(), "b".into()]))
+            .field("none", JsonValue::Null);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"heat","ok":true,"cycles":1234,"frac":0.5,"tags":["a","b"],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.render(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn numbers_print_integral_when_integral() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(-4.0), "-4");
+        assert_eq!(fmt_f64(3.25), "3.25");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn field_order_is_insertion_order() {
+        let a = JsonValue::obj().field("z", 1u64).field("a", 2u64);
+        assert_eq!(a.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_parseable_shape() {
+        let v = JsonValue::obj()
+            .field("xs", JsonValue::Arr(vec![1u64.into(), 2u64.into()]))
+            .field("empty", JsonValue::obj());
+        let p = v.render_pretty();
+        assert!(p.contains("\"xs\": [\n"));
+        assert!(p.contains("\"empty\": {}"));
+        assert!(p.ends_with("}\n"));
+    }
+}

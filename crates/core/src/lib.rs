@@ -7,7 +7,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use fs_core::{analyze, AnalysisOptions};
+//! use fs_core::{try_analyze, AnalysisOptions};
 //!
 //! // Describe the loop in the DSL (or build it with loop_ir::KernelBuilder).
 //! let kernel = fs_core::parse_kernel(
@@ -23,7 +23,7 @@
 //! ).unwrap();
 //!
 //! let machine = fs_core::machines::paper48();
-//! let report = analyze(&kernel, &machine, &AnalysisOptions::new(8));
+//! let report = try_analyze(&kernel, &machine, &AnalysisOptions::new(8)).unwrap();
 //! assert!(report.cost.fs.fs_cases > 0, "adjacent counters false-share");
 //! println!("{}", report.render());
 //! ```
@@ -35,21 +35,36 @@
 
 pub mod advisor;
 pub mod corpus;
+pub mod error;
+pub mod json;
 pub mod report;
+pub mod sweep;
 pub mod transform;
 
 pub use advisor::{recommend_chunk, ChunkAdvice, ChunkPoint};
 pub use corpus::{corpus_entry, corpus_kernel, corpus_kernel_with_consts, CorpusEntry, CORPUS};
+pub use error::AnalysisError;
+pub use json::JsonValue;
 pub use report::{AnalysisReport, VictimArray};
+pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome};
 pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
 
 use loop_ir::Kernel;
 use machine::MachineConfig;
 
+pub use cost_model::sweep::{
+    kernel_at_chunk, EarlyExit, EvalMode, MemoCache, SweepGrid, SweepPointSpec,
+};
+#[allow(deprecated)]
+pub use cost_model::AnalyzeOptions;
 /// Re-exported building blocks for users who need the full substrate.
+///
+/// `AnalysisOptions` is the *one* options type shared by the low-level
+/// [`analyze_loop`] and the high-level [`try_analyze`]: build it with
+/// `AnalysisOptions::new(threads).predict(runs).build()`.
 pub use cost_model::{
     analyze_loop, bus_interference, modeled_fs_overhead, predict_fs, run_fs_model,
-    shared_cache_interference, AnalyzeOptions, BusInterference, FsModelConfig, FsModelResult,
+    shared_cache_interference, AnalysisOptions, BusInterference, FsModelConfig, FsModelResult,
     LoopCost, SharedCacheInterference,
 };
 pub use loop_ir::dsl::parse_kernel_with_consts;
@@ -64,43 +79,49 @@ pub mod machines {
 /// Simulation entry points (the "measured" side of experiments).
 pub mod simulation {
     pub use cache_sim::{
-        simulate_kernel, simulated_time_cycles, Interleave, LineClass, SharingAnalysis,
-        SimOptions, SimStats,
+        simulate_kernel, simulated_time_cycles, Interleave, LineClass, SharingAnalysis, SimOptions,
+        SimStats,
     };
-}
-
-/// Options for [`analyze`].
-#[derive(Debug, Clone)]
-pub struct AnalysisOptions {
-    pub num_threads: u32,
-    /// Evaluate only this many chunk runs and extrapolate with the linear
-    /// regression predictor (paper §III-E); `None` runs the full model.
-    pub predict_chunk_runs: Option<u64>,
-}
-
-impl AnalysisOptions {
-    pub fn new(num_threads: u32) -> Self {
-        AnalysisOptions {
-            num_threads,
-            predict_chunk_runs: None,
-        }
-    }
-
-    pub fn with_prediction(mut self, chunk_runs: u64) -> Self {
-        self.predict_chunk_runs = Some(chunk_runs);
-        self
-    }
 }
 
 /// Analyze a kernel: run the full Eq. 1 cost model (including the FS model)
 /// and package the result with victim attribution and human-readable
-/// rendering.
+/// rendering. Returns a structured [`AnalysisError`] instead of panicking
+/// on invalid kernels, schedules, or machine descriptions.
+pub fn try_analyze(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalysisOptions,
+) -> Result<AnalysisReport, AnalysisError> {
+    error::check_machine(machine)?;
+    if opts.num_threads == 0 {
+        return Err(AnalysisError::UnsupportedSchedule {
+            reason: "team size (num_threads) must be >= 1".to_string(),
+        });
+    }
+    loop_ir::validate(kernel)?;
+    let cost = analyze_loop(kernel, machine, opts);
+    Ok(AnalysisReport::new(kernel, machine, opts.num_threads, cost))
+}
+
+/// Parse a kernel from DSL source and analyze it in one step.
+pub fn try_analyze_dsl(
+    source: &str,
+    machine: &MachineConfig,
+    opts: &AnalysisOptions,
+) -> Result<AnalysisReport, AnalysisError> {
+    let kernel = parse_kernel(source)?;
+    try_analyze(&kernel, machine, opts)
+}
+
+/// Panicking predecessor of [`try_analyze`], kept so pre-redesign callers
+/// keep compiling.
+#[deprecated(note = "use `try_analyze`, which reports errors instead of panicking")]
 pub fn analyze(kernel: &Kernel, machine: &MachineConfig, opts: &AnalysisOptions) -> AnalysisReport {
-    loop_ir::validate(kernel).expect("kernel failed validation; call loop_ir::validate first");
-    let mut a = AnalyzeOptions::new(opts.num_threads);
-    a.predict_chunk_runs = opts.predict_chunk_runs;
-    let cost = analyze_loop(kernel, machine, &a);
-    AnalysisReport::new(kernel, machine, opts.num_threads, cost)
+    match try_analyze(kernel, machine, opts) {
+        Ok(r) => r,
+        Err(e) => panic!("analysis failed (validation/config): {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -111,11 +132,11 @@ mod tests {
     fn analyze_flags_false_sharing_kernels() {
         let m = machines::paper48();
         let k = kernels::transpose(32, 32, 1);
-        let r = analyze(&k, &m, &AnalysisOptions::new(8));
+        let r = try_analyze(&k, &m, &AnalysisOptions::new(8)).unwrap();
         assert!(r.cost.fs.fs_cases > 0);
         assert!(r.fs_percent() > 0.0);
         let padded = kernels::dotprod_partials(8, 64, true);
-        let r2 = analyze(&padded, &m, &AnalysisOptions::new(8));
+        let r2 = try_analyze(&padded, &m, &AnalysisOptions::new(8)).unwrap();
         assert_eq!(r2.cost.fs.fs_cases, 0);
         assert_eq!(r2.fs_percent(), 0.0);
     }
@@ -124,8 +145,8 @@ mod tests {
     fn prediction_option_wires_through() {
         let m = machines::paper48();
         let k = kernels::dft(64, 128, 1);
-        let full = analyze(&k, &m, &AnalysisOptions::new(8));
-        let pred = analyze(&k, &m, &AnalysisOptions::new(8).with_prediction(48));
+        let full = try_analyze(&k, &m, &AnalysisOptions::new(8)).unwrap();
+        let pred = try_analyze(&k, &m, &AnalysisOptions::new(8).predict(48).build()).unwrap();
         // Predicted evaluation touches fewer iterations.
         assert!(pred.cost.fs.iterations < full.cost.fs.iterations);
         // But the FS cycle estimates stay in the same ballpark.
@@ -134,8 +155,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "validation")]
-    fn analyze_rejects_invalid_kernels() {
+    fn try_analyze_rejects_invalid_kernels() {
+        let m = machines::paper48();
+        let mut k = kernels::stencil1d(66, 1);
+        k.nest.parallel.schedule = loop_ir::Schedule::Static { chunk: 0 };
+        let err = try_analyze(&k, &m, &AnalysisOptions::new(2)).unwrap_err();
+        assert!(matches!(err, AnalysisError::UnsupportedSchedule { .. }));
+    }
+
+    #[test]
+    fn try_analyze_rejects_structurally_bad_kernels() {
+        let m = machines::paper48();
+        let mut k = kernels::stencil1d(66, 1);
+        k.nest.body.clear();
+        let err = try_analyze(&k, &m, &AnalysisOptions::new(2)).unwrap_err();
+        assert!(matches!(err, AnalysisError::Validation(_)));
+    }
+
+    #[test]
+    fn try_analyze_rejects_zero_threads_and_bad_machines() {
+        let m = machines::paper48();
+        let k = kernels::stencil1d(66, 1);
+        let err = try_analyze(&k, &m, &AnalysisOptions::new(0)).unwrap_err();
+        assert!(matches!(err, AnalysisError::UnsupportedSchedule { .. }));
+        let mut bad = machines::paper48();
+        bad.caches.line_size = 0;
+        let err = try_analyze(&k, &bad, &AnalysisOptions::new(2)).unwrap_err();
+        assert!(matches!(err, AnalysisError::MachineConfig { .. }));
+    }
+
+    #[test]
+    fn try_analyze_dsl_reports_parse_errors() {
+        let m = machines::paper48();
+        let err = try_analyze_dsl("kernel broken {", &m, &AnalysisOptions::new(2)).unwrap_err();
+        assert!(matches!(err, AnalysisError::Parse(_)));
+        let ok = try_analyze_dsl(
+            "kernel ok {
+               array a[64]: f64;
+               parallel for i in 0..64 schedule(static, 1) { a[i] += 1.0; }
+             }",
+            &m,
+            &AnalysisOptions::new(4),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "analysis failed")]
+    #[allow(deprecated)]
+    fn deprecated_analyze_wrapper_still_panics_on_bad_input() {
         let m = machines::paper48();
         let mut k = kernels::stencil1d(66, 1);
         k.nest.parallel.schedule = loop_ir::Schedule::Static { chunk: 0 };

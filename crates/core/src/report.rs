@@ -14,7 +14,7 @@ pub struct VictimArray {
     pub share: f64,
 }
 
-/// The packaged result of [`crate::analyze`].
+/// The packaged result of [`crate::try_analyze`].
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
     pub kernel_name: String,
@@ -129,6 +129,52 @@ impl AnalysisReport {
         }
         out
     }
+
+    /// The report as a structured JSON document (stable field order).
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let c = &self.cost;
+        JsonValue::obj()
+            .field("kernel", self.kernel_name.as_str())
+            .field("machine", self.machine_name.as_str())
+            .field("threads", self.num_threads)
+            .field("fs_cases", c.fs.fs_cases)
+            .field("fs_events", c.fs.fs_events)
+            .field("true_sharing_cases", c.fs.true_sharing_cases)
+            .field("evaluated_chunk_runs", c.fs.evaluated_chunk_runs)
+            .field("total_chunk_runs", c.fs.total_chunk_runs)
+            .field(
+                "cost_cycles",
+                JsonValue::obj()
+                    .field("machine", c.machine.cycles_per_iter * c.iters_per_thread)
+                    .field("cache", c.cache.cycles_per_iter * c.iters_per_thread)
+                    .field("tlb", c.tlb.cycles_per_iter * c.iters_per_thread)
+                    .field(
+                        "loop_overhead",
+                        c.overhead.loop_per_iter * c.iters_per_thread,
+                    )
+                    .field("parallel_overhead", c.overhead.parallel_total)
+                    .field("false_sharing", c.fs_cycles)
+                    .field("total", c.total_cycles),
+            )
+            .field("fs_percent", self.fs_percent())
+            .field("significant_fs", self.has_significant_fs())
+            .field("est_seconds", self.est_seconds)
+            .field(
+                "victims",
+                JsonValue::Arr(
+                    self.victims
+                        .iter()
+                        .map(|v| {
+                            JsonValue::obj()
+                                .field("array", v.array.as_str())
+                                .field("fs_cases", v.fs_cases)
+                                .field("share", v.share)
+                        })
+                        .collect(),
+                ),
+            )
+    }
 }
 
 impl AnalysisReport {
@@ -150,14 +196,30 @@ impl AnalysisReport {
         let _ = writeln!(out, "|---|---:|---:|");
         let iters = c.iters_per_thread;
         for (name, total, per) in [
-            ("machine", c.machine.cycles_per_iter * iters, c.machine.cycles_per_iter),
-            ("cache", c.cache.cycles_per_iter * iters, c.cache.cycles_per_iter),
+            (
+                "machine",
+                c.machine.cycles_per_iter * iters,
+                c.machine.cycles_per_iter,
+            ),
+            (
+                "cache",
+                c.cache.cycles_per_iter * iters,
+                c.cache.cycles_per_iter,
+            ),
             ("tlb", c.tlb.cycles_per_iter * iters, c.tlb.cycles_per_iter),
-            ("loop overhead", c.overhead.loop_per_iter * iters, c.overhead.loop_per_iter),
+            (
+                "loop overhead",
+                c.overhead.loop_per_iter * iters,
+                c.overhead.loop_per_iter,
+            ),
         ] {
             let _ = writeln!(out, "| {name} | {total:.0} | {per:.2} |");
         }
-        let _ = writeln!(out, "| parallel overhead | {:.0} | — |", c.overhead.parallel_total);
+        let _ = writeln!(
+            out,
+            "| parallel overhead | {:.0} | — |",
+            c.overhead.parallel_total
+        );
         let _ = writeln!(out, "| **false sharing** | **{:.0}** | — |", c.fs_cycles);
         let _ = writeln!(out, "| **total** | **{:.0}** | — |", c.total_cycles);
         if !self.victims.is_empty() {
@@ -179,7 +241,11 @@ impl AnalysisReport {
 
 /// Map the FS model's per-line case counts back to the arrays whose address
 /// ranges contain those lines.
-fn attribute_victims(kernel: &Kernel, machine: &MachineConfig, cost: &LoopCost) -> Vec<VictimArray> {
+fn attribute_victims(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    cost: &LoopCost,
+) -> Vec<VictimArray> {
     let line_size = machine.line_size();
     let bases = kernel.array_bases(line_size);
     let total: u64 = cost.fs.per_line_cases.values().sum();
@@ -208,20 +274,20 @@ fn attribute_victims(kernel: &Kernel, machine: &MachineConfig, cost: &LoopCost) 
             share: c as f64 / total as f64,
         })
         .collect();
-    victims.sort_by(|a, b| b.fs_cases.cmp(&a.fs_cases));
+    victims.sort_by_key(|v| std::cmp::Reverse(v.fs_cases));
     victims
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{analyze, machines, AnalysisOptions};
+    use crate::{machines, try_analyze, AnalysisOptions};
     use loop_ir::kernels;
 
     #[test]
     fn victims_point_at_the_written_array() {
         let m = machines::paper48();
         let k = kernels::linear_regression(64, 16, 1);
-        let r = analyze(&k, &m, &AnalysisOptions::new(8));
+        let r = try_analyze(&k, &m, &AnalysisOptions::new(8)).expect("analysis succeeds");
         assert!(!r.victims.is_empty());
         assert_eq!(r.victims[0].array, "args");
         assert!(r.victims[0].share > 0.99, "share = {}", r.victims[0].share);
@@ -231,7 +297,7 @@ mod tests {
     fn render_mentions_the_key_numbers() {
         let m = machines::paper48();
         let k = kernels::transpose(32, 32, 1);
-        let r = analyze(&k, &m, &AnalysisOptions::new(4));
+        let r = try_analyze(&k, &m, &AnalysisOptions::new(4)).expect("analysis succeeds");
         let text = r.render();
         assert!(text.contains("transpose"));
         assert!(text.contains("false-sharing cases"));
@@ -244,7 +310,7 @@ mod tests {
     fn markdown_rendering_has_table_and_victims() {
         let m = machines::paper48();
         let k = kernels::linear_regression(64, 16, 1);
-        let r = analyze(&k, &m, &AnalysisOptions::new(8));
+        let r = try_analyze(&k, &m, &AnalysisOptions::new(8)).expect("analysis succeeds");
         let md = r.render_markdown();
         assert!(md.contains("### False-sharing analysis: `linear_regression`"));
         assert!(md.contains("| term | cycles |"));
@@ -255,17 +321,19 @@ mod tests {
     #[test]
     fn significance_threshold() {
         let m = machines::paper48();
-        let fs = analyze(
+        let fs = try_analyze(
             &kernels::dotprod_partials(8, 512, false),
             &m,
             &AnalysisOptions::new(8),
-        );
+        )
+        .expect("analysis succeeds");
         assert!(fs.has_significant_fs(), "{:.2}%", fs.fs_percent());
-        let clean = analyze(
+        let clean = try_analyze(
             &kernels::dotprod_partials(8, 512, true),
             &m,
             &AnalysisOptions::new(8),
-        );
+        )
+        .expect("analysis succeeds");
         assert!(!clean.has_significant_fs());
     }
 }

@@ -1,0 +1,341 @@
+//! Parallel, memoized execution of cost-model sweep grids.
+//!
+//! [`SweepEngine`] evaluates a [`SweepGrid`] (`kernels × machines ×
+//! threads × chunks`) across the [`fs_runtime::pool::ThreadPool`] workers,
+//! sharing one [`MemoCache`] between workers and across calls. Every
+//! evaluation strategy produces *identical* results in *identical* order:
+//! each grid point is a pure function of its spec, workers write disjoint
+//! result slots, and output follows the grid's canonical kernel → machine
+//! → threads → chunk enumeration — so a parallel run is byte-for-byte the
+//! sequential run, just faster.
+
+use crate::error::{check_machine, AnalysisError};
+use crate::json::JsonValue;
+use cost_model::sweep::{
+    compute_point, kernel_at_chunk, point_key, EvalMode, MemoCache, SweepGrid, SweepPointSpec,
+};
+use cost_model::LoopCost;
+use fs_runtime::pool::ThreadPool;
+use fs_runtime::shared::SharedSlice;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One evaluated grid point, labeled with its axes.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    pub kernel: String,
+    pub machine: String,
+    pub threads: u32,
+    pub chunk: u64,
+    pub cost: LoopCost,
+}
+
+impl SweepOutcome {
+    /// The stable JSON record for this point. Field order is fixed; this
+    /// is what the determinism guarantee is stated over.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("kernel", self.kernel.as_str())
+            .field("machine", self.machine.as_str())
+            .field("threads", self.threads)
+            .field("chunk", self.chunk)
+            .field("fs_cases", self.cost.fs.fs_cases)
+            .field("fs_events", self.cost.fs.fs_events)
+            .field("fs_cycles", self.cost.fs_cycles)
+            .field("total_cycles", self.cost.total_cycles)
+            .field("fs_fraction", self.cost.fs_fraction())
+            .field("iters_per_thread", self.cost.iters_per_thread)
+            .field("evaluated_chunk_runs", self.cost.fs.evaluated_chunk_runs)
+            .field("total_chunk_runs", self.cost.fs.total_chunk_runs)
+    }
+}
+
+/// All outcomes of one grid run, in canonical order.
+#[derive(Debug, Clone)]
+pub struct SweepGridResult {
+    pub outcomes: Vec<SweepOutcome>,
+    /// Memo hits/misses accumulated by this run alone.
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+}
+
+impl SweepGridResult {
+    /// The full run as one JSON document (stable order and bytes).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("points", self.outcomes.len())
+            .field("memo_hits", self.memo_hits)
+            .field("memo_misses", self.memo_misses)
+            .field(
+                "results",
+                JsonValue::Arr(self.outcomes.iter().map(|o| o.to_json()).collect()),
+            )
+    }
+
+    /// The cheapest outcome (by modeled total cycles), if any.
+    pub fn best(&self) -> Option<&SweepOutcome> {
+        self.outcomes
+            .iter()
+            .min_by(|a, b| a.cost.total_cycles.total_cmp(&b.cost.total_cycles))
+    }
+}
+
+/// Sweep executor: owns the cross-call memo cache and the worker policy.
+pub struct SweepEngine {
+    memo: Mutex<MemoCache>,
+    mode: EvalMode,
+    workers: usize,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// Full-model evaluation, one worker per available core.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepEngine {
+            memo: Mutex::new(MemoCache::new()),
+            mode: EvalMode::Full,
+            workers,
+        }
+    }
+
+    /// Set how each point's FS term is evaluated (full / fixed prediction
+    /// sample / adaptive early exit).
+    pub fn mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the worker-thread count (1 = sequential).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Lifetime memo statistics `(hits, misses)`.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        let m = self.memo.lock().expect("memo poisoned");
+        (m.hits(), m.misses())
+    }
+
+    /// Drop all cached results (e.g. after mutating machine descriptions in
+    /// place — content fingerprints make this unnecessary for kernel edits,
+    /// but explicit invalidation keeps memory bounded in long sessions).
+    pub fn clear_memo(&self) {
+        self.memo.lock().expect("memo poisoned").clear();
+    }
+
+    /// Evaluate every grid point. Fails fast — before evaluating anything —
+    /// if any machine, kernel, or axis value is invalid.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepGridResult, AnalysisError> {
+        for (_, m) in &grid.machines {
+            check_machine(m)?;
+        }
+        for (_, k) in &grid.kernels {
+            loop_ir::validate(k)?;
+        }
+        if grid.chunks.contains(&0) {
+            return Err(AnalysisError::UnsupportedSchedule {
+                reason: "sweep grid contains chunk size 0".to_string(),
+            });
+        }
+        if grid.threads.contains(&0) {
+            return Err(AnalysisError::UnsupportedSchedule {
+                reason: "sweep grid contains team size 0".to_string(),
+            });
+        }
+
+        let points = grid.points();
+        let (hits0, misses0) = self.memo_stats();
+        let outcomes = if self.workers <= 1 || points.len() <= 1 {
+            self.run_points_sequential(grid, &points)
+        } else {
+            self.run_points_parallel(grid, &points)
+        };
+        let (hits1, misses1) = self.memo_stats();
+        Ok(SweepGridResult {
+            outcomes,
+            memo_hits: hits1 - hits0,
+            memo_misses: misses1 - misses0,
+        })
+    }
+
+    /// One point: memo lookup under the lock, computation outside it, so
+    /// workers only serialize on cache bookkeeping.
+    fn eval_one(&self, grid: &SweepGrid, spec: &SweepPointSpec) -> SweepOutcome {
+        let (kname, kernel) = &grid.kernels[spec.kernel];
+        let (mname, machine) = &grid.machines[spec.machine];
+        let k = kernel_at_chunk(kernel, spec.chunk);
+        let key = point_key(&k, machine, spec.threads, &self.mode);
+        let cached = {
+            let mut memo = self.memo.lock().expect("memo poisoned");
+            match memo.lookup_point(&key) {
+                Some(c) => Ok(c),
+                None => Err(memo.prepared_for(&k, machine)),
+            }
+        };
+        let cost = match cached {
+            Ok(c) => c,
+            Err(prep) => {
+                let c = compute_point(&k, machine, spec.threads, self.mode, &prep);
+                self.memo
+                    .lock()
+                    .expect("memo poisoned")
+                    .insert_point(key, c.clone());
+                c
+            }
+        };
+        SweepOutcome {
+            kernel: kname.clone(),
+            machine: mname.clone(),
+            threads: spec.threads,
+            chunk: spec.chunk,
+            cost,
+        }
+    }
+
+    fn run_points_sequential(
+        &self,
+        grid: &SweepGrid,
+        points: &[SweepPointSpec],
+    ) -> Vec<SweepOutcome> {
+        points.iter().map(|p| self.eval_one(grid, p)).collect()
+    }
+
+    fn run_points_parallel(
+        &self,
+        grid: &SweepGrid,
+        points: &[SweepPointSpec],
+    ) -> Vec<SweepOutcome> {
+        let n = points.len();
+        let pool = ThreadPool::new(self.workers.min(n));
+        let mut slots: Vec<Option<SweepOutcome>> = (0..n).map(|_| None).collect();
+        {
+            let shared = SharedSlice::new(&mut slots);
+            let next = AtomicUsize::new(0);
+            pool.run_scoped(|_worker| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = self.eval_one(grid, &points[i]);
+                // SAFETY: the work queue hands index i to exactly one
+                // worker, so writes to slot i are never concurrent.
+                unsafe { *shared.get_mut(i) = Some(outcome) };
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every grid point evaluated"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cost_model::sweep::EarlyExit;
+    use loop_ir::kernels;
+
+    fn grid() -> SweepGrid {
+        SweepGrid::new(
+            vec![
+                ("transpose".into(), kernels::transpose(32, 32, 1)),
+                ("dotprod".into(), kernels::dotprod_partials(8, 64, false)),
+            ],
+            ("paper48".into(), crate::machines::paper48()),
+            vec![2, 8],
+            vec![1, 4, 16],
+        )
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let g = grid();
+        let seq = SweepEngine::new().workers(1).run(&g).unwrap();
+        let par = SweepEngine::new().workers(4).run(&g).unwrap();
+        assert_eq!(seq.to_json().render(), par.to_json().render());
+    }
+
+    #[test]
+    fn engine_memo_carries_across_runs() {
+        let g = grid();
+        let engine = SweepEngine::new().workers(2);
+        let first = engine.run(&g).unwrap();
+        assert_eq!(first.memo_hits, 0);
+        let second = engine.run(&g).unwrap();
+        assert_eq!(second.memo_misses, 0, "second run must be all hits");
+        let results_only = |r: &SweepGridResult| {
+            JsonValue::Arr(r.outcomes.iter().map(|o| o.to_json()).collect()).render()
+        };
+        assert_eq!(
+            results_only(&first),
+            results_only(&second),
+            "cached results are identical"
+        );
+    }
+
+    #[test]
+    fn invalid_grids_fail_fast_with_structured_errors() {
+        let mut g = grid();
+        g.chunks.push(0);
+        assert!(matches!(
+            SweepEngine::new().run(&g),
+            Err(AnalysisError::UnsupportedSchedule { .. })
+        ));
+        let mut g = grid();
+        g.threads = vec![0];
+        assert!(matches!(
+            SweepEngine::new().run(&g),
+            Err(AnalysisError::UnsupportedSchedule { .. })
+        ));
+        let mut g = grid();
+        g.machines[0].1.num_cores = 0;
+        assert!(matches!(
+            SweepEngine::new().run(&g),
+            Err(AnalysisError::MachineConfig { .. })
+        ));
+        let mut g = grid();
+        g.kernels[0].1.nest.body.clear();
+        assert!(matches!(
+            SweepEngine::new().run(&g),
+            Err(AnalysisError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn early_exit_mode_runs_and_orders_like_full() {
+        let g = grid();
+        let full = SweepEngine::new().workers(2).run(&g).unwrap();
+        let fast = SweepEngine::new()
+            .workers(2)
+            .mode(EvalMode::EarlyExit(EarlyExit::default()))
+            .run(&g)
+            .unwrap();
+        assert_eq!(full.outcomes.len(), fast.outcomes.len());
+        for (a, b) in full.outcomes.iter().zip(&fast.outcomes) {
+            assert_eq!(
+                (a.kernel.as_str(), a.threads, a.chunk),
+                (b.kernel.as_str(), b.threads, b.chunk)
+            );
+        }
+    }
+
+    #[test]
+    fn best_picks_the_cheapest_point() {
+        let g = grid();
+        let r = SweepEngine::new().run(&g).unwrap();
+        let best = r.best().unwrap();
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|o| o.cost.total_cycles >= best.cost.total_cycles));
+    }
+}

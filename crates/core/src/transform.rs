@@ -14,7 +14,7 @@
 //!   them ranked.
 
 use crate::advisor::recommend_chunk;
-use cost_model::{analyze_loop, AnalyzeOptions, LoopCost};
+use cost_model::{analyze_loop, AnalysisOptions, LoopCost};
 use loop_ir::{ArrayId, ElemLayout, FieldDef, FieldId, Kernel, Schedule};
 use machine::MachineConfig;
 
@@ -63,7 +63,7 @@ pub fn pad_array(kernel: &Kernel, array: ArrayId, line_size: u64) -> Option<(Ker
     let line = line_size as usize;
     let decl = kernel.array(array);
     let old = decl.elem.size_bytes();
-    if old % line == 0 {
+    if old.is_multiple_of(line) {
         return None;
     }
     let new_size = old.div_ceil(line) * line;
@@ -100,7 +100,7 @@ pub fn eliminate_false_sharing(
     kernel: &Kernel,
     machine: &MachineConfig,
     num_threads: u32,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
 ) -> MitigationReport {
     let mut aopts = opts.clone();
     aopts.num_threads = num_threads;
@@ -202,10 +202,7 @@ mod tests {
         }
         // And the padded kernel has no false sharing on y anymore.
         let m = machines::paper48();
-        let r = cost_model::run_fs_model(
-            &padded,
-            &cost_model::FsModelConfig::for_machine(&m, 8),
-        );
+        let r = cost_model::run_fs_model(&padded, &cost_model::FsModelConfig::for_machine(&m, 8));
         assert_eq!(r.fs_cases, 0, "matvec's only victim was y");
     }
 
@@ -220,7 +217,7 @@ mod tests {
     fn elimination_ranks_padding_for_linreg() {
         let m = machines::paper48();
         let k = kernels::linear_regression(96, 32, 1);
-        let report = eliminate_false_sharing(&k, &m, 8, &AnalyzeOptions::new(8));
+        let report = eliminate_false_sharing(&k, &m, 8, &AnalysisOptions::new(8));
         assert!(report.worthwhile());
         let best = report.best().unwrap();
         assert!(
@@ -241,7 +238,7 @@ mod tests {
     fn clean_kernels_produce_no_candidates() {
         let m = machines::paper48();
         let k = kernels::dotprod_partials(8, 128, true);
-        let report = eliminate_false_sharing(&k, &m, 8, &AnalyzeOptions::new(8));
+        let report = eliminate_false_sharing(&k, &m, 8, &AnalysisOptions::new(8));
         assert!(report.candidates.is_empty());
         assert!(!report.worthwhile());
     }
@@ -252,7 +249,7 @@ mod tests {
         // anyway B's *rows* are the victims; the chunk candidate must win.
         let m = machines::paper48();
         let k = kernels::transpose(128, 128, 1);
-        let report = eliminate_false_sharing(&k, &m, 8, &AnalyzeOptions::new(8));
+        let report = eliminate_false_sharing(&k, &m, 8, &AnalysisOptions::new(8));
         assert!(report.worthwhile());
         let chunk_cand = report
             .candidates

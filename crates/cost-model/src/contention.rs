@@ -107,9 +107,7 @@ pub fn bus_interference(kernel: &Kernel, machine: &MachineConfig, threads: u32) 
         .map(|g| g.miss_rate)
         .sum();
     // Unthrottled iteration time on one thread:
-    let iter_cycles = mach
-        .cycles_per_iter
-        .max(1.0);
+    let iter_cycles = mach.cycles_per_iter.max(1.0);
     let demanded = lines_per_iter * line * threads as f64 / iter_cycles;
     let available = machine.mem_bandwidth_bytes_per_cycle.max(1e-9);
     BusInterference {

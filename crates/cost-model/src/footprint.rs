@@ -147,11 +147,7 @@ pub fn cache_cost(kernel: &Kernel, machine: &MachineConfig, num_threads: u32) ->
 
     // Per-thread innermost trip count: the parallel loop's share if it is
     // innermost, the full trip otherwise.
-    let inner_trip = nest
-        .innermost()
-        .const_trip_count()
-        .unwrap_or(1)
-        .max(1);
+    let inner_trip = nest.innermost().const_trip_count().unwrap_or(1).max(1);
     let per_thread_trip = if innermost_is_parallel {
         (inner_trip as f64 / num_threads.max(1) as f64).max(1.0)
     } else {
@@ -204,16 +200,13 @@ pub fn cache_cost(kernel: &Kernel, machine: &MachineConfig, num_threads: u32) ->
         .take(nest.depth() - 1)
         .map(|l| l.var)
         .collect();
+    #[allow(clippy::type_complexity)]
     let group_keys: Vec<(u32, Vec<Vec<(VarId, i64)>>)> = groups
         .iter()
         .map(|g| {
             (
                 g.repr.array.0,
-                g.repr
-                    .indices
-                    .iter()
-                    .map(|e| e.terms().to_vec())
-                    .collect(),
+                g.repr.indices.iter().map(|e| e.terms().to_vec()).collect(),
             )
         })
         .collect();
@@ -379,11 +372,7 @@ mod tests {
         let m = presets::paper48();
         let c = cache_cost(&kernels::heat_diffusion(514, 514, 1), &m, 8);
         // The three A-row groups reuse each other across outer iterations.
-        let a_groups: Vec<&RefGroup> = c
-            .groups
-            .iter()
-            .filter(|g| g.repr.array.0 == 0)
-            .collect();
+        let a_groups: Vec<&RefGroup> = c.groups.iter().filter(|g| g.repr.array.0 == 0).collect();
         assert_eq!(a_groups.len(), 3);
         for g in a_groups {
             assert!(

@@ -33,9 +33,9 @@
 //!   are included in `fs_cases` (off by default — they are reported
 //!   separately).
 
-use loop_ir::walk::LockstepWalker;
-use loop_ir::Kernel;
 use cache_sim::lru::LruCache;
+use loop_ir::walk::LockstepWalker;
+use loop_ir::{AccessPlan, Kernel};
 use std::collections::HashMap;
 
 /// Configuration of one FS-model evaluation.
@@ -200,9 +200,23 @@ impl FsModelResult {
 /// Panics if the kernel fails [`loop_ir::validate()`]-level invariants needed
 /// by the walkers (run validation first for error reporting).
 pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
-    let num_threads = cfg.num_threads.max(1) as usize;
     let plan = kernel.access_plan();
     let bases = kernel.array_bases(cfg.line_size);
+    run_fs_model_prepared(kernel, cfg, &plan, &bases)
+}
+
+/// [`run_fs_model`] with the schedule-independent inputs — the access plan
+/// (step 1) and the aligned array base addresses — precomputed by the
+/// caller. Sweeps over chunk sizes and team sizes extract these once per
+/// kernel×line-size and reuse them for every grid point.
+#[allow(clippy::needless_range_loop)]
+pub fn run_fs_model_prepared(
+    kernel: &Kernel,
+    cfg: &FsModelConfig,
+    plan: &AccessPlan,
+    bases: &[u64],
+) -> FsModelResult {
+    let num_threads = cfg.num_threads.max(1) as usize;
 
     // Per-thread cache states (step 3's LRU stacks).
     let mut states: Vec<CacheState> = (0..num_threads)
@@ -264,8 +278,8 @@ pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
                 break;
             }
         }
-        let plan_ref = &plan;
-        let bases_ref = &bases;
+        let plan_ref = plan;
+        let bases_ref = bases;
         let mut iter_count = 0u64;
         let states_ref = &mut states;
         let writers_ref = &mut writers;
@@ -280,7 +294,7 @@ pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
                 let line = addr / line_size;
                 let off = addr % line_size;
                 // Byte mask at up-to-64-slot granularity.
-                let granules = line_size / 64.max(1);
+                let granules = line_size / 64;
                 let (moff, msz) = if granules <= 1 {
                     (off.min(63), (a.size as u64).min(64 - off.min(63)))
                 } else {
@@ -305,10 +319,7 @@ pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
                             if others & (1u64 << k) == 0 {
                                 continue;
                             }
-                            let remote = states_ref[k]
-                                .peek(&line)
-                                .copied()
-                                .unwrap_or_default();
+                            let remote = states_ref[k].peek(&line).copied().unwrap_or_default();
                             if remote.written_bytes & mask != 0 {
                                 ts += 1;
                             } else {
@@ -412,7 +423,7 @@ pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
         }
         result.steps += 1;
         result.iterations += iter_count;
-        if result.steps % steps_per_run == 0 {
+        if result.steps.is_multiple_of(steps_per_run) {
             let run = result.steps / steps_per_run;
             result.series.push((run, result.fs_cases));
             result.events_series.push((run, result.fs_events));
@@ -531,7 +542,7 @@ mod tests {
         let k = kernels::heat_diffusion(18, 66, 1);
         let r = run_fs_model(&k, &cfg(8));
         assert_eq!(r.total_chunk_runs, 16 * 8); // 16 outer, 64/(8*1) runs
-        // Outer-parallel (linreg): x_max = ceil(n / (T*C)).
+                                                // Outer-parallel (linreg): x_max = ceil(n / (T*C)).
         let k2 = kernels::linear_regression(96, 8, 1);
         let r2 = run_fs_model(&k2, &cfg(8));
         assert_eq!(r2.total_chunk_runs, 96 / 8);

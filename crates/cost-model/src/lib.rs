@@ -22,15 +22,28 @@ pub mod overhead;
 pub mod predict;
 pub mod processor;
 pub mod sensitivity;
+pub mod sweep;
 pub mod total;
 
 pub use contention::{
     bus_interference, shared_cache_interference, BusInterference, SharedCacheInterference,
 };
 pub use footprint::{cache_cost, reference_groups, tlb_cost, CacheCost, RefGroup, TlbCost};
-pub use fs::{run_fs_model, FsModelConfig, FsModelResult};
+pub use fs::{run_fs_model, run_fs_model_prepared, FsModelConfig, FsModelResult};
 pub use overhead::{overhead_cost, OverheadCost};
-pub use predict::{least_squares, predict_fs, FsPrediction, LinearFit};
+pub use predict::{least_squares, predict_fs, predict_fs_prepared, FsPrediction, LinearFit};
 pub use processor::{machine_cost, MachineCost};
-pub use sensitivity::{standard_battery, sweep_chunk, sweep_coherence_cost, sweep_line_size, sweep_threads, Sweep, SweepPoint};
-pub use total::{analyze_loop, modeled_fs_overhead, AnalyzeOptions, LoopCost, ModeledFsComparison};
+pub use sensitivity::{
+    standard_battery, sweep_chunk, sweep_coherence_cost, sweep_line_size, sweep_threads, Sweep,
+    SweepPoint,
+};
+pub use sweep::{
+    compute_point, evaluate_point, kernel_at_chunk, point_key, EarlyExit, EvalMode, MemoCache,
+    SweepGrid, SweepPointSpec,
+};
+#[allow(deprecated)]
+pub use total::AnalyzeOptions;
+pub use total::{
+    analyze_loop, analyze_loop_prepared, modeled_fs_overhead, AnalysisOptions, LoopCost,
+    ModeledFsComparison, PreparedKernel,
+};

@@ -3,8 +3,8 @@
 //! extrapolate to the whole loop, avoiding the full
 //! `All_num_of_iters / num_threads` evaluation.
 
-use crate::fs::{run_fs_model, FsModelConfig, FsModelResult};
-use loop_ir::Kernel;
+use crate::fs::{run_fs_model_prepared, FsModelConfig, FsModelResult};
+use loop_ir::{AccessPlan, Kernel};
 
 /// Least-squares fit `y = a*x + b`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,10 +40,7 @@ pub fn least_squares(points: &[(f64, f64)]) -> Option<LinearFit> {
     let b = (sy - a * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = points
-        .iter()
-        .map(|p| (p.1 - (a * p.0 + b)).powi(2))
-        .sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
     let r2 = if ss_tot <= 1e-12 {
         1.0
     } else {
@@ -96,9 +93,23 @@ impl FsPrediction {
 /// loop fits in fewer than two chunk runs) — callers should fall back to
 /// [`run_fs_model`].
 pub fn predict_fs(kernel: &Kernel, cfg: &FsModelConfig, chunk_runs: u64) -> Option<FsPrediction> {
+    let plan = kernel.access_plan();
+    let bases = kernel.array_bases(cfg.line_size);
+    predict_fs_prepared(kernel, cfg, chunk_runs, &plan, &bases)
+}
+
+/// [`predict_fs`] with the schedule-independent access plan and array bases
+/// precomputed (see [`run_fs_model_prepared`]).
+pub fn predict_fs_prepared(
+    kernel: &Kernel,
+    cfg: &FsModelConfig,
+    chunk_runs: u64,
+    plan: &AccessPlan,
+    bases: &[u64],
+) -> Option<FsPrediction> {
     let mut sample_cfg = cfg.clone();
     sample_cfg.max_chunk_runs = Some(chunk_runs.max(2));
-    let sample = run_fs_model(kernel, &sample_cfg);
+    let sample = run_fs_model_prepared(kernel, &sample_cfg, plan, bases);
     let all: Vec<(f64, f64)> = sample
         .series
         .iter()
@@ -114,9 +125,10 @@ pub fn predict_fs(kernel: &Kernel, cfg: &FsModelConfig, chunk_runs: u64) -> Opti
         .iter()
         .map(|&(x, y)| (x as f64, y as f64))
         .collect();
-    let predicted_events = least_squares(&ev_points[tail_start.min(ev_points.len().saturating_sub(2))..])
-        .map(|f| f.predict(x_max as f64).max(0.0))
-        .unwrap_or(sample.fs_events as f64);
+    let predicted_events =
+        least_squares(&ev_points[tail_start.min(ev_points.len().saturating_sub(2))..])
+            .map(|f| f.predict(x_max as f64).max(0.0))
+            .unwrap_or(sample.fs_events as f64);
     Some(FsPrediction {
         chunk_runs_evaluated: sample.evaluated_chunk_runs,
         total_chunk_runs: x_max,

@@ -9,7 +9,8 @@
 //! slower interconnect? with more cores?* — by re-running the model across
 //! parameter sweeps.
 
-use crate::total::{analyze_loop, AnalyzeOptions, LoopCost};
+use crate::sweep::{evaluate_point, EvalMode, MemoCache};
+use crate::total::{analyze_loop, AnalysisOptions, LoopCost};
 use loop_ir::Kernel;
 use machine::MachineConfig;
 
@@ -66,8 +67,27 @@ impl Sweep {
     }
 }
 
-fn point(kernel: &Kernel, machine: &MachineConfig, opts: &AnalyzeOptions, value: f64) -> SweepPoint {
-    let c: LoopCost = analyze_loop(kernel, machine, opts);
+/// Evaluate one sweep point through the memoized sweep primitives, so the
+/// schedule-independent preparation (machine cost, access plan, layout) is
+/// shared across every point of a thread or chunk sweep. An `fs_config`
+/// override bypasses the memo — the cache keys points by (kernel, machine,
+/// threads, mode) only.
+fn point(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalysisOptions,
+    value: f64,
+    memo: &mut MemoCache,
+) -> SweepPoint {
+    let c: LoopCost = if opts.fs_config.is_none() {
+        let mode = match opts.predict_chunk_runs {
+            Some(runs) => EvalMode::Predict(runs),
+            None => EvalMode::Full,
+        };
+        evaluate_point(kernel, machine, opts.num_threads, mode, memo)
+    } else {
+        analyze_loop(kernel, machine, opts)
+    };
     SweepPoint {
         value,
         fs_fraction: c.fs_fraction(),
@@ -83,15 +103,16 @@ fn point(kernel: &Kernel, machine: &MachineConfig, opts: &AnalyzeOptions, value:
 pub fn sweep_line_size(
     kernel: &Kernel,
     machine: &MachineConfig,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
     sizes: &[u64],
 ) -> Sweep {
+    let mut memo = MemoCache::new();
     let points = sizes
         .iter()
         .map(|&ls| {
             let mut m = machine.clone();
             m.caches.line_size = ls;
-            point(kernel, &m, opts, ls as f64)
+            point(kernel, &m, opts, ls as f64, &mut memo)
         })
         .collect();
     Sweep {
@@ -104,15 +125,16 @@ pub fn sweep_line_size(
 pub fn sweep_threads(
     kernel: &Kernel,
     machine: &MachineConfig,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
     threads: &[u32],
 ) -> Sweep {
+    let mut memo = MemoCache::new();
     let points = threads
         .iter()
         .map(|&t| {
             let mut o = opts.clone();
             o.num_threads = t;
-            point(kernel, machine, &o, t as f64)
+            point(kernel, machine, &o, t as f64, &mut memo)
         })
         .collect();
     Sweep {
@@ -126,16 +148,17 @@ pub fn sweep_threads(
 pub fn sweep_coherence_cost(
     kernel: &Kernel,
     machine: &MachineConfig,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
     scales: &[f64],
 ) -> Sweep {
+    let mut memo = MemoCache::new();
     let points = scales
         .iter()
         .map(|&s| {
             let mut m = machine.clone();
             m.coherence.cache_to_cache = (machine.coherence.cache_to_cache as f64 * s) as u32;
             m.coherence.invalidation = (machine.coherence.invalidation as f64 * s) as u32;
-            point(kernel, &m, opts, s)
+            point(kernel, &m, opts, s, &mut memo)
         })
         .collect();
     Sweep {
@@ -148,14 +171,15 @@ pub fn sweep_coherence_cost(
 pub fn sweep_chunk(
     kernel: &Kernel,
     machine: &MachineConfig,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
     chunks: &[u64],
 ) -> Sweep {
+    let mut memo = MemoCache::new();
     let points = chunks
         .iter()
         .map(|&c| {
             let k = loop_ir::transforms::with_chunk(kernel, c);
-            point(&k, machine, opts, c as f64)
+            point(&k, machine, opts, c as f64, &mut memo)
         })
         .collect();
     Sweep {
@@ -169,16 +193,11 @@ pub fn sweep_chunk(
 pub fn standard_battery(
     kernel: &Kernel,
     machine: &MachineConfig,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
 ) -> Vec<Sweep> {
     vec![
         sweep_line_size(kernel, machine, opts, &[32, 64, 128]),
-        sweep_threads(
-            kernel,
-            machine,
-            opts,
-            &[2, 4, 8, machine.num_cores.min(48)],
-        ),
+        sweep_threads(kernel, machine, opts, &[2, 4, 8, machine.num_cores.min(48)]),
         sweep_chunk(kernel, machine, opts, &[1, 4, 16, 64]),
         sweep_coherence_cost(kernel, machine, opts, &[0.5, 1.0, 2.0]),
     ]
@@ -190,8 +209,8 @@ mod tests {
     use loop_ir::kernels;
     use machine::presets;
 
-    fn opts() -> AnalyzeOptions {
-        AnalyzeOptions::new(8)
+    fn opts() -> AnalysisOptions {
+        AnalysisOptions::new(8)
     }
 
     #[test]
@@ -252,7 +271,7 @@ mod tests {
     #[test]
     fn battery_runs_on_every_builtin_kernel() {
         let m = presets::paper48();
-        let o = AnalyzeOptions::new(4);
+        let o = AnalysisOptions::new(4);
         for k in [kernels::stencil1d(130, 1), kernels::transpose(16, 16, 1)] {
             let sweeps = standard_battery(&k, &m, &o);
             assert_eq!(sweeps.len(), 4);

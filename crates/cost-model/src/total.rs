@@ -12,10 +12,10 @@
 //! the detected events).
 
 use crate::footprint::{cache_cost, tlb_cost, CacheCost, TlbCost};
-use crate::fs::{run_fs_model, FsModelConfig, FsModelResult};
+use crate::fs::{run_fs_model_prepared, FsModelConfig, FsModelResult};
 use crate::overhead::{overhead_cost, OverheadCost};
 use crate::processor::{machine_cost, MachineCost};
-use loop_ir::Kernel;
+use loop_ir::{AccessPlan, Kernel};
 use machine::MachineConfig;
 
 /// Full cost analysis of one parallel loop on one machine/team.
@@ -50,31 +50,109 @@ impl LoopCost {
     }
 }
 
-/// Options for [`analyze_loop`].
+/// Options for [`analyze_loop`] and the high-level `fs_core` analysis
+/// entry points — the one options type shared across the workspace.
+///
+/// Construct with the builder:
+///
+/// ```
+/// use cost_model::AnalysisOptions;
+/// let opts = AnalysisOptions::new(8).predict(32).build();
+/// assert_eq!(opts.num_threads, 8);
+/// assert_eq!(opts.predict_chunk_runs, Some(32));
+/// ```
 #[derive(Debug, Clone)]
-pub struct AnalyzeOptions {
+pub struct AnalysisOptions {
     pub num_threads: u32,
     /// Use the linear-regression predictor with this many chunk runs
-    /// instead of the full FS evaluation.
+    /// instead of the full FS evaluation (paper §III-E).
     pub predict_chunk_runs: Option<u64>,
     /// Override the default FS-model configuration.
     pub fs_config: Option<FsModelConfig>,
 }
 
-impl AnalyzeOptions {
+impl AnalysisOptions {
     pub fn new(num_threads: u32) -> Self {
-        AnalyzeOptions {
+        AnalysisOptions {
             num_threads,
             predict_chunk_runs: None,
             fs_config: None,
         }
     }
+
+    /// Evaluate only `chunk_runs` chunk runs and extrapolate with the
+    /// linear-regression predictor.
+    pub fn predict(mut self, chunk_runs: u64) -> Self {
+        self.predict_chunk_runs = Some(chunk_runs);
+        self
+    }
+
+    /// Alias of [`Self::predict`], kept for callers of the pre-unification
+    /// `fs_core::AnalysisOptions` API.
+    pub fn with_prediction(self, chunk_runs: u64) -> Self {
+        self.predict(chunk_runs)
+    }
+
+    /// Override the FS-model configuration (line size, stack geometry, …).
+    pub fn fs_config(mut self, cfg: FsModelConfig) -> Self {
+        self.fs_config = Some(cfg);
+        self
+    }
+
+    /// Finish the builder. A no-op — every intermediate value is already a
+    /// complete options struct — provided so builder chains read naturally.
+    pub fn build(self) -> Self {
+        self
+    }
+}
+
+/// The pre-unification name of [`AnalysisOptions`] in this crate.
+#[deprecated(note = "renamed to `AnalysisOptions`; the type is unchanged")]
+pub type AnalyzeOptions = AnalysisOptions;
+
+/// Schedule-independent inputs of one (kernel, machine) pair: the
+/// `Machine_c` term (per-iteration op latencies — unaffected by chunk size
+/// or team size) and the FS model's step-1 reference extraction (access
+/// plan + aligned array bases). A chunk/thread sweep computes these once
+/// and reuses them for every grid point.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    pub machine_cost: MachineCost,
+    pub plan: AccessPlan,
+    pub bases: Vec<u64>,
+    /// Line size the bases were aligned for.
+    pub line_size: u64,
+}
+
+impl PreparedKernel {
+    pub fn new(kernel: &Kernel, machine: &MachineConfig) -> Self {
+        let line_size = machine.line_size();
+        PreparedKernel {
+            machine_cost: machine_cost(kernel, &machine.processor),
+            plan: kernel.access_plan(),
+            bases: kernel.array_bases(line_size),
+            line_size,
+        }
+    }
 }
 
 /// Analyze `kernel` per Eq. 1. This is the main compile-time entry point.
-pub fn analyze_loop(kernel: &Kernel, machine: &MachineConfig, opts: &AnalyzeOptions) -> LoopCost {
+pub fn analyze_loop(kernel: &Kernel, machine: &MachineConfig, opts: &AnalysisOptions) -> LoopCost {
+    analyze_loop_prepared(kernel, machine, opts, &PreparedKernel::new(kernel, machine))
+}
+
+/// [`analyze_loop`] with the schedule-independent terms precomputed. `prep`
+/// must have been built from the *same* kernel body and arrays (the
+/// schedule — chunk size — may differ); the sweep engine's memo cache
+/// guarantees this by fingerprinting the schedule-normalized kernel.
+pub fn analyze_loop_prepared(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: &AnalysisOptions,
+    prep: &PreparedKernel,
+) -> LoopCost {
     let t = opts.num_threads.max(1);
-    let mach = machine_cost(kernel, &machine.processor);
+    let mach = prep.machine_cost;
     let cache = cache_cost(kernel, machine, t);
     let tlb = tlb_cost(kernel, machine, t);
     let ovh = overhead_cost(kernel, machine, t);
@@ -85,15 +163,33 @@ pub fn analyze_loop(kernel: &Kernel, machine: &MachineConfig, opts: &AnalyzeOpti
         .unwrap_or_else(|| FsModelConfig::for_machine(machine, t));
     fs_cfg.num_threads = t;
 
+    // An fs_config override may model a different line size than the one
+    // the prepared bases were aligned for; realign in that case.
+    let rebased;
+    let bases: &[u64] = if fs_cfg.line_size == prep.line_size {
+        &prep.bases
+    } else {
+        rebased = kernel.array_bases(fs_cfg.line_size);
+        &rebased
+    };
+
     let (fs, predicted_events) = match opts.predict_chunk_runs {
-        Some(runs) => match crate::predict::predict_fs(kernel, &fs_cfg, runs) {
-            Some(p) => {
-                let ev = p.predicted_events;
-                (p.sample, Some(ev))
+        Some(runs) => {
+            match crate::predict::predict_fs_prepared(kernel, &fs_cfg, runs, &prep.plan, bases) {
+                Some(p) => {
+                    let ev = p.predicted_events;
+                    (p.sample, Some(ev))
+                }
+                None => (
+                    run_fs_model_prepared(kernel, &fs_cfg, &prep.plan, bases),
+                    None,
+                ),
             }
-            None => (run_fs_model(kernel, &fs_cfg), None),
-        },
-        None => (run_fs_model(kernel, &fs_cfg), None),
+        }
+        None => (
+            run_fs_model_prepared(kernel, &fs_cfg, &prep.plan, bases),
+            None,
+        ),
     };
 
     // Critical-path iterations: the static schedule may be imbalanced (a
@@ -132,8 +228,8 @@ pub fn analyze_loop(kernel: &Kernel, machine: &MachineConfig, opts: &AnalyzeOpti
         + write_events * machine.coherence.fs_write_event_cost())
         / t as f64;
 
-    let per_iter = mach.cycles_per_iter + cache.cycles_per_iter + tlb.cycles_per_iter
-        + ovh.loop_per_iter;
+    let per_iter =
+        mach.cycles_per_iter + cache.cycles_per_iter + tlb.cycles_per_iter + ovh.loop_per_iter;
     let total_cycles = per_iter * iters_per_thread + ovh.parallel_total + fs_cycles;
 
     LoopCost {
@@ -166,7 +262,7 @@ pub fn modeled_fs_overhead(
     fs_kernel: &Kernel,
     nfs_kernel: &Kernel,
     machine: &MachineConfig,
-    opts: &AnalyzeOptions,
+    opts: &AnalysisOptions,
 ) -> ModeledFsComparison {
     let fs_loop = analyze_loop(fs_kernel, machine, opts);
     let nfs_loop = analyze_loop(nfs_kernel, machine, opts);
@@ -193,7 +289,7 @@ mod tests {
     fn eq1_terms_are_all_included() {
         let m = presets::paper48();
         let k = kernels::heat_diffusion(66, 66, 1);
-        let c = analyze_loop(&k, &m, &AnalyzeOptions::new(8));
+        let c = analyze_loop(&k, &m, &AnalysisOptions::new(8));
         let per_iter = c.machine.cycles_per_iter
             + c.cache.cycles_per_iter
             + c.tlb.cycles_per_iter
@@ -214,7 +310,7 @@ mod tests {
             &kernels::heat_diffusion(66, 514, 1),
             &kernels::heat_diffusion(66, 514, 64),
             &m,
-            &AnalyzeOptions::new(8),
+            &AnalysisOptions::new(8),
         );
         assert!(cmp.fs_loop.total_cycles > cmp.nfs_loop.total_cycles);
         assert!(cmp.fs_overhead_fraction > 0.0);
@@ -227,7 +323,7 @@ mod tests {
         let c = analyze_loop(
             &kernels::dotprod_partials(8, 256, true),
             &m,
-            &AnalyzeOptions::new(8),
+            &AnalysisOptions::new(8),
         );
         assert_eq!(c.fs_cycles, 0.0);
         assert!(c.total_cycles > 0.0);
@@ -237,12 +333,17 @@ mod tests {
     fn prediction_mode_approximates_full_mode() {
         let m = presets::paper48();
         let k = kernels::dft(128, 256, 1);
-        let full = analyze_loop(&k, &m, &AnalyzeOptions::new(8));
-        let mut opts = AnalyzeOptions::new(8);
+        let full = analyze_loop(&k, &m, &AnalysisOptions::new(8));
+        let mut opts = AnalysisOptions::new(8);
         opts.predict_chunk_runs = Some(96);
         let pred = analyze_loop(&k, &m, &opts);
         let err = (pred.fs_cycles - full.fs_cycles).abs() / full.fs_cycles;
-        assert!(err < 0.10, "pred {} vs full {}", pred.fs_cycles, full.fs_cycles);
+        assert!(
+            err < 0.10,
+            "pred {} vs full {}",
+            pred.fs_cycles,
+            full.fs_cycles
+        );
     }
 
     #[test]
@@ -254,8 +355,8 @@ mod tests {
         let m = presets::paper48();
         let k_par = kernels::dft(16, 4096, 16);
         let k_serial = kernels::dft(16, 4096, 4096);
-        let c_par = analyze_loop(&k_par, &m, &AnalyzeOptions::new(8));
-        let c_serial = analyze_loop(&k_serial, &m, &AnalyzeOptions::new(8));
+        let c_par = analyze_loop(&k_par, &m, &AnalysisOptions::new(8));
+        let c_serial = analyze_loop(&k_serial, &m, &AnalysisOptions::new(8));
         assert!((c_par.iters_per_thread - 16.0 * 512.0).abs() < 1.0);
         assert!((c_serial.iters_per_thread - 16.0 * 4096.0).abs() < 1.0);
         assert!(c_serial.total_cycles > 4.0 * c_par.total_cycles);
@@ -267,7 +368,7 @@ mod tests {
         let c = analyze_loop(
             &kernels::heat_diffusion(34, 34, 1),
             &m,
-            &AnalyzeOptions::new(1),
+            &AnalysisOptions::new(1),
         );
         assert_eq!(c.fs_cycles, 0.0);
         assert_eq!(c.fs_fraction(), 0.0);
@@ -277,7 +378,7 @@ mod tests {
     fn seconds_conversion() {
         let m = presets::paper48();
         let k = kernels::stencil1d(130, 1);
-        let c = analyze_loop(&k, &m, &AnalyzeOptions::new(4));
+        let c = analyze_loop(&k, &m, &AnalysisOptions::new(4));
         let s = c.seconds(&m);
         assert!(s > 0.0 && s < 1.0);
     }

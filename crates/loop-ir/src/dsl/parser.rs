@@ -56,10 +56,7 @@ pub fn parse_kernel_with_consts(src: &str, consts: &[(&str, i64)]) -> Result<Ker
     let mut p = Parser {
         tokens,
         pos: 0,
-        consts: consts
-            .iter()
-            .map(|&(n, v)| (n.to_string(), v))
-            .collect(),
+        consts: consts.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
         overridden: consts.iter().map(|&(n, _)| n.to_string()).collect(),
         vars: Vec::new(),
         arrays: Vec::new(),
@@ -192,10 +189,8 @@ impl Parser {
         self.expect(&TokenKind::Eq)?;
         let value = self.const_affine()?;
         self.expect(&TokenKind::Semi)?;
-        if !self.overridden.iter().any(|n| *n == name) {
-            if self.consts.insert(name.clone(), value).is_some() {
-                return Err(self.err_here(format!("duplicate const '{name}'")));
-            }
+        if !self.overridden.contains(&name) && self.consts.insert(name.clone(), value).is_some() {
+            return Err(self.err_here(format!("duplicate const '{name}'")));
         }
         Ok(())
     }
@@ -301,8 +296,10 @@ impl Parser {
         };
         self.expect_keyword("for")?;
         let var_name = self.expect_ident()?;
-        if self.vars.iter().any(|v| *v == var_name) || self.consts.contains_key(&var_name) {
-            return Err(self.err_here(format!("loop variable '{var_name}' shadows an existing name")));
+        if self.vars.contains(&var_name) || self.consts.contains_key(&var_name) {
+            return Err(self.err_here(format!(
+                "loop variable '{var_name}' shadows an existing name"
+            )));
         }
         let var = VarId(self.vars.len() as u32);
         self.vars.push(var_name);
@@ -402,10 +399,12 @@ impl Parser {
         if self.peek().kind == TokenKind::Dot {
             self.bump();
             let fname = self.expect_ident()?;
-            let found = self.arrays[id.index()].elem.field_named(&fname).map(|(fid, _)| fid);
-            let fid = found.ok_or_else(|| {
-                self.err_here(format!("array '{name}' has no field '{fname}'"))
-            })?;
+            let found = self.arrays[id.index()]
+                .elem
+                .field_named(&fname)
+                .map(|(fid, _)| fid);
+            let fid = found
+                .ok_or_else(|| self.err_here(format!("array '{name}' has no field '{fname}'")))?;
             field = Some(fid);
         }
         Ok(ArrayRef {

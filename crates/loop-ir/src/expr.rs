@@ -190,6 +190,7 @@ impl Add for AffineExpr {
 
 impl Sub for AffineExpr {
     type Output = AffineExpr;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: AffineExpr) -> AffineExpr {
         self + rhs.neg()
     }
@@ -222,11 +223,7 @@ impl fmt::Display for DisplayWith<'_> {
         }
         let mut first = true;
         for &(v, c) in &e.terms {
-            let name = self
-                .names
-                .get(v.index())
-                .map(|s| s.as_str())
-                .unwrap_or("?");
+            let name = self.names.get(v.index()).map(|s| s.as_str()).unwrap_or("?");
             if first {
                 match c {
                     1 => write!(f, "{name}")?,
@@ -379,7 +376,7 @@ mod tests {
                        }} }} }} }} }} }} }}"
                 );
                 let k = crate::dsl::parse_kernel(&src).unwrap_or_else(|e| panic!("{e}
-{src}"));
+        {src}"));
                 let parsed = &k.nest.body[0].lhs.indices[0];
                 let expected = a.clone() + AffineExpr::constant(500000);
                 prop_assert_eq!(parsed, &expected);

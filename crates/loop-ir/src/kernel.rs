@@ -88,6 +88,7 @@ impl PlannedAccess {
     /// with `bases[array]` the array base address. `idx_buf` is scratch of
     /// length >= indices.len().
     #[inline]
+    #[allow(clippy::needless_range_loop)]
     pub fn address(&self, env: &[i64], bases: &[u64], idx_buf: &mut [i64]) -> u64 {
         let n = self.indices.len();
         for k in 0..n {

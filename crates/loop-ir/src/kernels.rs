@@ -84,10 +84,14 @@ fn linear_regression_layout(n: u64, m_inner: u64, chunk: u64, padded: bool) -> K
     let px = b.field(points, "x");
     let py = b.field(points, "y");
     let x = || {
-        Expr::read(ArrayRef::read(points, vec![AffineExpr::var(j), AffineExpr::var(i)]).with_field(px))
+        Expr::read(
+            ArrayRef::read(points, vec![AffineExpr::var(j), AffineExpr::var(i)]).with_field(px),
+        )
     };
     let y = || {
-        Expr::read(ArrayRef::read(points, vec![AffineExpr::var(j), AffineExpr::var(i)]).with_field(py))
+        Expr::read(
+            ArrayRef::read(points, vec![AffineExpr::var(j), AffineExpr::var(i)]).with_field(py),
+        )
     };
     let acc = |b: &KernelBuilder, name: &str| {
         ArrayRef::write(args, vec![AffineExpr::var(j)]).with_field(b.field(args, name))
@@ -128,10 +132,7 @@ pub fn heat_diffusion(n: u64, m: u64, chunk: u64) -> Kernel {
     let at = |di: i64, dj: i64| {
         Expr::read(ArrayRef::read(
             a,
-            vec![
-                AffineExpr::linear(i, 1, di),
-                AffineExpr::linear(j, 1, dj),
-            ],
+            vec![AffineExpr::linear(i, 1, di), AffineExpr::linear(j, 1, dj)],
         ))
     };
     // B[i][j] = A[i][j] + 0.1 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1] - 4*A[i][j])
@@ -223,7 +224,10 @@ pub fn transpose(n: u64, m: u64, chunk: u64) -> Kernel {
     b.seq_for(j, 0, m as i64);
     b.stmt(Stmt::assign(
         ArrayRef::write(out, vec![AffineExpr::var(j), AffineExpr::var(i)]),
-        Expr::read(ArrayRef::read(a, vec![AffineExpr::var(i), AffineExpr::var(j)])),
+        Expr::read(ArrayRef::read(
+            a,
+            vec![AffineExpr::var(i), AffineExpr::var(j)],
+        )),
     ));
     b.build()
 }
@@ -278,7 +282,10 @@ pub fn matvec(n: u64, m: u64, chunk: u64) -> Kernel {
     b.stmt(Stmt::add_assign(
         ArrayRef::write(y, vec![AffineExpr::var(i)]),
         Expr::mul(
-            Expr::read(ArrayRef::read(a, vec![AffineExpr::var(i), AffineExpr::var(j)])),
+            Expr::read(ArrayRef::read(
+                a,
+                vec![AffineExpr::var(i), AffineExpr::var(j)],
+            )),
             Expr::read(ArrayRef::read(x, vec![AffineExpr::var(j)])),
         ),
     ));
@@ -303,8 +310,14 @@ pub fn matmul(n: u64, m: u64, p: u64, chunk: u64) -> Kernel {
     b.stmt(Stmt::add_assign(
         ArrayRef::write(c, vec![AffineExpr::var(i), AffineExpr::var(j)]),
         Expr::mul(
-            Expr::read(ArrayRef::read(a, vec![AffineExpr::var(i), AffineExpr::var(k)])),
-            Expr::read(ArrayRef::read(bb, vec![AffineExpr::var(k), AffineExpr::var(j)])),
+            Expr::read(ArrayRef::read(
+                a,
+                vec![AffineExpr::var(i), AffineExpr::var(k)],
+            )),
+            Expr::read(ArrayRef::read(
+                bb,
+                vec![AffineExpr::var(k), AffineExpr::var(j)],
+            )),
         ),
     ));
     b.build()
@@ -325,7 +338,10 @@ pub fn histogram_shared(nthreads: u64, len: u64, bins: u64) -> Kernel {
     // bin 0 — the maximally contended case.
     b.stmt(Stmt::add_assign(
         ArrayRef::write(hist, vec![AffineExpr::constant(0)]),
-        Expr::read(ArrayRef::read(data, vec![AffineExpr::var(t), AffineExpr::var(i)])),
+        Expr::read(ArrayRef::read(
+            data,
+            vec![AffineExpr::var(t), AffineExpr::var(i)],
+        )),
     ));
     b.build()
 }
@@ -341,7 +357,10 @@ pub fn saxpy(n: u64, chunk: u64) -> Kernel {
     b.stmt(Stmt::assign(
         ArrayRef::write(y, vec![AffineExpr::var(i)]),
         Expr::add(
-            Expr::mul(Expr::num(2.5), Expr::read(ArrayRef::read(x, vec![AffineExpr::var(i)]))),
+            Expr::mul(
+                Expr::num(2.5),
+                Expr::read(ArrayRef::read(x, vec![AffineExpr::var(i)])),
+            ),
             Expr::read(ArrayRef::read(y, vec![AffineExpr::var(i)])),
         ),
     ));

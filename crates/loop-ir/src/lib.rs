@@ -47,6 +47,8 @@ pub use kernel::{AccessPlan, Kernel, KernelBuilder, PlannedAccess};
 pub use nest::{Loop, LoopNest, Parallel, Schedule};
 pub use reference::{AccessKind, ArrayRef};
 pub use stmt::{AssignOp, BinOp, Expr, OpKind, Stmt, UnOp};
-pub use transforms::{interchange, tile, unroll_innermost, with_chunk, with_parallel_level, TransformError};
+pub use transforms::{
+    interchange, tile, unroll_innermost, with_chunk, with_parallel_level, TransformError,
+};
 pub use types::ScalarType;
 pub use validate::{validate, validate_bounds, ValidateError};

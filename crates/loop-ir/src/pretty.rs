@@ -11,7 +11,7 @@ use std::fmt::Write;
 /// Render `kernel` as DSL source text.
 pub fn kernel_to_dsl(kernel: &Kernel) -> String {
     let mut out = String::new();
-    let _ = write!(out, "kernel {} {{\n", kernel.name);
+    let _ = writeln!(out, "kernel {} {{", kernel.name);
     for a in &kernel.arrays {
         let dims: String = a.dims.iter().map(|d| format!("[{d}]")).collect();
         match &a.elem {
@@ -69,7 +69,7 @@ fn print_loops(kernel: &Kernel, level: usize, out: &mut String) {
         if l.step != 1 {
             let _ = write!(out, " step {}", l.step);
         }
-        let _ = write!(out, " schedule(static, {chunk}) {{\n");
+        let _ = writeln!(out, " schedule(static, {chunk}) {{");
     } else {
         let _ = write!(out, "for {} in {}..{}", kernel.var_name(l.var), lo, hi);
         if l.step != 1 {
@@ -169,7 +169,9 @@ mod tests {
     fn prints_linreg_recognizably() {
         let src = kernel_to_dsl(&kernels::linear_regression(8, 8, 1));
         assert!(src.contains("kernel linear_regression {"));
-        assert!(src.contains("array args[8] of { sx: f64, sxx: f64, sy: f64, syy: f64, sxy: f64 };"));
+        assert!(
+            src.contains("array args[8] of { sx: f64, sxx: f64, sy: f64, syy: f64, sxy: f64 };")
+        );
         assert!(src.contains("parallel for j in 0..8 schedule(static, 1) {"));
         assert!(src.contains("args[j].sx += points[j][i].x;"));
         assert!(src.contains("args[j].sxy += points[j][i].x * points[j][i].y;"));

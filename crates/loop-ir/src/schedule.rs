@@ -177,9 +177,13 @@ mod tests {
 
     #[test]
     fn every_iteration_owned_exactly_once() {
-        for &(trip, chunk, threads) in
-            &[(100u64, 7u64, 3u64), (64, 64, 8), (5, 2, 8), (1, 1, 1), (17, 4, 4)]
-        {
+        for &(trip, chunk, threads) in &[
+            (100u64, 7u64, 3u64),
+            (64, 64, 8),
+            (5, 2, 8),
+            (1, 1, 1),
+            (17, 4, 4),
+        ] {
             let s = sched(trip, chunk, threads);
             let mut seen = vec![0u32; trip as usize];
             for t in 0..threads {

@@ -83,18 +83,22 @@ impl Expr {
         Expr::Ref(r.with_access(AccessKind::Read))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(a), Box::new(b))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn div(a: Expr, b: Expr) -> Expr {
         Expr::Binary(BinOp::Div, Box::new(a), Box::new(b))
     }
@@ -319,7 +323,10 @@ mod tests {
             ),
             Expr::num(2.0),
         );
-        let s = Stmt::assign(ArrayRef::write(ArrayId(1), vec![AffineExpr::constant(0)]), e);
+        let s = Stmt::assign(
+            ArrayRef::write(ArrayId(1), vec![AffineExpr::constant(0)]),
+            e,
+        );
         let ops = s.ops(ScalarType::F64);
         assert_eq!(ops, vec![OpKind::FAdd, OpKind::FMul, OpKind::FDiv]);
         let iops = s.ops(ScalarType::I32);
@@ -352,10 +359,7 @@ mod tests {
 
     #[test]
     fn expr_depth() {
-        let e = Expr::add(
-            Expr::mul(Expr::num(1.0), Expr::num(2.0)),
-            Expr::num(3.0),
-        );
+        let e = Expr::add(Expr::mul(Expr::num(1.0), Expr::num(2.0)), Expr::num(3.0));
         assert_eq!(e.depth(), 2);
         assert_eq!(Expr::num(1.0).depth(), 0);
         assert_eq!(Expr::Unary(UnOp::Sqrt, Box::new(Expr::num(4.0))).depth(), 1);
@@ -367,7 +371,10 @@ mod tests {
             UnOp::SinCos,
             Box::new(Expr::Unary(UnOp::Sqrt, Box::new(Expr::num(1.0)))),
         );
-        let s = Stmt::assign(ArrayRef::write(ArrayId(0), vec![AffineExpr::constant(0)]), e);
+        let s = Stmt::assign(
+            ArrayRef::write(ArrayId(0), vec![AffineExpr::constant(0)]),
+            e,
+        );
         assert_eq!(s.ops(ScalarType::F64), vec![OpKind::FSqrt, OpKind::FTrig]);
     }
 }

@@ -34,7 +34,10 @@ impl fmt::Display for TransformError {
             }
             TransformError::Invalid(e) => write!(f, "transformed nest invalid: {e}"),
             TransformError::CarriedDependence { detail } => {
-                write!(f, "interchange would reorder a carried dependence: {detail}")
+                write!(
+                    f,
+                    "interchange would reorder a carried dependence: {detail}"
+                )
             }
         }
     }
@@ -153,11 +156,9 @@ pub fn tile(kernel: &Kernel, level: usize, factor: u64) -> Result<Kernel, Transf
         ));
     };
     let trip = (hi - lo).max(0) as u64;
-    if l.step != 1 || trip % factor != 0 {
+    if l.step != 1 || !trip.is_multiple_of(factor) {
         return Err(TransformError::CarriedDependence {
-            detail: format!(
-                "tiling needs step 1 and trip {trip} divisible by factor {factor}"
-            ),
+            detail: format!("tiling needs step 1 and trip {trip} divisible by factor {factor}"),
         });
     }
     if factor == 1 || factor >= trip {
@@ -210,7 +211,9 @@ pub fn tile(kernel: &Kernel, level: usize, factor: u64) -> Result<Kernel, Transf
         upper: AffineExpr::constant(factor as i64),
         step: 1,
     };
-    out.nest.loops.splice(level..=level, [tile_loop, intra_loop]);
+    out.nest
+        .loops
+        .splice(level..=level, [tile_loop, intra_loop]);
     if out.nest.parallel.level > level {
         out.nest.parallel.level += 1;
     }
@@ -255,7 +258,7 @@ pub fn unroll_innermost(kernel: &Kernel, factor: u64) -> Result<Kernel, Transfor
     }
     if let (Some(lo), Some(hi)) = (l.lower.as_const(), l.upper.as_const()) {
         let trip = (hi - lo).max(0) as u64;
-        if trip % factor != 0 {
+        if !trip.is_multiple_of(factor) {
             return Err(TransformError::CarriedDependence {
                 detail: format!("trip {trip} not divisible by unroll factor {factor}"),
             });
@@ -299,7 +302,9 @@ pub fn unroll_innermost(kernel: &Kernel, factor: u64) -> Result<Kernel, Transfor
 /// Replace the static chunk size.
 pub fn with_chunk(kernel: &Kernel, chunk: u64) -> Kernel {
     let mut out = kernel.clone();
-    out.nest.parallel.schedule = Schedule::Static { chunk: chunk.max(1) };
+    out.nest.parallel.schedule = Schedule::Static {
+        chunk: chunk.max(1),
+    };
     out
 }
 

@@ -11,16 +11,24 @@ pub enum ValidateError {
     NoLoops,
     EmptyBody,
     /// The parallel level is deeper than the nest.
-    BadParallelLevel { level: usize, depth: usize },
+    BadParallelLevel {
+        level: usize,
+        depth: usize,
+    },
     /// Chunk size must be at least 1.
     ZeroChunk,
     /// Loop steps must be positive.
-    NonPositiveStep { level: usize },
+    NonPositiveStep {
+        level: usize,
+    },
     /// The parallel loop needs compile-time-constant bounds for the static
     /// round-robin distribution to be computable.
     NonConstParallelBounds,
     /// A loop bound refers to a variable of the same or a deeper level.
-    BoundUsesInnerVar { level: usize, var: String },
+    BoundUsesInnerVar {
+        level: usize,
+        var: String,
+    },
     /// A subscript has the wrong arity for its array.
     RankMismatch {
         array: String,
@@ -28,11 +36,19 @@ pub enum ValidateError {
         got: usize,
     },
     /// A subscript references a variable not bound by any loop.
-    UnboundVar { array: String, var_index: u32 },
+    UnboundVar {
+        array: String,
+        var_index: u32,
+    },
     /// A field reference on a scalar-element array.
-    FieldOnScalar { array: String },
+    FieldOnScalar {
+        array: String,
+    },
     /// A field id out of range for the array's struct layout.
-    BadField { array: String, field: u32 },
+    BadField {
+        array: String,
+        field: u32,
+    },
     /// A concrete iteration produced an out-of-bounds element index.
     OutOfBounds {
         array: String,
@@ -48,7 +64,10 @@ impl fmt::Display for ValidateError {
             ValidateError::NoLoops => write!(f, "kernel has no loops"),
             ValidateError::EmptyBody => write!(f, "kernel has an empty loop body"),
             ValidateError::BadParallelLevel { level, depth } => {
-                write!(f, "parallel level {level} out of range for depth-{depth} nest")
+                write!(
+                    f,
+                    "parallel level {level} out of range for depth-{depth} nest"
+                )
             }
             ValidateError::ZeroChunk => write!(f, "chunk size must be >= 1"),
             ValidateError::NonPositiveStep { level } => {
@@ -289,7 +308,10 @@ mod tests {
     fn rejects_unbound_var() {
         let mut k = good_kernel();
         k.nest.body[0].lhs.indices[0] = AffineExpr::var(VarId(5));
-        assert!(matches!(validate(&k), Err(ValidateError::UnboundVar { .. })));
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::UnboundVar { .. })
+        ));
     }
 
     #[test]

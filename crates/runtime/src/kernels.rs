@@ -86,8 +86,7 @@ pub fn linreg_padded(
         let shared = SharedSlice::new(&mut accs);
         parallel_for_static(n as u64, threads, chunk, |_, r| {
             for j in r {
-                let acc =
-                    unsafe { &mut shared.get_mut(j as usize).0 } as *mut LinRegAcc;
+                let acc = unsafe { &mut shared.get_mut(j as usize).0 } as *mut LinRegAcc;
                 for i in 0..m_inner {
                     let (x, y) = points[j as usize * m_inner + i];
                     unsafe { accumulate(acc, x, y) };
@@ -129,9 +128,9 @@ pub fn heat_step(a: &[f64], b: &mut [f64], n: usize, m: usize, chunk: u64, pool:
             for jj in r {
                 let j = jj as usize + 1;
                 let c = a[i * m + j];
-                let lap = a[(i - 1) * m + j] + a[(i + 1) * m + j] + a[i * m + j - 1]
-                    + a[i * m + j + 1]
-                    - 4.0 * c;
+                let lap =
+                    a[(i - 1) * m + j] + a[(i + 1) * m + j] + a[i * m + j - 1] + a[i * m + j + 1]
+                        - 4.0 * c;
                 // SAFETY: element (i, j) belongs to exactly one thread.
                 unsafe { *shared.get_mut(i * m + j) = c + 0.1 * lap };
             }
@@ -144,9 +143,8 @@ pub fn heat_step_serial(a: &[f64], b: &mut [f64], n: usize, m: usize) {
     for i in 1..n - 1 {
         for j in 1..m - 1 {
             let c = a[i * m + j];
-            let lap =
-                a[(i - 1) * m + j] + a[(i + 1) * m + j] + a[i * m + j - 1] + a[i * m + j + 1]
-                    - 4.0 * c;
+            let lap = a[(i - 1) * m + j] + a[(i + 1) * m + j] + a[i * m + j - 1] + a[i * m + j + 1]
+                - 4.0 * c;
             b[i * m + j] = c + 0.1 * lap;
         }
     }
@@ -155,13 +153,7 @@ pub fn heat_step_serial(a: &[f64], b: &mut [f64], n: usize, m: usize) {
 /// Direct DFT: for each input sample, scatter its twiddled contribution
 /// into all output bins, inner (bin) loop work-shared with
 /// `schedule(static, chunk)` — the paper's DFT kernel shape.
-pub fn dft_scatter(
-    x: &[f64],
-    re: &mut [f64],
-    im: &mut [f64],
-    chunk: u64,
-    pool: &ThreadPool,
-) {
+pub fn dft_scatter(x: &[f64], re: &mut [f64], im: &mut [f64], chunk: u64, pool: &ThreadPool) {
     let n_in = x.len();
     let n_out = re.len();
     assert_eq!(im.len(), n_out);
@@ -171,8 +163,7 @@ pub fn dft_scatter(
         let (x, re_s, im_s) = (&x, &re_s, &im_s);
         pool.parallel_for(n_out as u64, chunk, move |_, r| {
             for k in r {
-                let ang =
-                    -2.0 * std::f64::consts::PI * k as f64 * n as f64 / n_in as f64;
+                let ang = -2.0 * std::f64::consts::PI * k as f64 * n as f64 / n_in as f64;
                 let (s, c) = ang.sin_cos();
                 // SAFETY: bin k belongs to exactly one thread.
                 unsafe {
@@ -185,6 +176,7 @@ pub fn dft_scatter(
 }
 
 /// Serial reference DFT (direct evaluation).
+#[allow(clippy::needless_range_loop)]
 pub fn dft_serial(x: &[f64], re: &mut [f64], im: &mut [f64]) {
     let n_in = x.len();
     for k in 0..re.len() {
@@ -247,6 +239,7 @@ pub fn transpose(a: &[f64], b: &mut [f64], n: usize, m: usize, threads: usize, c
 /// `p x m`), the *middle* (column) loop work-shared per output row — the
 /// native twin of `loop_ir::kernels::matmul`. With `chunk = 1` adjacent
 /// threads accumulate into adjacent `c` elements.
+#[allow(clippy::too_many_arguments)]
 pub fn matmul(
     a: &[f64],
     b: &[f64],
@@ -436,6 +429,7 @@ mod tests {
         let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
         let mut b = vec![0.0; 40];
         stencil1d(&a, &mut b, 4, 3);
+        #[allow(clippy::needless_range_loop)]
         for i in 1..39 {
             assert_close(b[i], i as f64); // average of i-1, i, i+1
         }

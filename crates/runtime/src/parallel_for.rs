@@ -33,17 +33,16 @@ where
         }
         return;
     }
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let body = &body;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for r in chunks_of_thread(trip, threads, chunk, t) {
                     body(t, r);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Per-iteration convenience wrapper over [`parallel_for_static`].

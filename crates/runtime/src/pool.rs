@@ -5,7 +5,7 @@
 //! with spawn latency (the real OpenMP runtime keeps its team parked on a
 //! futex for exactly this reason).
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -18,7 +18,7 @@ enum Msg {
 
 /// A fixed-size pool. Dropping the pool joins all workers.
 pub struct ThreadPool {
-    senders: Vec<Sender<Msg>>,
+    senders: Vec<SyncSender<Msg>>,
     done_rx: Receiver<()>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -27,11 +27,11 @@ impl ThreadPool {
     /// Spawn `threads` workers (ids `0..threads`).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (done_tx, done_rx) = bounded::<()>(threads);
+        let (done_tx, done_rx) = sync_channel::<()>(threads);
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            let (tx, rx) = bounded::<Msg>(1);
+            let (tx, rx) = sync_channel::<Msg>(1);
             let done = done_tx.clone();
             senders.push(tx);
             handles.push(
@@ -86,9 +86,8 @@ impl ThreadPool {
         // SAFETY: `run` blocks until every worker has finished executing
         // the job and signalled completion, so no reference escapes 'env.
         let job: Box<dyn Fn(usize) + Send + Sync + 'env> = Box::new(job);
-        let job: Box<dyn Fn(usize) + Send + Sync + 'static> =
-            unsafe { std::mem::transmute(job) };
-        self.run(move |t| job(t));
+        let job: Box<dyn Fn(usize) + Send + Sync + 'static> = unsafe { std::mem::transmute(job) };
+        self.run(job);
     }
 
     /// Static round-robin parallel-for on the pool.

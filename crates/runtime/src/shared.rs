@@ -18,18 +18,17 @@ use std::cell::UnsafeCell;
 /// # use fs_runtime::shared::SharedSlice;
 /// let mut data = vec![0u64; 8];
 /// let shared = SharedSlice::new(&mut data);
-/// crossbeam::scope(|s| {
+/// std::thread::scope(|s| {
 ///     for t in 0..2 {
 ///         let shared = &shared;
-///         s.spawn(move |_| {
+///         s.spawn(move || {
 ///             for i in (t..8).step_by(2) {
 ///                 // Safety contract: thread t only writes indices ≡ t (mod 2).
 ///                 unsafe { *shared.get_mut(i) = t as u64 };
 ///             }
 ///         });
 ///     }
-/// })
-/// .unwrap();
+/// });
 /// assert_eq!(data, vec![0, 1, 0, 1, 0, 1, 0, 1]);
 /// ```
 pub struct SharedSlice<'a, T> {
@@ -90,17 +89,16 @@ mod tests {
     fn interleaved_disjoint_writes() {
         let mut v = vec![0u32; 64];
         let s = SharedSlice::new(&mut v);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..4usize {
                 let s = &s;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in (t..64).step_by(4) {
                         unsafe { *s.get_mut(i) = t as u32 + 1 };
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for (i, &x) in v.iter().enumerate() {
             assert_eq!(x, (i % 4) as u32 + 1);
         }

@@ -12,7 +12,7 @@
 //! ```
 
 use fs_core::simulation::{simulate_kernel, SimOptions};
-use fs_core::{analyze, machines, recommend_chunk, AnalysisOptions};
+use fs_core::{machines, recommend_chunk, try_analyze, AnalysisOptions};
 
 fn main() {
     let machine = machines::paper48();
@@ -27,7 +27,8 @@ fn main() {
     println!("{}", "-".repeat(70));
     for chunk in [1u64, 2, 4, 8, 16, 30] {
         let kernel = fs_core::kernels::linear_regression(n, m_inner, chunk);
-        let report = analyze(&kernel, &machine, &AnalysisOptions::new(threads));
+        let report = try_analyze(&kernel, &machine, &AnalysisOptions::new(threads))
+            .expect("analysis succeeds");
         let sim = simulate_kernel(&kernel, &machine, SimOptions::new(threads));
         println!(
             "{:>6} | {:>14} {:>12.0} | {:>14} {:>12}",

@@ -7,7 +7,7 @@
 //! cargo run --release --example dsl_analysis [kernel.loop]
 //! ```
 
-use fs_core::{analyze, machines, AnalysisOptions};
+use fs_core::{machines, try_analyze, AnalysisOptions};
 
 const LINREG_DSL: &str = "
 // The Phoenix linear-regression kernel of the paper's Fig. 1, scaled down.
@@ -45,11 +45,12 @@ fn main() {
 
     let machine = machines::paper48();
     for threads in [2u32, 8, 24, 48] {
-        let report = analyze(
+        let report = try_analyze(
             &kernel,
             &machine,
             &AnalysisOptions::new(threads).with_prediction(16),
-        );
+        )
+        .expect("analysis succeeds");
         println!(
             "threads {threads:>2}: {:>12} FS cases predicted, {:>5.1}% of time, victims: {}",
             report.cost.fs.fs_cases,
@@ -64,6 +65,7 @@ fn main() {
     }
 
     println!();
-    let report = analyze(&kernel, &machine, &AnalysisOptions::new(8));
+    let report =
+        try_analyze(&kernel, &machine, &AnalysisOptions::new(8)).expect("analysis succeeds");
     println!("{}", report.render());
 }

@@ -8,12 +8,12 @@
 //! ```
 
 use fs_core::simulation::{simulate_kernel, SimOptions};
-use fs_core::{corpus_kernel, eliminate_false_sharing, machines, AnalyzeOptions, CORPUS};
+use fs_core::{corpus_kernel, eliminate_false_sharing, machines, AnalysisOptions, CORPUS};
 
 fn main() {
     let machine = machines::paper48();
     let threads = 8;
-    let opts = AnalyzeOptions::new(threads);
+    let opts = AnalysisOptions::new(threads);
 
     for entry in CORPUS {
         let kernel = corpus_kernel(entry.name).expect("bundled kernels parse");

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fs_core::{analyze, machines, AnalysisOptions};
+use fs_core::{machines, try_analyze, AnalysisOptions};
 use loop_ir::{AffineExpr, ArrayRef, Expr, KernelBuilder, ScalarType, Schedule, Stmt};
 
 fn histogram_kernel(threads: u64, bins_len: u64, chunk: u64) -> loop_ir::Kernel {
@@ -22,7 +22,10 @@ fn histogram_kernel(threads: u64, bins_len: u64, chunk: u64) -> loop_ir::Kernel 
     b.seq_for(i, 0, bins_len as i64);
     b.stmt(Stmt::add_assign(
         ArrayRef::write(counts, vec![AffineExpr::var(t)]),
-        Expr::read(ArrayRef::read(data, vec![AffineExpr::var(t), AffineExpr::var(i)])),
+        Expr::read(ArrayRef::read(
+            data,
+            vec![AffineExpr::var(t), AffineExpr::var(i)],
+        )),
     ));
     b.build()
 }
@@ -33,7 +36,8 @@ fn main() {
 
     println!("### per-thread counters, packed (false sharing expected)\n");
     let kernel = histogram_kernel(threads, 4096, 1);
-    let report = analyze(&kernel, &machine, &AnalysisOptions::new(threads as u32));
+    let report = try_analyze(&kernel, &machine, &AnalysisOptions::new(threads as u32))
+        .expect("analysis succeeds");
     println!("{}", report.render());
 
     // The DSL form of the same kernel, for reference:
@@ -43,7 +47,8 @@ fn main() {
     // Fix it by spacing the counters a cache line apart (padding).
     println!("### padded counters (fixed)\n");
     let fixed = fs_core::kernels::dotprod_partials(threads, 4096, true);
-    let report2 = analyze(&fixed, &machine, &AnalysisOptions::new(threads as u32));
+    let report2 = try_analyze(&fixed, &machine, &AnalysisOptions::new(threads as u32))
+        .expect("analysis succeeds");
     println!("{}", report2.render());
 
     println!(

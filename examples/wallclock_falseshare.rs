@@ -6,7 +6,7 @@
 //! cargo run --release --example wallclock_falseshare
 //! ```
 
-use fs_core::{analyze, machines, AnalysisOptions};
+use fs_core::{machines, try_analyze, AnalysisOptions};
 use fs_runtime::kernels::{dotprod_partials, linreg_packed, synth_points};
 use fs_runtime::{measure, relative_overhead};
 
@@ -40,11 +40,12 @@ fn main() {
     println!("  measured false-sharing overhead: {measured_pct:.1}%");
 
     let machine = machines::generic_x86();
-    let model = analyze(
+    let model = try_analyze(
         &fs_core::kernels::dotprod_partials(threads as u64, (len / threads) as u64, false),
         &machine,
         &AnalysisOptions::new(threads as u32).with_prediction(8),
-    );
+    )
+    .expect("analysis succeeds");
     println!(
         "  model (generic_x86 preset) attributes {:.1}% of time to false sharing\n",
         model.fs_percent()

@@ -11,7 +11,7 @@
 //!   quantitative information the paper's contribution adds.
 
 use cache_sim::SharingAnalysis;
-use cost_model::{analyze_loop, run_fs_model, AnalyzeOptions, FsModelConfig};
+use cost_model::{analyze_loop, run_fs_model, AnalysisOptions, FsModelConfig};
 use loop_ir::kernels;
 use machine::presets;
 
@@ -85,8 +85,8 @@ fn only_the_model_quantifies_impact() {
     let b_dft = SharingAnalysis::of_kernel(&dft, 8, 64);
     assert!(b_heat.has_false_sharing() && b_dft.has_false_sharing());
 
-    let c_heat = analyze_loop(&heat, &machine, &AnalyzeOptions::new(8));
-    let c_dft = analyze_loop(&dft, &machine, &AnalyzeOptions::new(8));
+    let c_heat = analyze_loop(&heat, &machine, &AnalysisOptions::new(8));
+    let c_dft = analyze_loop(&dft, &machine, &AnalysisOptions::new(8));
     assert!(
         c_dft.fs_fraction() > 1.5 * c_heat.fs_fraction(),
         "model: dft {:.1}% vs heat {:.1}%",

@@ -19,7 +19,14 @@ fn list_enumerates_the_corpus() {
     let out = fsdetect(&["--list"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for name in ["@linreg", "@heat", "@dft", "@stencil", "@histogram", "@matmul"] {
+    for name in [
+        "@linreg",
+        "@heat",
+        "@dft",
+        "@stencil",
+        "@histogram",
+        "@matmul",
+    ] {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
 }
@@ -79,10 +86,21 @@ fn baseline_and_contention_sections_print() {
 
 #[test]
 fn const_override_rescales() {
-    let small = fsdetect(&["@heat", "--threads", "4", "--const", "N=10", "--const", "M=66"]);
+    let small = fsdetect(&[
+        "@heat",
+        "--threads",
+        "4",
+        "--const",
+        "N=10",
+        "--const",
+        "M=66",
+    ]);
     let text = stdout(&small);
     // 8 outer x 64 inner iterations per thread-team.
-    assert!(text.contains("512 iterations") || text.contains("evaluated 512"), "{text}");
+    assert!(
+        text.contains("512 iterations") || text.contains("evaluated 512"),
+        "{text}"
+    );
 }
 
 #[test]

@@ -1,16 +1,21 @@
 //! Integration: the full public pipeline — DSL/builder -> validation ->
 //! analysis -> report -> advice — on every built-in kernel.
 
-use fs_core::{analyze, machines, recommend_chunk, AnalysisOptions};
+use fs_core::{machines, recommend_chunk, try_analyze, AnalysisOptions};
 use loop_ir::kernels;
 
 #[test]
 fn analyze_every_builtin_kernel_on_every_preset() {
-    let presets = [machines::paper48(), machines::generic_x86(), machines::tiny_test()];
+    let presets = [
+        machines::paper48(),
+        machines::generic_x86(),
+        machines::tiny_test(),
+    ];
     for machine in &presets {
         for k in kernels::all_kernels_small() {
             let threads = machine.num_cores.min(8);
-            let r = analyze(&k, machine, &AnalysisOptions::new(threads));
+            let r = try_analyze(&k, machine, &AnalysisOptions::new(threads))
+                .expect("analysis succeeds");
             assert!(r.cost.total_cycles > 0.0, "{} on {}", k.name, machine.name);
             assert!(
                 r.cost.fs_cycles >= 0.0 && r.cost.fs_fraction() <= 1.0,
@@ -37,7 +42,7 @@ fn dsl_to_report_pipeline() {
         }";
     let k = fs_core::parse_kernel(src).unwrap();
     let m = machines::paper48();
-    let r = analyze(&k, &m, &AnalysisOptions::new(8));
+    let r = try_analyze(&k, &m, &AnalysisOptions::new(8)).expect("analysis succeeds");
     assert!(r.cost.fs.fs_cases > 0, "chunk 1 stencil false-shares on B");
     assert_eq!(r.victims[0].array, "B");
 
@@ -71,16 +76,18 @@ fn advisor_fixes_the_motivating_kernel() {
 #[test]
 fn padded_and_packed_variants_rank_correctly() {
     let m = machines::paper48();
-    let packed = analyze(
+    let packed = try_analyze(
         &kernels::linear_regression(96, 32, 1),
         &m,
         &AnalysisOptions::new(8),
-    );
-    let padded = analyze(
+    )
+    .expect("analysis succeeds");
+    let padded = try_analyze(
         &kernels::linear_regression_padded(96, 32, 1),
         &m,
         &AnalysisOptions::new(8),
-    );
+    )
+    .expect("analysis succeeds");
     assert!(packed.cost.fs.fs_cases > 0);
     assert_eq!(padded.cost.fs.fs_cases, 0);
     assert!(packed.cost.total_cycles > padded.cost.total_cycles);
@@ -90,8 +97,8 @@ fn padded_and_packed_variants_rank_correctly() {
 fn report_is_stable_across_identical_runs() {
     let m = machines::paper48();
     let k = kernels::transpose(32, 32, 1);
-    let a = analyze(&k, &m, &AnalysisOptions::new(4));
-    let b = analyze(&k, &m, &AnalysisOptions::new(4));
+    let a = try_analyze(&k, &m, &AnalysisOptions::new(4)).expect("analysis succeeds");
+    let b = try_analyze(&k, &m, &AnalysisOptions::new(4)).expect("analysis succeeds");
     assert_eq!(a.cost.fs.fs_cases, b.cost.fs.fs_cases);
     assert_eq!(a.render(), b.render());
 }
@@ -102,7 +109,8 @@ fn prediction_pipeline_scales_to_paper_sizes() {
     // a test, but the predictor handles it in milliseconds.
     let m = machines::paper48();
     let k = kernels::linear_regression(9600, 50, 1);
-    let r = analyze(&k, &m, &AnalysisOptions::new(48).with_prediction(4));
+    let r = try_analyze(&k, &m, &AnalysisOptions::new(48).with_prediction(4))
+        .expect("analysis succeeds");
     assert!(r.cost.fs.fs_cases > 0);
     assert!(r.cost.fs.iterations <= 4 * 48 * 50 * 2);
 }

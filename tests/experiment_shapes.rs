@@ -3,12 +3,12 @@
 //! where the structure of a kernel changes the trend.
 
 use cache_sim::{simulate_kernel, SimOptions};
-use cost_model::{modeled_fs_overhead, run_fs_model, AnalyzeOptions, FsModelConfig};
+use cost_model::{modeled_fs_overhead, run_fs_model, AnalysisOptions, FsModelConfig};
 use loop_ir::kernels;
 use machine::presets;
 
 fn modeled_pct(fs: &loop_ir::Kernel, nfs: &loop_ir::Kernel, threads: u32) -> f64 {
-    modeled_fs_overhead(fs, nfs, &presets::paper48(), &AnalyzeOptions::new(threads))
+    modeled_fs_overhead(fs, nfs, &presets::paper48(), &AnalysisOptions::new(threads))
         .fs_overhead_fraction
         * 100.0
 }
@@ -131,7 +131,11 @@ fn fig2_chunk_sweep_monotone() {
 fn fig6_linearity() {
     let k = kernels::transpose(96, 96, 1);
     let r = run_fs_model(&k, &FsModelConfig::for_machine(&presets::paper48(), 8));
-    let pts: Vec<(f64, f64)> = r.series.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+    let pts: Vec<(f64, f64)> = r
+        .series
+        .iter()
+        .map(|&(x, y)| (x as f64, y as f64))
+        .collect();
     assert!(pts.len() >= 8);
     let fit = cost_model::least_squares(&pts[2..]).unwrap();
     assert!(fit.r2 > 0.99, "r2 = {}", fit.r2);

@@ -30,7 +30,10 @@ fn acc_kernel(slots: u64, inner: u64, chunk: u64, elem_size: usize) -> Kernel {
     let v = b.field(acc, "v");
     b.stmt(Stmt::add_assign(
         ArrayRef::write(acc, vec![AffineExpr::var(t)]).with_field(v),
-        Expr::read(ArrayRef::read(data, vec![AffineExpr::var(t), AffineExpr::var(i)])),
+        Expr::read(ArrayRef::read(
+            data,
+            vec![AffineExpr::var(t), AffineExpr::var(i)],
+        )),
     ));
     b.build()
 }
@@ -159,7 +162,12 @@ fn paper_kernels_satisfy_invariants() {
                 "{}",
                 k.name
             );
-            assert_eq!(r.fs_events, r.fs_read_events + r.fs_write_events, "{}", k.name);
+            assert_eq!(
+                r.fs_events,
+                r.fs_read_events + r.fs_write_events,
+                "{}",
+                k.name
+            );
             if threads == 1 {
                 assert_eq!(r.fs_cases + r.true_sharing_cases, 0, "{}", k.name);
             }

@@ -25,10 +25,7 @@ fn model_and_sim_agree_on_chunk_effect() {
             kernels::heat_diffusion(34, 130, 64),
         ),
         (kernels::dft(64, 256, 1), kernels::dft(64, 256, 16)),
-        (
-            kernels::transpose(64, 64, 1),
-            kernels::transpose(64, 64, 8),
-        ),
+        (kernels::transpose(64, 64, 1), kernels::transpose(64, 64, 8)),
     ];
     for (fs_k, nfs_k) in cases {
         let (m_fs, m_nfs) = (model_events(&fs_k, 8), model_events(&nfs_k, 8));

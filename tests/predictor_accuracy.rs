@@ -70,7 +70,12 @@ fn predicted_events_also_track_full_model() {
     let full = run_fs_model(&k, &cfg(8));
     let pred = predict_fs(&k, &cfg(8), 96).unwrap();
     let err = (pred.predicted_events - full.fs_events as f64).abs() / full.fs_events.max(1) as f64;
-    assert!(err < 0.06, "events: {} vs {}", pred.predicted_events, full.fs_events);
+    assert!(
+        err < 0.06,
+        "events: {} vs {}",
+        pred.predicted_events,
+        full.fs_events
+    );
 }
 
 #[test]
@@ -94,5 +99,9 @@ fn series_linearity_matches_fig6() {
         .map(|&(x, y)| (x as f64, y as f64))
         .collect();
     let fit = cost_model::least_squares(&pts[pts.len() / 4..]).unwrap();
-    assert!(fit.r2 > 0.999, "series should be near-linear, r2 = {}", fit.r2);
+    assert!(
+        fit.r2 > 0.999,
+        "series should be near-linear, r2 = {}",
+        fit.r2
+    );
 }

@@ -1,0 +1,169 @@
+//! Integration tests for the parallel memoized sweep engine: determinism
+//! (parallel == sequential, byte for byte), memoization correctness (cached
+//! results never drift from direct analysis), and the advisor staying
+//! faithful to the unmemoized path it replaced.
+
+use fs_core::{
+    machines, recommend_chunk, try_analyze, AnalysisOptions, EarlyExit, EvalMode, JsonValue,
+    SweepEngine, SweepGrid,
+};
+
+/// The full bundled corpus (kernels/*.loop) as named kernels, scaled down
+/// via const overrides so full-model sweeps stay fast in debug builds. The
+/// FS structure (packed accumulators, shared rows, shared bins, ...) is
+/// size-independent.
+const SCALED_CORPUS: &[(&str, &[(&str, i64)])] = &[
+    ("linreg", &[("N", 96), ("M", 16)]),
+    ("heat", &[("N", 18), ("M", 130)]),
+    ("dft", &[("N", 16), ("K", 128)]),
+    ("stencil", &[("N", 514)]),
+    ("histogram", &[("N", 512)]),
+    ("matmul", &[("N", 16), ("M", 32), ("P", 16)]),
+];
+
+fn scaled_kernel(name: &str) -> loop_ir::Kernel {
+    let (_, consts) = SCALED_CORPUS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("kernel in scaled corpus");
+    fs_core::corpus_kernel_with_consts(name, consts).expect("bundled kernel parses")
+}
+
+fn corpus_kernels() -> Vec<(String, loop_ir::Kernel)> {
+    let names: Vec<&str> = fs_core::CORPUS.iter().map(|e| e.name).collect();
+    assert!(names.len() >= 6, "bundled corpus shrank: {names:?}");
+    for (n, _) in SCALED_CORPUS {
+        assert!(names.contains(n), "bundled corpus lost '{n}'");
+    }
+    SCALED_CORPUS
+        .iter()
+        .map(|(n, _)| (n.to_string(), scaled_kernel(n)))
+        .collect()
+}
+
+fn corpus_grid() -> SweepGrid {
+    SweepGrid::new(
+        corpus_kernels(),
+        ("paper48".to_string(), machines::paper48()),
+        vec![2, 4, 8],
+        vec![1, 4, 16, 64],
+    )
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential_over_corpus() {
+    let grid = corpus_grid();
+    let seq = SweepEngine::new().workers(1).run(&grid).unwrap();
+    for workers in [2, 4, 8] {
+        let par = SweepEngine::new().workers(workers).run(&grid).unwrap();
+        assert_eq!(
+            seq.to_json().render(),
+            par.to_json().render(),
+            "{workers}-worker sweep diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn memoized_sweep_matches_direct_analysis() {
+    let grid = corpus_grid();
+    let result = SweepEngine::new().run(&grid).unwrap();
+    assert_eq!(result.outcomes.len(), grid.len());
+    for o in &result.outcomes {
+        let kernel = scaled_kernel(&o.kernel);
+        let k = fs_core::kernel_at_chunk(&kernel, o.chunk);
+        let direct =
+            try_analyze(&k, &machines::paper48(), &AnalysisOptions::new(o.threads)).unwrap();
+        assert_eq!(
+            o.cost.total_cycles, direct.cost.total_cycles,
+            "{}@chunk{} t{}",
+            o.kernel, o.chunk, o.threads
+        );
+        assert_eq!(o.cost.fs.fs_cases, direct.cost.fs.fs_cases);
+    }
+}
+
+#[test]
+fn repeated_grid_run_is_all_memo_hits() {
+    let grid = corpus_grid();
+    let engine = SweepEngine::new();
+    let first = engine.run(&grid).unwrap();
+    assert_eq!(first.memo_hits, 0);
+    assert_eq!(first.memo_misses as usize, grid.len());
+    let second = engine.run(&grid).unwrap();
+    assert_eq!(second.memo_hits as usize, grid.len());
+    assert_eq!(second.memo_misses, 0);
+}
+
+#[test]
+fn early_exit_grid_keeps_order_and_bounded_error() {
+    let grid = corpus_grid();
+    let full = SweepEngine::new().run(&grid).unwrap();
+    let fast = SweepEngine::new()
+        .mode(EvalMode::EarlyExit(EarlyExit::default()))
+        .run(&grid)
+        .unwrap();
+    assert_eq!(full.outcomes.len(), fast.outcomes.len());
+    for (a, b) in full.outcomes.iter().zip(&fast.outcomes) {
+        assert_eq!(
+            (a.kernel.as_str(), a.machine.as_str(), a.threads, a.chunk),
+            (b.kernel.as_str(), b.machine.as_str(), b.threads, b.chunk)
+        );
+        // The adaptive predictor may extrapolate, but not wildly: the FS
+        // *verdict* (significant vs not) must agree within a loose band.
+        let fa = a.cost.fs_fraction();
+        let fb = b.cost.fs_fraction();
+        assert!(
+            (fa - fb).abs() < 0.25,
+            "{}@chunk{} t{}: full fs {:.3} vs early-exit fs {:.3}",
+            a.kernel,
+            a.chunk,
+            a.threads,
+            fa,
+            fb
+        );
+    }
+}
+
+#[test]
+fn advisor_on_sweep_primitives_matches_direct_sweep() {
+    // recommend_chunk now runs on the memoized sweep primitives; its output
+    // must be indistinguishable from analyzing each candidate from scratch.
+    let m = machines::paper48();
+    for (name, kernel) in corpus_kernels() {
+        let advice = recommend_chunk(&kernel, &m, 8, 64, None);
+        for p in &advice.points {
+            let k = fs_core::kernel_at_chunk(&kernel, p.chunk);
+            let direct = try_analyze(&k, &m, &AnalysisOptions::new(8)).unwrap();
+            assert_eq!(
+                p.total_cycles, direct.cost.total_cycles,
+                "{name}@chunk{}",
+                p.chunk
+            );
+            assert_eq!(p.fs_cases, direct.cost.fs.fs_cases);
+            assert_eq!(p.fs_cycles, direct.cost.fs_cycles);
+        }
+        let best = advice
+            .points
+            .iter()
+            .min_by(|a, b| a.total_cycles.total_cmp(&b.total_cycles))
+            .unwrap();
+        assert_eq!(advice.best_chunk, best.chunk, "{name}");
+    }
+}
+
+#[test]
+fn sweep_json_document_shape_is_stable() {
+    let grid = SweepGrid::new(
+        vec![("histogram".to_string(), scaled_kernel("histogram"))],
+        ("paper48".to_string(), machines::paper48()),
+        vec![4],
+        vec![1],
+    );
+    let r = SweepEngine::new().run(&grid).unwrap();
+    let json = r.to_json().render();
+    assert!(json.starts_with(r#"{"points":1,"memo_hits":0,"memo_misses":1,"results":[{"kernel":"histogram","machine":"paper48","threads":4,"chunk":1,"#));
+    // Round-trip stability: rendering twice yields the same bytes.
+    assert_eq!(json, r.to_json().render());
+    assert!(matches!(r.to_json(), JsonValue::Obj(_)));
+}

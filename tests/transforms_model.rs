@@ -4,14 +4,14 @@
 //! model's verdicts against the MESI simulator.
 
 use cache_sim::{simulate_kernel, SimOptions};
-use cost_model::{analyze_loop, AnalyzeOptions};
+use cost_model::{analyze_loop, AnalysisOptions};
 use loop_ir::transforms::{interchange, tile, unroll_innermost, with_chunk};
 use loop_ir::validate::validate_bounds;
 use loop_ir::{kernels, Kernel};
 use machine::presets;
 
 fn total_cycles(k: &Kernel, threads: u32) -> f64 {
-    analyze_loop(k, &presets::paper48(), &AnalyzeOptions::new(threads)).total_cycles
+    analyze_loop(k, &presets::paper48(), &AnalysisOptions::new(threads)).total_cycles
 }
 
 fn sim_makespan(k: &Kernel, threads: u32) -> u64 {
@@ -27,8 +27,8 @@ fn tiling_the_parallel_loop_removes_false_sharing() {
     let tiled = tile(&base, 0, 64).unwrap(); // 16 parallel tiles of 64
     validate_bounds(&tiled).unwrap();
 
-    let c_base = analyze_loop(&base, &presets::paper48(), &AnalyzeOptions::new(8));
-    let c_tiled = analyze_loop(&tiled, &presets::paper48(), &AnalyzeOptions::new(8));
+    let c_base = analyze_loop(&base, &presets::paper48(), &AnalysisOptions::new(8));
+    let c_tiled = analyze_loop(&tiled, &presets::paper48(), &AnalysisOptions::new(8));
     assert!(
         c_tiled.fs.fs_cases * 10 < c_base.fs.fs_cases.max(1),
         "tiling must kill FS: {} -> {}",
@@ -51,8 +51,8 @@ fn tiling_the_parallel_loop_removes_false_sharing() {
 fn tiling_a_sequential_loop_preserves_fs() {
     let base = kernels::matvec(64, 64, 1);
     let tiled = tile(&base, 1, 16).unwrap();
-    let c_base = analyze_loop(&base, &presets::paper48(), &AnalyzeOptions::new(8));
-    let c_tiled = analyze_loop(&tiled, &presets::paper48(), &AnalyzeOptions::new(8));
+    let c_base = analyze_loop(&base, &presets::paper48(), &AnalysisOptions::new(8));
+    let c_tiled = analyze_loop(&tiled, &presets::paper48(), &AnalysisOptions::new(8));
     let ratio = c_tiled.fs.fs_events as f64 / c_base.fs.fs_events.max(1) as f64;
     assert!(
         (0.8..=1.2).contains(&ratio),
@@ -71,8 +71,8 @@ fn interchange_direction_agreement() {
     let swapped = interchange(&base, 0, 1).unwrap(); // seq j outer, parallel i inner
     validate_bounds(&swapped).unwrap();
 
-    let m_base = analyze_loop(&base, &presets::paper48(), &AnalyzeOptions::new(8));
-    let m_sw = analyze_loop(&swapped, &presets::paper48(), &AnalyzeOptions::new(8));
+    let m_base = analyze_loop(&base, &presets::paper48(), &AnalysisOptions::new(8));
+    let m_sw = analyze_loop(&swapped, &presets::paper48(), &AnalysisOptions::new(8));
     let s_base = sim_makespan(&base, 8);
     let s_sw = sim_makespan(&swapped, 8);
 
@@ -93,8 +93,8 @@ fn unrolling_keeps_total_compute_stable() {
     let base = kernels::matvec(32, 64, 1);
     let unrolled = unroll_innermost(&base, 4).unwrap();
     let m = presets::paper48();
-    let c_base = analyze_loop(&base, &m, &AnalyzeOptions::new(4));
-    let c_unr = analyze_loop(&unrolled, &m, &AnalyzeOptions::new(4));
+    let c_base = analyze_loop(&base, &m, &AnalysisOptions::new(4));
+    let c_unr = analyze_loop(&unrolled, &m, &AnalysisOptions::new(4));
     // 4x ops per iteration, 1/4 the iterations.
     assert_eq!(
         c_unr.iters_per_thread * 4.0,
@@ -144,8 +144,8 @@ fn transformed_kernels_roundtrip_dsl() {
         unroll_innermost(&base, 2).unwrap(),
     ] {
         let src = loop_ir::pretty::kernel_to_dsl(&k);
-        let back = loop_ir::dsl::parse_kernel(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
+        let back =
+            loop_ir::dsl::parse_kernel(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
         assert_eq!(k, back, "{}", k.name);
     }
 }
