@@ -1,7 +1,7 @@
 //! Criterion: throughput of the FS cost model itself (the cost a compiler
 //! pays at compile time), across kernels and team sizes.
 
-use cost_model::{run_fs_model, FsModelConfig};
+use cost_model::{run_fs_model, FsModelConfig, FsPath};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loop_ir::kernels;
 use machine::presets::paper48;
@@ -37,5 +37,33 @@ fn bench_fs_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fs_model);
+/// The two implementations of the same model, head to head (the gate for
+/// the ratio lives in the `fs_model_bench` binary; this gives the per-kernel
+/// criterion view).
+fn bench_fs_paths(c: &mut Criterion) {
+    let machine = paper48();
+    let mut g = c.benchmark_group("fs_model_paths");
+    for (name, kernel) in [
+        ("heat", kernels::heat_diffusion(18, 962, 1)),
+        ("dft", kernels::dft(16, 960, 1)),
+        ("transpose", kernels::transpose(96, 96, 1)),
+    ] {
+        let iters = kernel.nest.total_iterations().unwrap();
+        g.throughput(Throughput::Elements(iters));
+        for path in [FsPath::Optimized, FsPath::Reference] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{path:?}")),
+                &path,
+                |b, &p| {
+                    let mut cfg = FsModelConfig::for_machine(&machine, 8);
+                    cfg.path = p;
+                    b.iter(|| run_fs_model(&kernel, &cfg));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fs_model, bench_fs_paths);
 criterion_main!(benches);

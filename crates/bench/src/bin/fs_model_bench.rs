@@ -1,0 +1,146 @@
+//! FS-model hot-loop benchmark: the strength-reduced dense-table path vs
+//! the reference hash-map transcription of the paper's algorithm, over the
+//! bundled corpus.
+//!
+//! A *point* is one full model evaluation of a (kernel, threads, chunk)
+//! configuration. For every point the two paths are first checked for
+//! count-identical results (the optimized path is an optimization, not an
+//! approximation — any divergence fails the run), then timed over enough
+//! repetitions to be stable.
+//!
+//! Prints per-kernel timings and the aggregate points/sec before vs after;
+//! writes the numbers to `BENCH_fs_model.json` (uploaded as a CI artifact)
+//! and exits non-zero if the aggregate speedup is under the 3x gate.
+
+use cost_model::{run_fs_model_prepared, FsModelConfig, FsPath};
+use fs_core::{machines, JsonValue};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Required aggregate speedup of the optimized path.
+const GATE: f64 = 3.0;
+/// Timed repetitions per (point, path).
+const REPEAT: u32 = 3;
+
+struct PointResult {
+    kernel: String,
+    chunk: u64,
+    reference_s: f64,
+    optimized_s: f64,
+}
+
+fn main() -> ExitCode {
+    let machine = machines::paper48();
+    let threads = 8u32;
+    let chunks = [1u64, 4];
+    let kernel_names = ["linreg", "heat", "dft", "stencil", "histogram", "matmul"];
+
+    println!(
+        "## fs-model benchmark: {} kernels x {{1,4}} chunks, {threads} threads, {REPEAT} reps",
+        kernel_names.len()
+    );
+
+    let mut points: Vec<PointResult> = Vec::new();
+    for name in kernel_names {
+        let base = fs_core::corpus_kernel(name).expect("bundled kernel");
+        for chunk in chunks {
+            let kernel = fs_core::kernel_at_chunk(&base, chunk);
+            // Step-1 inputs are schedule-independent; prepare once, as the
+            // sweep engine does.
+            let plan = kernel.access_plan();
+            let bases = kernel.array_bases(machine.line_size());
+            let mut cfg = FsModelConfig::for_machine(&machine, threads);
+
+            // Correctness gate: identical counts, field for field.
+            cfg.path = FsPath::Reference;
+            let want = run_fs_model_prepared(&kernel, &cfg, &plan, &bases);
+            cfg.path = FsPath::Optimized;
+            let got = run_fs_model_prepared(&kernel, &cfg, &plan, &bases);
+            if got != want {
+                eprintln!(
+                    "fs_model_bench: paths diverge on {name} chunk {chunk}: \
+                     optimized {} cases / {} events, reference {} cases / {} events",
+                    got.fs_cases, got.fs_events, want.fs_cases, want.fs_events
+                );
+                return ExitCode::FAILURE;
+            }
+
+            let mut time_path = |path: FsPath| {
+                cfg.path = path;
+                let t0 = Instant::now();
+                let mut sink = 0u64;
+                for _ in 0..REPEAT {
+                    sink = sink
+                        .wrapping_add(run_fs_model_prepared(&kernel, &cfg, &plan, &bases).fs_cases);
+                }
+                std::hint::black_box(sink);
+                t0.elapsed().as_secs_f64() / REPEAT as f64
+            };
+            let reference_s = time_path(FsPath::Reference);
+            let optimized_s = time_path(FsPath::Optimized);
+            println!(
+                "{name:>10} chunk {chunk:>2}: reference {:>8.2} ms, optimized {:>8.2} ms ({:>5.1}x)",
+                reference_s * 1e3,
+                optimized_s * 1e3,
+                reference_s / optimized_s.max(1e-9)
+            );
+            points.push(PointResult {
+                kernel: name.to_string(),
+                chunk,
+                reference_s,
+                optimized_s,
+            });
+        }
+    }
+
+    let ref_total: f64 = points.iter().map(|p| p.reference_s).sum();
+    let opt_total: f64 = points.iter().map(|p| p.optimized_s).sum();
+    let n = points.len() as f64;
+    let ref_pps = n / ref_total.max(1e-9);
+    let opt_pps = n / opt_total.max(1e-9);
+    let speedup = ref_total / opt_total.max(1e-9);
+    println!("throughput: reference {ref_pps:.1} points/s, optimized {opt_pps:.1} points/s");
+    println!("speedup: {speedup:.1}x (gate {GATE:.1}x)");
+    let pass = speedup >= GATE;
+
+    let doc = JsonValue::obj()
+        .field("benchmark", "fs_model")
+        .field("threads", threads)
+        .field("repeat", REPEAT)
+        .field("points", {
+            JsonValue::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        JsonValue::obj()
+                            .field("kernel", p.kernel.as_str())
+                            .field("chunk", p.chunk)
+                            .field("reference_seconds", p.reference_s)
+                            .field("optimized_seconds", p.optimized_s)
+                            .field("speedup", p.reference_s / p.optimized_s.max(1e-9))
+                    })
+                    .collect(),
+            )
+        })
+        .field("points_per_sec_before", ref_pps)
+        .field("points_per_sec_after", opt_pps)
+        .field("speedup", speedup)
+        .field("gate", GATE)
+        .field("pass", pass);
+    let json_path = "BENCH_fs_model.json";
+    match std::fs::write(json_path, doc.render_pretty()) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("fs_model_bench: cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if pass {
+        println!("PASS (>= {GATE:.1}x)");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL (< {GATE:.1}x)");
+        ExitCode::FAILURE
+    }
+}

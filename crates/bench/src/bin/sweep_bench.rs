@@ -103,6 +103,13 @@ fn main() -> ExitCode {
         (engine_mean / naive_mean - 1.0) * 100.0
     );
 
+    let points = (REPEAT * g.len()) as f64;
+    println!(
+        "throughput: naive {:.1} points/s, engine {:.1} points/s",
+        points / baseline.as_secs_f64().max(1e-9),
+        points / fast.as_secs_f64().max(1e-9)
+    );
+
     let speedup = baseline.as_secs_f64() / fast.as_secs_f64().max(1e-9);
     println!("speedup: {speedup:.1}x");
     if speedup >= 4.0 {

@@ -236,6 +236,179 @@ impl<'a, K: Eq + Hash + Clone, V> Iterator for LruIter<'a, K, V> {
     }
 }
 
+#[derive(Debug, Clone)]
+struct DenseNode<V> {
+    key: u32,
+    set: u32,
+    prev: u32,
+    next: u32,
+    value: V,
+}
+
+/// A set-associative LRU over *dense* `u32` keys: the `HashMap` of
+/// [`LruCache`] is replaced by one flat `Vec<u32>` index shared by all
+/// sets, so lookup/touch/insert are plain array loads. Built for the FS
+/// model's per-thread cache states, where cache lines are interned to
+/// contiguous ids and every probe of the hot loop would otherwise pay a
+/// SipHash.
+///
+/// The caller assigns each key to a set (the FS model computes the set
+/// from the *original* line number, not the dense id); a resident key
+/// remembers its set, so only [`DenseSetLru::insert`] takes one.
+#[derive(Debug, Clone)]
+pub struct DenseSetLru<V> {
+    ways: usize,
+    /// key -> slab slot (`NIL` when absent). Grown by [`Self::ensure_key`].
+    index: Vec<u32>,
+    nodes: Vec<DenseNode<V>>,
+    free: Vec<u32>,
+    /// Per-set intrusive-list heads (MRU), tails (LRU) and lengths.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    lens: Vec<u32>,
+}
+
+impl<V: Default> DenseSetLru<V> {
+    /// `num_sets` sets of `ways` entries each; the index initially covers
+    /// keys `0..key_capacity` and grows on demand via [`Self::ensure_key`].
+    ///
+    /// # Panics
+    /// Panics if `num_sets == 0` or `ways == 0`.
+    pub fn new(num_sets: usize, ways: usize, key_capacity: usize) -> Self {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(ways > 0, "LRU capacity must be positive");
+        DenseSetLru {
+            ways,
+            index: vec![NIL; key_capacity],
+            nodes: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; num_sets],
+            tails: vec![NIL; num_sets],
+            lens: vec![0; num_sets],
+        }
+    }
+
+    pub fn num_sets(&self) -> usize {
+        self.heads.len()
+    }
+
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Grow the key index so `key` is addressable.
+    #[inline]
+    pub fn ensure_key(&mut self, key: u32) {
+        if key as usize >= self.index.len() {
+            self.index.resize(key as usize + 1, NIL);
+        }
+    }
+
+    /// Read a resident key's value without touching recency. Keys beyond
+    /// the index are simply absent.
+    #[inline]
+    pub fn peek(&self, key: u32) -> Option<&V> {
+        match self.index.get(key as usize) {
+            Some(&slot) if slot != NIL => Some(&self.nodes[slot as usize].value),
+            _ => None,
+        }
+    }
+
+    fn detach(&mut self, slot: u32) {
+        let (set, prev, next) = {
+            let n = &self.nodes[slot as usize];
+            (n.set as usize, n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.heads[set] = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tails[set] = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32, set: usize) {
+        let old_head = self.heads[set];
+        {
+            let n = &mut self.nodes[slot as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        } else {
+            self.tails[set] = slot;
+        }
+        self.heads[set] = slot;
+    }
+
+    /// Touch `key`, making it most-recently-used within its set. Returns a
+    /// mutable reference to its value, or `None` if absent.
+    #[inline]
+    pub fn touch(&mut self, key: u32) -> Option<&mut V> {
+        let slot = *self.index.get(key as usize)?;
+        if slot == NIL {
+            return None;
+        }
+        let set = self.nodes[slot as usize].set as usize;
+        if self.heads[set] != slot {
+            self.detach(slot);
+            self.push_front(slot, set);
+        }
+        Some(&mut self.nodes[slot as usize].value)
+    }
+
+    /// Insert `key` into `set`, making it that set's MRU. If the set was
+    /// full and `key` absent, the set's LRU entry is evicted and returned.
+    /// A resident `key` is overwritten and moved to front (no eviction),
+    /// matching [`LruCache::insert`].
+    pub fn insert(&mut self, set: usize, key: u32, value: V) -> Option<(u32, V)> {
+        self.ensure_key(key);
+        let slot = self.index[key as usize];
+        if slot != NIL {
+            debug_assert_eq!(self.nodes[slot as usize].set as usize, set);
+            self.nodes[slot as usize].value = value;
+            if self.heads[set] != slot {
+                self.detach(slot);
+                self.push_front(slot, set);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.lens[set] as usize == self.ways {
+            let victim = self.tails[set];
+            self.detach(victim);
+            let n = &mut self.nodes[victim as usize];
+            self.index[n.key as usize] = NIL;
+            evicted = Some((n.key, std::mem::take(&mut n.value)));
+            self.free.push(victim);
+            self.lens[set] -= 1;
+        }
+        let node = DenseNode {
+            key,
+            set: set as u32,
+            prev: NIL,
+            next: NIL,
+            value,
+        };
+        let slot = if let Some(s) = self.free.pop() {
+            self.nodes[s as usize] = node;
+            s
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        };
+        self.index[key as usize] = slot;
+        self.push_front(slot, set);
+        self.lens[set] += 1;
+        evicted
+    }
+}
+
 /// Records the reuse (stack) distance of every access over an *unbounded*
 /// LRU stack, building the histogram from which miss ratios at any cache
 /// size can be read off — the classic use of stack-distance analysis.
@@ -383,6 +556,81 @@ mod tests {
         }
         // Every key reachable through the map must be reachable via the list.
         assert_eq!(c.iter_mru().count(), c.len());
+    }
+
+    #[test]
+    fn dense_insert_touch_evict_order() {
+        let mut c: DenseSetLru<u32> = DenseSetLru::new(1, 3, 8);
+        assert!(c.insert(0, 1, 10).is_none());
+        assert!(c.insert(0, 2, 20).is_none());
+        assert!(c.insert(0, 3, 30).is_none());
+        assert_eq!(c.touch(1), Some(&mut 10));
+        let ev = c.insert(0, 4, 40).unwrap();
+        assert_eq!(ev, (2, 20));
+        assert_eq!(c.peek(1), Some(&10));
+        assert_eq!(c.peek(2), None);
+        assert_eq!(c.peek(3), Some(&30));
+        assert_eq!(c.peek(4), Some(&40));
+    }
+
+    #[test]
+    fn dense_reinsert_updates_without_evicting() {
+        let mut c: DenseSetLru<u32> = DenseSetLru::new(1, 2, 4);
+        c.insert(0, 1, 10);
+        c.insert(0, 2, 20);
+        assert!(c.insert(0, 1, 11).is_none());
+        assert_eq!(c.peek(1), Some(&11));
+        let ev = c.insert(0, 3, 30).unwrap();
+        assert_eq!(ev.0, 2);
+    }
+
+    #[test]
+    fn dense_sets_are_independent_and_index_grows() {
+        let mut c: DenseSetLru<u32> = DenseSetLru::new(2, 1, 0);
+        // Keys beyond the initial (empty) index are absent, not a panic.
+        assert_eq!(c.peek(500), None);
+        assert!(c.touch(500).is_none());
+        assert!(c.insert(0, 500, 1).is_none());
+        assert!(c.insert(1, 501, 2).is_none(), "other set has room");
+        let ev = c.insert(0, 502, 3).unwrap();
+        assert_eq!(ev, (500, 1), "eviction stays within the set");
+        assert_eq!(c.peek(501), Some(&2));
+    }
+
+    /// The dense LRU must be operation-for-operation identical to an
+    /// [`LruCache`] per set (the FS model's equivalence between its
+    /// reference and optimized paths rests on this).
+    #[test]
+    fn dense_matches_lru_cache_under_churn() {
+        const SETS: usize = 3;
+        const WAYS: usize = 4;
+        let mut dense: DenseSetLru<u64> = DenseSetLru::new(SETS, WAYS, 0);
+        let mut refs: Vec<LruCache<u32, u64>> = (0..SETS).map(|_| LruCache::new(WAYS)).collect();
+        // Deterministic xorshift stream of (op, key) pairs.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 64) as u32;
+            let set = (key as usize) % SETS;
+            match x >> 62 {
+                0 => {
+                    assert_eq!(dense.peek(key), refs[set].peek(&key), "peek {key} @ {i}");
+                }
+                1 => {
+                    assert_eq!(dense.touch(key), refs[set].touch(&key), "touch {key} @ {i}");
+                }
+                _ => {
+                    let ev_d = dense.insert(set, key, i);
+                    let ev_r = refs[set].insert(key, i);
+                    assert_eq!(ev_d, ev_r, "insert {key} @ {i}");
+                }
+            }
+        }
+        for key in 0..64u32 {
+            assert_eq!(dense.peek(key), refs[(key as usize) % SETS].peek(&key));
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use advisor::{recommend_chunk, ChunkAdvice, ChunkPoint};
 pub use corpus::{corpus_entry, corpus_kernel, corpus_kernel_with_consts, CorpusEntry, CORPUS};
 pub use error::AnalysisError;
 pub use json::JsonValue;
-pub use report::{AnalysisReport, VictimArray};
+pub use report::{AnalysisReport, HotLine, VictimArray};
 pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome};
 pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
 
@@ -98,6 +98,14 @@ pub fn try_analyze(
         return Err(AnalysisError::UnsupportedSchedule {
             reason: "team size (num_threads) must be >= 1".to_string(),
         });
+    }
+    if opts.num_threads > cost_model::MAX_MODEL_THREADS {
+        return Err(AnalysisError::Validation(
+            loop_ir::ValidateError::TeamTooLarge {
+                requested: opts.num_threads,
+                max: cost_model::MAX_MODEL_THREADS,
+            },
+        ));
     }
     loop_ir::validate(kernel)?;
     let cost = analyze_loop(kernel, machine, opts);
@@ -182,6 +190,20 @@ mod tests {
         bad.caches.line_size = 0;
         let err = try_analyze(&k, &bad, &AnalysisOptions::new(2)).unwrap_err();
         assert!(matches!(err, AnalysisError::MachineConfig { .. }));
+    }
+
+    #[test]
+    fn try_analyze_accepts_64_threads_and_rejects_65() {
+        let m = machines::paper48();
+        let k = kernels::stencil1d(258, 1);
+        assert!(try_analyze(&k, &m, &AnalysisOptions::new(64)).is_ok());
+        let err = try_analyze(&k, &m, &AnalysisOptions::new(65)).unwrap_err();
+        match err {
+            AnalysisError::Validation(loop_ir::ValidateError::TeamTooLarge { requested, max }) => {
+                assert_eq!((requested, max), (65, cost_model::MAX_MODEL_THREADS));
+            }
+            other => panic!("expected TeamTooLarge validation error, got {other:?}"),
+        }
     }
 
     #[test]

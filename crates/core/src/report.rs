@@ -14,6 +14,24 @@ pub struct VictimArray {
     pub share: f64,
 }
 
+/// One of the most-conflicted cache lines, resolved to the array that owns
+/// its address (None for lines outside every declared array, e.g. halo
+/// padding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotLine {
+    /// Cache-line number in the model's address space.
+    pub line: u64,
+    pub fs_cases: u64,
+    /// Name of the owning array, if the line starts inside one.
+    pub array: Option<String>,
+    /// Byte offset of the line's start from the owning array's base (0 when
+    /// unowned).
+    pub offset: u64,
+}
+
+/// How many of the FS model's `top_lines` the report resolves and renders.
+const TOP_HOT_LINES: usize = 8;
+
 /// The packaged result of [`crate::try_analyze`].
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -22,6 +40,8 @@ pub struct AnalysisReport {
     pub num_threads: u32,
     pub cost: LoopCost,
     pub victims: Vec<VictimArray>,
+    /// The most-conflicted cache lines, resolved to their owning arrays.
+    pub hot_lines: Vec<HotLine>,
     /// Estimated seconds for the loop on the target machine.
     pub est_seconds: f64,
 }
@@ -34,6 +54,7 @@ impl AnalysisReport {
         cost: LoopCost,
     ) -> Self {
         let victims = attribute_victims(kernel, machine, &cost);
+        let hot_lines = resolve_hot_lines(kernel, machine, &cost);
         let est_seconds = cost.seconds(machine);
         AnalysisReport {
             kernel_name: kernel.name.clone(),
@@ -41,6 +62,7 @@ impl AnalysisReport {
             num_threads,
             cost,
             victims,
+            hot_lines,
             est_seconds,
         }
     }
@@ -127,6 +149,27 @@ impl AnalysisReport {
                 );
             }
         }
+        if !self.hot_lines.is_empty() {
+            let _ = writeln!(out, "hottest cache lines:");
+            for h in &self.hot_lines {
+                match &h.array {
+                    Some(name) => {
+                        let _ = writeln!(
+                            out,
+                            "  line {:<8} {:>12} cases  ({} + {} bytes)",
+                            h.line, h.fs_cases, name, h.offset
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  line {:<8} {:>12} cases  (outside declared arrays)",
+                            h.line, h.fs_cases
+                        );
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -170,6 +213,27 @@ impl AnalysisReport {
                                 .field("array", v.array.as_str())
                                 .field("fs_cases", v.fs_cases)
                                 .field("share", v.share)
+                        })
+                        .collect(),
+                ),
+            )
+            .field(
+                "hot_lines",
+                JsonValue::Arr(
+                    self.hot_lines
+                        .iter()
+                        .map(|h| {
+                            JsonValue::obj()
+                                .field("line", h.line)
+                                .field("fs_cases", h.fs_cases)
+                                .field(
+                                    "array",
+                                    h.array
+                                        .as_deref()
+                                        .map(JsonValue::from)
+                                        .unwrap_or(JsonValue::Null),
+                                )
+                                .field("offset", h.offset)
                         })
                         .collect(),
                 ),
@@ -239,6 +303,15 @@ impl AnalysisReport {
     }
 }
 
+/// Index of the array whose `[base, base + size)` range contains `addr`.
+fn owning_array(kernel: &Kernel, bases: &[u64], addr: u64) -> Option<usize> {
+    kernel.arrays.iter().enumerate().find_map(|(idx, decl)| {
+        let lo = bases[idx];
+        let hi = lo + decl.size_bytes().max(1);
+        (addr >= lo && addr < hi).then_some(idx)
+    })
+}
+
 /// Map the FS model's per-line case counts back to the arrays whose address
 /// ranges contain those lines.
 fn attribute_victims(
@@ -254,14 +327,8 @@ fn attribute_victims(
     }
     let mut per_array: Vec<u64> = vec![0; kernel.arrays.len()];
     for (&line, &cases) in &cost.fs.per_line_cases {
-        let addr = line * line_size;
-        for (idx, decl) in kernel.arrays.iter().enumerate() {
-            let lo = bases[idx];
-            let hi = lo + decl.size_bytes().max(1);
-            if addr >= lo && addr < hi {
-                per_array[idx] += cases;
-                break;
-            }
+        if let Some(idx) = owning_array(kernel, &bases, line * line_size) {
+            per_array[idx] += cases;
         }
     }
     let mut victims: Vec<VictimArray> = per_array
@@ -276,6 +343,35 @@ fn attribute_victims(
         .collect();
     victims.sort_by_key(|v| std::cmp::Reverse(v.fs_cases));
     victims
+}
+
+/// Resolve the FS model's hottest lines to owning arrays and in-array byte
+/// offsets, so the report can say *where inside* the victim the conflicts
+/// land (e.g. which struct element of a partials array).
+fn resolve_hot_lines(kernel: &Kernel, machine: &MachineConfig, cost: &LoopCost) -> Vec<HotLine> {
+    let line_size = machine.line_size();
+    let bases = kernel.array_bases(line_size);
+    cost.fs
+        .top_lines(TOP_HOT_LINES)
+        .into_iter()
+        .map(|(line, fs_cases)| {
+            let addr = line * line_size;
+            match owning_array(kernel, &bases, addr) {
+                Some(idx) => HotLine {
+                    line,
+                    fs_cases,
+                    array: Some(kernel.arrays[idx].name.clone()),
+                    offset: addr - bases[idx],
+                },
+                None => HotLine {
+                    line,
+                    fs_cases,
+                    array: None,
+                    offset: 0,
+                },
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -316,6 +412,25 @@ mod tests {
         assert!(md.contains("| term | cycles |"));
         assert!(md.contains("**false sharing**"));
         assert!(md.contains("- `args`"));
+    }
+
+    #[test]
+    fn hot_lines_name_the_victim_array() {
+        let m = machines::paper48();
+        let k = kernels::dotprod_partials(8, 64, false);
+        let r = try_analyze(&k, &m, &AnalysisOptions::new(8)).expect("analysis succeeds");
+        assert!(!r.hot_lines.is_empty());
+        let top = &r.hot_lines[0];
+        assert_eq!(top.array.as_deref(), Some("partial"));
+        assert_eq!(top.fs_cases, r.cost.fs.top_lines(1)[0].1);
+        // The hottest line sits inside the partials array.
+        assert!(top.offset < k.arrays.last().unwrap().size_bytes());
+        let text = r.render();
+        assert!(text.contains("hottest cache lines"), "{text}");
+        assert!(text.contains("partial + "), "{text}");
+        let json = r.to_json().render();
+        assert!(json.contains("\"hot_lines\""), "{json}");
+        assert!(json.contains("\"array\":\"partial\""), "{json}");
     }
 
     #[test]

@@ -21,6 +21,19 @@
 //! regression predictor uses), and records the cumulative FS count at every
 //! *chunk run* boundary, the series behind Fig. 6.
 //!
+//! Two implementations of the same model are provided, selected by
+//! [`FsModelConfig::path`]:
+//!
+//! * [`FsPath::Optimized`] (the default) strength-reduces every access's
+//!   affine address into per-loop-variable byte deltas
+//!   ([`loop_ir::CompiledPlan`]) and interns cache lines of the kernel's
+//!   array footprint to contiguous dense ids, so the per-access hot path is
+//!   a handful of flat array indexes (see `docs/HOTPATH.md`).
+//! * [`FsPath::Reference`] is the direct transcription of the paper's
+//!   algorithm over hash maps. It is the executable specification: the
+//!   optimized path must produce *identical* counts, which the equivalence
+//!   property tests and `fs_model_bench` enforce.
+//!
 //! Faithfulness notes:
 //! * Like the paper, the per-thread cache states are independent LRU stacks;
 //!   a detected conflict does not invalidate the remote copy (the count *is*
@@ -33,10 +46,33 @@
 //!   are included in `fs_cases` (off by default — they are reported
 //!   separately).
 
-use cache_sim::lru::LruCache;
+use cache_sim::lru::{DenseSetLru, LruCache};
 use loop_ir::walk::LockstepWalker;
-use loop_ir::{AccessPlan, Kernel};
+use loop_ir::{AccessPlan, Kernel, StreamCursor, ValidateError};
 use std::collections::HashMap;
+
+/// Widest team the model can represent: per-line writer sets are 64-bit
+/// thread masks (`1u64 << t`). [`crate::total::analyze_loop`] and the FS
+/// model panic beyond this; `fs_core::try_analyze` rejects it with a
+/// structured error instead.
+pub const MAX_MODEL_THREADS: u32 = 64;
+
+/// Dense-table ceiling: kernels whose array footprint exceeds this many
+/// cache lines (4 Mi lines = 256 MiB of arrays at 64-byte lines) fall back
+/// to the reference path rather than allocating per-thread flat tables.
+const DENSE_LINE_LIMIT: u64 = 1 << 22;
+
+/// Which implementation of the FS-model hot loop to run. Both produce
+/// identical counts; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsPath {
+    /// Strength-reduced address streams + dense line tables (default).
+    #[default]
+    Optimized,
+    /// The hash-map transcription of the paper's algorithm, kept as the
+    /// executable specification for equivalence testing.
+    Reference,
+}
 
 /// Configuration of one FS-model evaluation.
 #[derive(Debug, Clone)]
@@ -64,6 +100,8 @@ pub struct FsModelConfig {
     /// Ablation: clear the remote Modified mark when a conflict is
     /// detected (approximating the invalidation a real protocol performs).
     pub invalidate_on_detect: bool,
+    /// Implementation to run (identical counts either way).
+    pub path: FsPath,
 }
 
 impl FsModelConfig {
@@ -80,12 +118,25 @@ impl FsModelConfig {
             max_chunk_runs: None,
             count_true_sharing: false,
             invalidate_on_detect: false,
+            path: FsPath::default(),
         }
+    }
+
+    /// Check the limits the model imposes beyond kernel validation.
+    /// Currently: the team must fit the 64-bit writer masks.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.num_threads > MAX_MODEL_THREADS {
+            return Err(ValidateError::TeamTooLarge {
+                requested: self.num_threads,
+                max: MAX_MODEL_THREADS,
+            });
+        }
+        Ok(())
     }
 }
 
 /// Per-line info held in a thread's cache state.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct LineInfo {
     /// Line has been written by this thread while resident.
     written: bool,
@@ -95,22 +146,39 @@ struct LineInfo {
 
 /// One thread's cache state: a fully-associative LRU stack (`sets == 1`,
 /// the paper's model) or a set-associative split of the same capacity.
+/// Used by the reference path; the optimized path holds the same geometry
+/// in a [`DenseSetLru`].
 struct CacheState {
     sets: Vec<LruCache<u64, LineInfo>>,
+    /// `sets.len() - 1` when the set count is a power of two, so the hot
+    /// `set_of` is a mask instead of a division.
+    set_mask: Option<u64>,
+}
+
+/// The set geometry shared by both paths: `stack_lines` split into
+/// `(num_sets, ways)`, clamped exactly as [`CacheState`] has always done.
+fn set_geometry(stack_lines: usize, stack_sets: u32) -> (usize, usize) {
+    let total_lines = stack_lines.max(1);
+    let num_sets = (stack_sets.max(1) as usize).min(total_lines);
+    let ways = (total_lines / num_sets).max(1);
+    (num_sets, ways)
 }
 
 impl CacheState {
     fn new(total_lines: usize, num_sets: u32) -> Self {
-        let num_sets = (num_sets.max(1) as usize).min(total_lines.max(1));
-        let ways = (total_lines / num_sets).max(1);
+        let (num_sets, ways) = set_geometry(total_lines, num_sets);
         CacheState {
             sets: (0..num_sets).map(|_| LruCache::new(ways)).collect(),
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
         }
     }
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(m) => (line & m) as usize,
+            None => (line % self.sets.len() as u64) as usize,
+        }
     }
 
     #[inline]
@@ -131,8 +199,58 @@ impl CacheState {
     }
 }
 
+/// Maps cache-line numbers to contiguous `u32` ids. Lines inside the
+/// kernel's array footprint (`[0, dense_lines)`, per
+/// [`crate::footprint::line_footprint`]) are the identity mapping; anything
+/// else — halo reads past the last array, negative addresses wrapped by the
+/// `as u64` cast — is assigned the next id from a hash-map overflow region.
+struct LineInterner {
+    dense_lines: u64,
+    overflow: HashMap<u64, u32>,
+    /// `overflow_lines[id - dense_lines]` = original line of an overflow id.
+    overflow_lines: Vec<u64>,
+}
+
+impl LineInterner {
+    fn new(dense_lines: u64) -> Self {
+        LineInterner {
+            dense_lines,
+            overflow: HashMap::new(),
+            overflow_lines: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn id_of(&mut self, line: u64) -> u32 {
+        if line < self.dense_lines {
+            line as u32
+        } else {
+            let next = self.dense_lines as u32 + self.overflow_lines.len() as u32;
+            match self.overflow.entry(line) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.overflow_lines.push(line);
+                    *e.insert(next)
+                }
+            }
+        }
+    }
+
+    fn line_of(&self, id: u32) -> u64 {
+        if (id as u64) < self.dense_lines {
+            id as u64
+        } else {
+            self.overflow_lines[(id as u64 - self.dense_lines) as usize]
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.dense_lines as usize + self.overflow_lines.len()
+    }
+}
+
 /// Result of an FS-model evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FsModelResult {
     /// Total false-sharing cases detected (Eq. 4 summed over evaluated
     /// iterations). This is the paper's multiplicity count: one inserted
@@ -192,13 +310,49 @@ impl FsModelResult {
         v.truncate(n);
         v
     }
+
+    fn empty(num_threads: usize) -> FsModelResult {
+        FsModelResult {
+            fs_cases: 0,
+            true_sharing_cases: 0,
+            fs_events: 0,
+            fs_read_events: 0,
+            fs_write_events: 0,
+            ts_events: 0,
+            per_thread_cases: vec![0; num_threads],
+            per_line_cases: HashMap::new(),
+            series: Vec::new(),
+            events_series: Vec::new(),
+            steps: 0,
+            iterations: 0,
+            total_chunk_runs: 0,
+            evaluated_chunk_runs: 0,
+        }
+    }
+
+    /// Close the cumulative series with a final partial point if needed and
+    /// derive `evaluated_chunk_runs` (shared tail of both paths).
+    fn finish_series(&mut self, steps_per_run: u64) {
+        if self
+            .series
+            .last()
+            .map(|&(r, _)| r * steps_per_run < self.steps)
+            .unwrap_or(self.steps > 0)
+        {
+            let run = self.steps.div_ceil(steps_per_run);
+            self.series.push((run, self.fs_cases));
+            self.events_series.push((run, self.fs_events));
+        }
+        self.evaluated_chunk_runs = self.series.last().map(|&(r, _)| r).unwrap_or(0);
+    }
 }
 
 /// Run the FS model on `kernel`.
 ///
 /// # Panics
 /// Panics if the kernel fails [`loop_ir::validate()`]-level invariants needed
-/// by the walkers (run validation first for error reporting).
+/// by the walkers, or if `cfg.num_threads` exceeds [`MAX_MODEL_THREADS`]
+/// (run validation / [`FsModelConfig::validate`] first for error reporting).
 pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
     let plan = kernel.access_plan();
     let bases = kernel.array_bases(cfg.line_size);
@@ -209,8 +363,40 @@ pub fn run_fs_model(kernel: &Kernel, cfg: &FsModelConfig) -> FsModelResult {
 /// (step 1) and the aligned array base addresses — precomputed by the
 /// caller. Sweeps over chunk sizes and team sizes extract these once per
 /// kernel×line-size and reuse them for every grid point.
-#[allow(clippy::needless_range_loop)]
+///
+/// Dispatches on [`FsModelConfig::path`]; the optimized path additionally
+/// falls back to the reference implementation when the kernel's line
+/// footprint is too large for dense tables.
 pub fn run_fs_model_prepared(
+    kernel: &Kernel,
+    cfg: &FsModelConfig,
+    plan: &AccessPlan,
+    bases: &[u64],
+) -> FsModelResult {
+    assert!(
+        cfg.num_threads <= MAX_MODEL_THREADS,
+        "team size {} exceeds the modelable maximum of {MAX_MODEL_THREADS} threads \
+         (use fs_core::try_analyze for a recoverable error)",
+        cfg.num_threads
+    );
+    match cfg.path {
+        FsPath::Reference => run_fs_model_reference(kernel, cfg, plan, bases),
+        FsPath::Optimized => {
+            let footprint_lines = crate::footprint::line_footprint(kernel, cfg.line_size);
+            if footprint_lines > DENSE_LINE_LIMIT {
+                run_fs_model_reference(kernel, cfg, plan, bases)
+            } else {
+                run_fs_model_optimized(kernel, cfg, plan, bases, footprint_lines)
+            }
+        }
+    }
+}
+
+/// The paper's algorithm, transcribed directly: per-access affine address
+/// evaluation, `HashMap` writer/event indexes, hash-mapped LRU states. Kept
+/// as the executable specification the optimized path is tested against.
+#[allow(clippy::needless_range_loop)]
+fn run_fs_model_reference(
     kernel: &Kernel,
     cfg: &FsModelConfig,
     plan: &AccessPlan,
@@ -235,22 +421,7 @@ pub fn run_fs_model_prepared(
     // Byte masks written by each thread for true/false separation:
     // (line -> per-thread written byte masks) kept inside LineInfo.
 
-    let mut result = FsModelResult {
-        fs_cases: 0,
-        true_sharing_cases: 0,
-        fs_events: 0,
-        fs_read_events: 0,
-        fs_write_events: 0,
-        ts_events: 0,
-        per_thread_cases: vec![0; num_threads],
-        per_line_cases: HashMap::new(),
-        series: Vec::new(),
-        events_series: Vec::new(),
-        steps: 0,
-        iterations: 0,
-        total_chunk_runs: 0,
-        evaluated_chunk_runs: 0,
-    };
+    let mut result = FsModelResult::empty(num_threads);
 
     let mut walker = LockstepWalker::new(kernel, num_threads as u64);
     let sched = *walker.schedule();
@@ -429,18 +600,238 @@ pub fn run_fs_model_prepared(
             result.events_series.push((run, result.fs_events));
         }
     }
-    // Close the series with a final partial point if needed.
-    if result
-        .series
-        .last()
-        .map(|&(r, _)| r * steps_per_run < result.steps)
-        .unwrap_or(result.steps > 0)
-    {
-        let run = result.steps.div_ceil(steps_per_run);
-        result.series.push((run, result.fs_cases));
-        result.events_series.push((run, result.fs_events));
+    result.finish_series(steps_per_run);
+    result
+}
+
+/// The strength-reduced dense-table implementation of the same model.
+///
+/// Per access, the reference path pays an affine subscript evaluation plus
+/// three to four hash probes (`writers`, `phys_writers`, `per_line_cases`,
+/// and the LRU's inner map). Here:
+///
+/// * addresses come from a [`StreamCursor`] advanced by constant per-loop-
+///   variable byte deltas ([`AccessPlan::compile`]);
+/// * cache lines are interned to dense `u32` ids ([`LineInterner`]), so the
+///   writer masks, event masks and per-line counters are flat `Vec`s and
+///   the LRU states are [`DenseSetLru`]s — every probe a plain array load;
+/// * the set index is computed from the *original* line number (masked when
+///   the set count is a power of two), keeping set assignment, ways and LRU
+///   order bit-identical to [`CacheState`].
+fn run_fs_model_optimized(
+    kernel: &Kernel,
+    cfg: &FsModelConfig,
+    plan: &AccessPlan,
+    bases: &[u64],
+    footprint_lines: u64,
+) -> FsModelResult {
+    let num_threads = cfg.num_threads.max(1) as usize;
+    let (num_sets, ways) = set_geometry(cfg.stack_lines, cfg.stack_sets);
+    let set_mask = num_sets.is_power_of_two().then(|| num_sets as u64 - 1);
+
+    // +2 lines of slack: halo reads one element past the last array still
+    // land in its line-aligned padding.
+    let mut interner = LineInterner::new(footprint_lines + 2);
+    let table_len = interner.len();
+    // Dense tables, indexed by interned line id (grown in lockstep with the
+    // interner's overflow region).
+    let mut writers: Vec<u64> = vec![0; table_len];
+    let mut phys_writers: Vec<u64> = vec![0; table_len];
+    let mut line_cases: Vec<u64> = vec![0; table_len];
+    let mut states: Vec<DenseSetLru<LineInfo>> = (0..num_threads)
+        .map(|_| DenseSetLru::new(num_sets, ways, table_len))
+        .collect();
+
+    let mut result = FsModelResult::empty(num_threads);
+
+    let mut walker = LockstepWalker::new(kernel, num_threads as u64);
+    let sched = *walker.schedule();
+    let outer_iters = kernel.nest.outer_iters().unwrap_or(1).max(1);
+    let runs_per_instance = sched.num_chunk_runs().max(1);
+    result.total_chunk_runs = outer_iters * runs_per_instance;
+
+    let inner = kernel
+        .nest
+        .inner_iters_per_parallel_iter()
+        .unwrap_or(1)
+        .max(1);
+    let steps_per_run = (sched.chunk * inner).max(1);
+    let max_steps = cfg.max_chunk_runs.map(|r| r * steps_per_run);
+
+    // Strength-reduce the plan once; one cursor per thread.
+    let cplan = plan.compile(kernel.vars.len(), bases);
+    let mut cursors: Vec<StreamCursor> = (0..num_threads)
+        .map(|_| StreamCursor::new(&cplan))
+        .collect();
+    // Flat per-access metadata (the only fields the hot loop needs).
+    let acc_is_write: Vec<bool> = plan.accesses.iter().map(|a| a.is_write).collect();
+    let acc_size: Vec<u64> = plan.accesses.iter().map(|a| a.size as u64).collect();
+
+    let line_size = cfg.line_size;
+    let granules = line_size / 64;
+
+    loop {
+        if let Some(ms) = max_steps {
+            if result.steps >= ms {
+                break;
+            }
+        }
+        let mut iter_count = 0u64;
+        let states_ref = &mut states;
+        let writers_ref = &mut writers;
+        let phys_ref = &mut phys_writers;
+        let cases_ref = &mut line_cases;
+        let interner_ref = &mut interner;
+        let acc_is_write_ref = &acc_is_write;
+        let acc_size_ref = &acc_size;
+        let res = &mut result;
+        let more = walker.step_streams(&cplan, &mut cursors, |t, _env, addrs| {
+            iter_count += 1;
+            let self_bit = 1u64 << t;
+            for (i, &raw) in addrs.iter().enumerate() {
+                let addr = raw as u64;
+                let line = addr / line_size;
+                let off = addr % line_size;
+                let (moff, msz) = if granules <= 1 {
+                    (off.min(63), acc_size_ref[i].min(64 - off.min(63)))
+                } else {
+                    ((off / granules).min(63), 1)
+                };
+                let mask: u64 = if msz >= 64 {
+                    u64::MAX
+                } else {
+                    ((1u64 << msz) - 1) << moff
+                };
+                let is_write = acc_is_write_ref[i];
+
+                let set = match set_mask {
+                    Some(m) => (line & m) as usize,
+                    None => (line % num_sets as u64) as usize,
+                };
+                let id = interner_ref.id_of(line);
+                let idx = id as usize;
+                if idx >= writers_ref.len() {
+                    // A new overflow line: grow every id-indexed table.
+                    writers_ref.resize(idx + 1, 0);
+                    phys_ref.resize(idx + 1, 0);
+                    cases_ref.resize(idx + 1, 0);
+                }
+
+                // Step 4: 1-to-All comparison against other cache states.
+                let wmask = writers_ref[idx];
+                let others = wmask & !self_bit;
+                if others != 0 {
+                    let mut fs = 0u64;
+                    let mut ts = 0u64;
+                    // Iterate set bits in ascending thread order (same
+                    // order as the reference path's scan).
+                    let mut rem = others;
+                    while rem != 0 {
+                        let k = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        let remote = states_ref[k].peek(id).copied().unwrap_or_default();
+                        if remote.written_bytes & mask != 0 {
+                            ts += 1;
+                        } else {
+                            fs += 1;
+                        }
+                        if cfg.invalidate_on_detect {
+                            if let Some(info) = states_ref[k].touch(id) {
+                                info.written = false;
+                                info.written_bytes = 0;
+                            }
+                        }
+                    }
+                    if cfg.invalidate_on_detect {
+                        writers_ref[idx] = wmask & self_bit;
+                    }
+                    let counted_fs = if cfg.count_true_sharing { fs + ts } else { fs };
+                    res.fs_cases += counted_fs;
+                    res.true_sharing_cases += ts;
+                    if counted_fs > 0 {
+                        res.per_thread_cases[t] += counted_fs;
+                        cases_ref[idx] += counted_fs;
+                    }
+                }
+
+                // Physical event counting (invalidation semantics).
+                let pmask = phys_ref[idx];
+                let pothers = pmask & !self_bit;
+                if pothers != 0 {
+                    let mut overlap = false;
+                    let mut rem = pothers;
+                    while rem != 0 {
+                        let k = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        if let Some(info) = states_ref[k].peek(id) {
+                            if info.written_bytes & mask != 0 {
+                                overlap = true;
+                                break;
+                            }
+                        }
+                    }
+                    if overlap {
+                        res.ts_events += 1;
+                    } else if is_write {
+                        res.fs_write_events += 1;
+                        res.fs_events += 1;
+                    } else {
+                        res.fs_read_events += 1;
+                        res.fs_events += 1;
+                    }
+                    phys_ref[idx] = pmask & self_bit;
+                }
+                if is_write {
+                    phys_ref[idx] |= self_bit;
+                }
+
+                // Step 3: insert into this thread's cache state (LRU).
+                let st = &mut states_ref[t];
+                st.ensure_key(id);
+                if let Some(info) = st.touch(id) {
+                    if is_write {
+                        if !info.written {
+                            writers_ref[idx] |= self_bit;
+                        }
+                        info.written = true;
+                        info.written_bytes |= mask;
+                    }
+                } else {
+                    let info = LineInfo {
+                        written: is_write,
+                        written_bytes: if is_write { mask } else { 0 },
+                    };
+                    if is_write {
+                        writers_ref[idx] |= self_bit;
+                    }
+                    if let Some((evicted, einfo)) = st.insert(set, id, info) {
+                        if einfo.written {
+                            writers_ref[evicted as usize] &= !self_bit;
+                            phys_ref[evicted as usize] &= !self_bit;
+                        }
+                    }
+                }
+            }
+        });
+        if !more {
+            break;
+        }
+        result.steps += 1;
+        result.iterations += iter_count;
+        if result.steps.is_multiple_of(steps_per_run) {
+            let run = result.steps / steps_per_run;
+            result.series.push((run, result.fs_cases));
+            result.events_series.push((run, result.fs_events));
+        }
     }
-    result.evaluated_chunk_runs = result.series.last().map(|&(r, _)| r).unwrap_or(0);
+    result.finish_series(steps_per_run);
+    for (idx, &c) in line_cases.iter().enumerate() {
+        if c > 0 {
+            result
+                .per_line_cases
+                .insert(interner.line_of(idx as u32), c);
+        }
+    }
     result
 }
 
@@ -450,172 +841,290 @@ mod tests {
     use loop_ir::kernels;
     use machine::presets;
 
+    const PATHS: [FsPath; 2] = [FsPath::Optimized, FsPath::Reference];
+
     fn cfg(threads: u32) -> FsModelConfig {
         FsModelConfig::for_machine(&presets::paper48(), threads)
     }
 
+    fn cfg_path(threads: u32, path: FsPath) -> FsModelConfig {
+        let mut c = cfg(threads);
+        c.path = path;
+        c
+    }
+
     #[test]
     fn no_false_sharing_on_single_thread() {
-        let k = kernels::heat_diffusion(18, 18, 1);
-        let r = run_fs_model(&k, &cfg(1));
-        assert_eq!(r.fs_cases, 0);
-        assert_eq!(r.iterations, 16 * 16);
+        for path in PATHS {
+            let k = kernels::heat_diffusion(18, 18, 1);
+            let r = run_fs_model(&k, &cfg_path(1, path));
+            assert_eq!(r.fs_cases, 0);
+            assert_eq!(r.iterations, 16 * 16);
+        }
     }
 
     #[test]
     fn chunk1_produces_heavy_false_sharing() {
-        let k = kernels::transpose(32, 32, 1);
-        let r = run_fs_model(&k, &cfg(8));
-        assert!(r.fs_cases > 500, "cases = {}", r.fs_cases);
-        assert!(r.true_sharing_cases == 0);
-        assert_eq!(r.iterations, 32 * 32);
+        for path in PATHS {
+            let k = kernels::transpose(32, 32, 1);
+            let r = run_fs_model(&k, &cfg_path(8, path));
+            assert!(r.fs_cases > 500, "cases = {}", r.fs_cases);
+            assert!(r.true_sharing_cases == 0);
+            assert_eq!(r.iterations, 32 * 32);
+        }
     }
 
     #[test]
     fn larger_chunks_reduce_false_sharing() {
-        let mk = |chunk| {
-            let k = kernels::transpose(64, 64, chunk);
-            run_fs_model(&k, &cfg(8)).fs_cases
-        };
-        let c1 = mk(1);
-        let c8 = mk(8);
-        assert!(
-            c1 > 5 * c8.max(1),
-            "chunk 1: {c1} cases, chunk 8: {c8} cases"
-        );
-    }
-
-    #[test]
-    fn padded_layout_eliminates_false_sharing() {
-        let packed = run_fs_model(&kernels::dotprod_partials(8, 64, false), &cfg(8));
-        let padded = run_fs_model(&kernels::dotprod_partials(8, 64, true), &cfg(8));
-        assert!(packed.fs_cases > 100, "{}", packed.fs_cases);
-        assert_eq!(padded.fs_cases, 0);
-    }
-
-    #[test]
-    fn per_line_cases_identify_the_victim_array() {
-        let k = kernels::dotprod_partials(4, 64, false);
-        let r = run_fs_model(&k, &cfg(4));
-        let bases = k.array_bases(64);
-        let partial_base_line = bases[2] / 64; // x, y, partial
-        let top = r.top_lines(1);
-        assert_eq!(top[0].0, partial_base_line, "victim is the partial array");
-    }
-
-    #[test]
-    fn series_is_monotonic_and_roughly_linear() {
-        let k = kernels::dft(64, 256, 1);
-        let r = run_fs_model(&k, &cfg(8));
-        assert!(r.series.len() >= 8, "series: {:?}", r.series.len());
-        for w in r.series.windows(2) {
-            assert!(w[1].1 >= w[0].1, "cumulative count must not decrease");
-            assert!(w[1].0 > w[0].0);
-        }
-        // Linearity: after warmup, per-run increments are similar.
-        let incs: Vec<u64> = r.series.windows(2).map(|w| w[1].1 - w[0].1).collect();
-        let tail = &incs[incs.len() / 2..];
-        let mean = tail.iter().sum::<u64>() as f64 / tail.len() as f64;
-        for &i in tail {
+        for path in PATHS {
+            let mk = |chunk| {
+                let k = kernels::transpose(64, 64, chunk);
+                run_fs_model(&k, &cfg_path(8, path)).fs_cases
+            };
+            let c1 = mk(1);
+            let c8 = mk(8);
             assert!(
-                (i as f64 - mean).abs() <= mean * 0.5 + 2.0,
-                "increment {i} far from mean {mean}: {incs:?}"
+                c1 > 5 * c8.max(1),
+                "chunk 1: {c1} cases, chunk 8: {c8} cases"
             );
         }
     }
 
     #[test]
+    fn padded_layout_eliminates_false_sharing() {
+        for path in PATHS {
+            let packed = run_fs_model(&kernels::dotprod_partials(8, 64, false), &cfg_path(8, path));
+            let padded = run_fs_model(&kernels::dotprod_partials(8, 64, true), &cfg_path(8, path));
+            assert!(packed.fs_cases > 100, "{}", packed.fs_cases);
+            assert_eq!(padded.fs_cases, 0);
+        }
+    }
+
+    #[test]
+    fn per_line_cases_identify_the_victim_array() {
+        for path in PATHS {
+            let k = kernels::dotprod_partials(4, 64, false);
+            let r = run_fs_model(&k, &cfg_path(4, path));
+            let bases = k.array_bases(64);
+            let partial_base_line = bases[2] / 64; // x, y, partial
+            let top = r.top_lines(1);
+            assert_eq!(top[0].0, partial_base_line, "victim is the partial array");
+        }
+    }
+
+    #[test]
+    fn series_is_monotonic_and_roughly_linear() {
+        for path in PATHS {
+            let k = kernels::dft(64, 256, 1);
+            let r = run_fs_model(&k, &cfg_path(8, path));
+            assert!(r.series.len() >= 8, "series: {:?}", r.series.len());
+            for w in r.series.windows(2) {
+                assert!(w[1].1 >= w[0].1, "cumulative count must not decrease");
+                assert!(w[1].0 > w[0].0);
+            }
+            // Linearity: after warmup, per-run increments are similar.
+            let incs: Vec<u64> = r.series.windows(2).map(|w| w[1].1 - w[0].1).collect();
+            let tail = &incs[incs.len() / 2..];
+            let mean = tail.iter().sum::<u64>() as f64 / tail.len() as f64;
+            for &i in tail {
+                assert!(
+                    (i as f64 - mean).abs() <= mean * 0.5 + 2.0,
+                    "increment {i} far from mean {mean}: {incs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn max_chunk_runs_truncates_evaluation() {
-        let k = kernels::dft(64, 256, 1);
-        let mut c = cfg(8);
-        c.max_chunk_runs = Some(5);
-        let r = run_fs_model(&k, &c);
-        assert_eq!(r.evaluated_chunk_runs, 5);
-        let full = run_fs_model(&k, &cfg(8));
-        assert!(r.fs_cases < full.fs_cases);
-        assert_eq!(r.total_chunk_runs, full.total_chunk_runs);
+        for path in PATHS {
+            let k = kernels::dft(64, 256, 1);
+            let mut c = cfg_path(8, path);
+            c.max_chunk_runs = Some(5);
+            let r = run_fs_model(&k, &c);
+            assert_eq!(r.evaluated_chunk_runs, 5);
+            let full = run_fs_model(&k, &cfg_path(8, path));
+            assert!(r.fs_cases < full.fs_cases);
+            assert_eq!(r.total_chunk_runs, full.total_chunk_runs);
+        }
     }
 
     #[test]
     fn total_chunk_runs_formula_matches_paper() {
-        // Inner-parallel (heat): x_max = outer * ceil(trip_p / (T*C)).
-        let k = kernels::heat_diffusion(18, 66, 1);
-        let r = run_fs_model(&k, &cfg(8));
-        assert_eq!(r.total_chunk_runs, 16 * 8); // 16 outer, 64/(8*1) runs
-                                                // Outer-parallel (linreg): x_max = ceil(n / (T*C)).
-        let k2 = kernels::linear_regression(96, 8, 1);
-        let r2 = run_fs_model(&k2, &cfg(8));
-        assert_eq!(r2.total_chunk_runs, 96 / 8);
+        for path in PATHS {
+            // Inner-parallel (heat): x_max = outer * ceil(trip_p / (T*C)).
+            let k = kernels::heat_diffusion(18, 66, 1);
+            let r = run_fs_model(&k, &cfg_path(8, path));
+            assert_eq!(r.total_chunk_runs, 16 * 8); // 16 outer, 64/(8*1) runs
+                                                    // Outer-parallel (linreg): x_max = ceil(n / (T*C)).
+            let k2 = kernels::linear_regression(96, 8, 1);
+            let r2 = run_fs_model(&k2, &cfg_path(8, path));
+            assert_eq!(r2.total_chunk_runs, 96 / 8);
+        }
     }
 
     #[test]
     fn true_sharing_separated_from_false_sharing() {
-        // All threads RMW the same element: pure true sharing.
-        let mut b = loop_ir::KernelBuilder::new("ts");
-        let t = b.loop_var("t");
-        let i = b.loop_var("i");
-        let s = b.array("s", &[4], loop_ir::ScalarType::F64);
-        b.parallel_for(t, 0, 4, loop_ir::Schedule::Static { chunk: 1 });
-        b.seq_for(i, 0, 16);
-        b.stmt(loop_ir::Stmt::add_assign(
-            loop_ir::ArrayRef::write(s, vec![loop_ir::AffineExpr::constant(0)]),
-            loop_ir::Expr::num(1.0),
-        ));
-        let k = b.build();
-        let r = run_fs_model(&k, &cfg(4));
-        assert_eq!(r.fs_cases, 0, "same-byte conflicts are true sharing");
-        assert!(r.true_sharing_cases > 50);
-        // With line-granularity counting (the paper's), they'd be counted.
-        let mut c = cfg(4);
-        c.count_true_sharing = true;
-        let r2 = run_fs_model(&k, &c);
-        assert_eq!(r2.fs_cases, r.true_sharing_cases);
+        for path in PATHS {
+            // All threads RMW the same element: pure true sharing.
+            let mut b = loop_ir::KernelBuilder::new("ts");
+            let t = b.loop_var("t");
+            let i = b.loop_var("i");
+            let s = b.array("s", &[4], loop_ir::ScalarType::F64);
+            b.parallel_for(t, 0, 4, loop_ir::Schedule::Static { chunk: 1 });
+            b.seq_for(i, 0, 16);
+            b.stmt(loop_ir::Stmt::add_assign(
+                loop_ir::ArrayRef::write(s, vec![loop_ir::AffineExpr::constant(0)]),
+                loop_ir::Expr::num(1.0),
+            ));
+            let k = b.build();
+            let r = run_fs_model(&k, &cfg_path(4, path));
+            assert_eq!(r.fs_cases, 0, "same-byte conflicts are true sharing");
+            assert!(r.true_sharing_cases > 50);
+            // With line-granularity counting (the paper's), they'd be counted.
+            let mut c = cfg_path(4, path);
+            c.count_true_sharing = true;
+            let r2 = run_fs_model(&k, &c);
+            assert_eq!(r2.fs_cases, r.true_sharing_cases);
+        }
     }
 
     #[test]
     fn invalidate_on_detect_reduces_counts() {
-        let k = kernels::dft(32, 128, 1);
-        let base = run_fs_model(&k, &cfg(8));
-        let mut c = cfg(8);
-        c.invalidate_on_detect = true;
-        let inv = run_fs_model(&k, &c);
-        assert!(
-            inv.fs_cases <= base.fs_cases,
-            "invalidate {} vs base {}",
-            inv.fs_cases,
-            base.fs_cases
-        );
+        for path in PATHS {
+            let k = kernels::dft(32, 128, 1);
+            let base = run_fs_model(&k, &cfg_path(8, path));
+            let mut c = cfg_path(8, path);
+            c.invalidate_on_detect = true;
+            let inv = run_fs_model(&k, &c);
+            assert!(
+                inv.fs_cases <= base.fs_cases,
+                "invalidate {} vs base {}",
+                inv.fs_cases,
+                base.fs_cases
+            );
+        }
     }
 
     #[test]
     fn set_associative_states_approximate_fully_associative() {
-        // The paper's §III-C claim: a fully-associative stack is a valid
-        // stand-in for a highly-associative cache. Counts should be close.
-        let k = kernels::dft(32, 256, 1);
-        let full = run_fs_model(&k, &cfg(8));
-        let mut sa = cfg(8);
-        sa.stack_sets = 64; // 1024 lines / 64 sets = 16-way
-        let set_r = run_fs_model(&k, &sa);
-        let ratio = set_r.fs_cases as f64 / full.fs_cases.max(1) as f64;
-        assert!(
-            (0.8..=1.25).contains(&ratio),
-            "set-assoc {} vs full {} (ratio {ratio:.3})",
-            set_r.fs_cases,
-            full.fs_cases
-        );
-        // Degenerate: more sets than lines still works (1-way).
-        let mut dm = cfg(4);
-        dm.stack_lines = 8;
-        dm.stack_sets = 1024;
-        let r = run_fs_model(&kernels::stencil1d(66, 1), &dm);
-        assert!(r.iterations > 0);
+        for path in PATHS {
+            // The paper's §III-C claim: a fully-associative stack is a valid
+            // stand-in for a highly-associative cache. Counts should be close.
+            let k = kernels::dft(32, 256, 1);
+            let full = run_fs_model(&k, &cfg_path(8, path));
+            let mut sa = cfg_path(8, path);
+            sa.stack_sets = 64; // 1024 lines / 64 sets = 16-way
+            let set_r = run_fs_model(&k, &sa);
+            let ratio = set_r.fs_cases as f64 / full.fs_cases.max(1) as f64;
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "set-assoc {} vs full {} (ratio {ratio:.3})",
+                set_r.fs_cases,
+                full.fs_cases
+            );
+            // Degenerate: more sets than lines still works (1-way).
+            let mut dm = cfg_path(4, path);
+            dm.stack_lines = 8;
+            dm.stack_sets = 1024;
+            let r = run_fs_model(&kernels::stencil1d(66, 1), &dm);
+            assert!(r.iterations > 0);
+        }
     }
 
     #[test]
     fn per_thread_cases_sum_to_total() {
-        let k = kernels::transpose(32, 32, 1);
-        let r = run_fs_model(&k, &cfg(8));
-        assert_eq!(r.per_thread_cases.iter().sum::<u64>(), r.fs_cases);
-        assert_eq!(r.per_line_cases.values().sum::<u64>(), r.fs_cases);
+        for path in PATHS {
+            let k = kernels::transpose(32, 32, 1);
+            let r = run_fs_model(&k, &cfg_path(8, path));
+            assert_eq!(r.per_thread_cases.iter().sum::<u64>(), r.fs_cases);
+            assert_eq!(r.per_line_cases.values().sum::<u64>(), r.fs_cases);
+        }
+    }
+
+    /// Field-by-field equivalence of the two paths over a spread of kernel
+    /// shapes and config knobs (the property test in
+    /// `tests/fs_path_equivalence.rs` randomizes much wider).
+    #[test]
+    fn optimized_path_is_count_identical_to_reference() {
+        let kernels: Vec<loop_ir::Kernel> = vec![
+            kernels::heat_diffusion(10, 34, 1),
+            kernels::dft(16, 96, 3),
+            kernels::linear_regression(48, 8, 2),
+            kernels::transpose(24, 24, 1),
+            kernels::dotprod_partials(8, 32, false),
+            kernels::stencil1d(130, 2),
+        ];
+        for k in &kernels {
+            for threads in [1u32, 3, 8] {
+                for stack_sets in [1u32, 3, 64] {
+                    let mut opt = cfg_path(threads, FsPath::Optimized);
+                    opt.stack_sets = stack_sets;
+                    let mut reference = cfg_path(threads, FsPath::Reference);
+                    reference.stack_sets = stack_sets;
+                    let a = run_fs_model(k, &opt);
+                    let b = run_fs_model(k, &reference);
+                    assert_eq!(
+                        a, b,
+                        "kernel {} threads {threads} sets {stack_sets}",
+                        k.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Accesses far outside (and wrapped "below") the array footprint take
+    /// the interner's hash fallback; counts must still match the reference.
+    #[test]
+    fn out_of_footprint_lines_use_the_hash_fallback() {
+        let mut b = loop_ir::KernelBuilder::new("oob");
+        let i = b.loop_var("i");
+        let a = b.array("A", &[8], loop_ir::ScalarType::F64);
+        b.parallel_for(i, 0, 16, loop_ir::Schedule::Static { chunk: 1 });
+        // A[1000*i - 500]: wraps negative at i = 0, then strides far past
+        // the 8-element footprint.
+        b.stmt(loop_ir::Stmt::add_assign(
+            loop_ir::ArrayRef::write(
+                a,
+                vec![loop_ir::AffineExpr::linear(loop_ir::VarId(0), 1000, -500)],
+            ),
+            loop_ir::Expr::num(1.0),
+        ));
+        let k = b.build();
+        let opt = run_fs_model(&k, &cfg_path(4, FsPath::Optimized));
+        let reference = run_fs_model(&k, &cfg_path(4, FsPath::Reference));
+        assert_eq!(opt, reference);
+        assert_eq!(opt.iterations, 16);
+    }
+
+    #[test]
+    fn team_of_64_is_modelable() {
+        for path in PATHS {
+            let k = kernels::stencil1d(258, 1);
+            let r = run_fs_model(&k, &cfg_path(64, path));
+            assert!(r.iterations > 0);
+            assert_eq!(r.per_thread_cases.len(), 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the modelable maximum")]
+    fn team_of_65_panics_in_the_model() {
+        let k = kernels::stencil1d(258, 1);
+        let _ = run_fs_model(&k, &cfg(65));
+    }
+
+    #[test]
+    fn config_validate_checks_the_team_cap() {
+        assert!(cfg(64).validate().is_ok());
+        let err = cfg(65).validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateError::TeamTooLarge {
+                requested: 65,
+                max: MAX_MODEL_THREADS
+            }
+        ));
     }
 }

@@ -29,7 +29,9 @@ pub use contention::{
     bus_interference, shared_cache_interference, BusInterference, SharedCacheInterference,
 };
 pub use footprint::{cache_cost, reference_groups, tlb_cost, CacheCost, RefGroup, TlbCost};
-pub use fs::{run_fs_model, run_fs_model_prepared, FsModelConfig, FsModelResult};
+pub use fs::{
+    run_fs_model, run_fs_model_prepared, FsModelConfig, FsModelResult, FsPath, MAX_MODEL_THREADS,
+};
 pub use overhead::{overhead_cost, OverheadCost};
 pub use predict::{least_squares, predict_fs, predict_fs_prepared, FsPrediction, LinearFit};
 pub use processor::{machine_cost, MachineCost};

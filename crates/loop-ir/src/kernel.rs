@@ -148,6 +148,16 @@ impl AccessPlan {
     pub fn writes_per_iter(&self) -> usize {
         self.accesses.iter().filter(|a| a.is_write).count()
     }
+
+    /// Strength-reduce the plan against a base-address layout: fold every
+    /// access's subscripts and row-major weights into per-loop-variable
+    /// byte deltas, for incremental address generation with
+    /// [`crate::stream::StreamCursor`] /
+    /// [`crate::walk::LockstepWalker::step_streams`]. `n_vars` is the
+    /// environment width ([`Kernel::vars`]`.len()`).
+    pub fn compile(&self, n_vars: usize, bases: &[u64]) -> crate::stream::CompiledPlan {
+        crate::stream::CompiledPlan::new(self, n_vars, bases)
+    }
 }
 
 /// Fluent builder for [`Kernel`]s.

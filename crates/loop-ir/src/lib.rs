@@ -36,6 +36,7 @@ pub mod pretty;
 pub mod reference;
 pub mod schedule;
 pub mod stmt;
+pub mod stream;
 pub mod transforms;
 pub mod types;
 pub mod validate;
@@ -47,6 +48,7 @@ pub use kernel::{AccessPlan, Kernel, KernelBuilder, PlannedAccess};
 pub use nest::{Loop, LoopNest, Parallel, Schedule};
 pub use reference::{AccessKind, ArrayRef};
 pub use stmt::{AssignOp, BinOp, Expr, OpKind, Stmt, UnOp};
+pub use stream::{CompiledPlan, StreamCursor};
 pub use transforms::{
     interchange, tile, unroll_innermost, with_chunk, with_parallel_level, TransformError,
 };

@@ -56,6 +56,12 @@ pub enum ValidateError {
         linear: i64,
         elems: u64,
     },
+    /// The requested team is wider than the analyses can represent (the
+    /// FS model tracks per-line writer sets as 64-bit thread masks).
+    TeamTooLarge {
+        requested: u32,
+        max: u32,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -107,6 +113,10 @@ impl fmt::Display for ValidateError {
                 f,
                 "reference to array '{array}' at iteration {iteration:?} hits element {linear} \
                  outside [0, {elems})"
+            ),
+            ValidateError::TeamTooLarge { requested, max } => write!(
+                f,
+                "team size {requested} exceeds the modelable maximum of {max} threads"
             ),
         }
     }

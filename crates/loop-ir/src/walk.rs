@@ -13,6 +13,7 @@
 
 use crate::kernel::Kernel;
 use crate::schedule::ChunkSchedule;
+use crate::stream::{CompiledPlan, StreamCursor};
 
 /// Walks the iterations executed by one thread of the team.
 pub struct ThreadWalker<'k> {
@@ -220,6 +221,30 @@ impl<'k> LockstepWalker<'k> {
         for (t, w) in self.walkers.iter_mut().enumerate() {
             if let Some(env) = w.next_env() {
                 f(t, env);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// [`Self::step`] over a precompiled address stream: advance every
+    /// still-active thread, feed its new environment through that thread's
+    /// [`StreamCursor`], and invoke `f(thread, env, addrs)` where `addrs`
+    /// holds the strength-reduced byte address of every access of `plan`
+    /// (cast each `as u64` for the absolute address). `cursors` must hold
+    /// one cursor per thread, created against the same `plan`.
+    pub fn step_streams(
+        &mut self,
+        plan: &CompiledPlan,
+        cursors: &mut [StreamCursor],
+        mut f: impl FnMut(usize, &[i64], &[i64]),
+    ) -> bool {
+        debug_assert_eq!(cursors.len(), self.walkers.len());
+        let mut any = false;
+        for (t, w) in self.walkers.iter_mut().enumerate() {
+            if let Some(env) = w.next_env() {
+                let addrs = cursors[t].advance(plan, env);
+                f(t, env, addrs);
                 any = true;
             }
         }

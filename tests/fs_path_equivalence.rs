@@ -1,0 +1,121 @@
+//! Property test: the optimized FS-model path (strength-reduced address
+//! streams + dense line tables) is count-identical to the reference
+//! transcription of the paper's algorithm, over randomized DSL-corpus
+//! kernels × team sizes × schedules × cache-state geometries.
+
+use cost_model::{run_fs_model, FsPath};
+use fs_core::corpus_kernel_with_consts;
+use fs_core::{FsModelConfig, FsModelResult};
+use loop_ir::Kernel;
+use machine::presets;
+use proptest::prelude::*;
+
+/// Build a corpus kernel at a randomized (small) problem size. The const
+/// names per kernel match `crates/core/src/corpus.rs`; sizes are scaled
+/// down so a proptest case stays fast.
+fn sized_corpus_kernel(name: &str, scale: u64) -> Kernel {
+    let s = scale as i64; // 1..=3
+    let consts: Vec<(&str, i64)> = match name {
+        "dft" => vec![("N", 8 * s), ("K", 32 * s)],
+        "heat" => vec![("N", 6 * s), ("M", 32 * s + 2)],
+        "histogram" => vec![("T", 8), ("N", 64 * s)],
+        "linreg" => vec![("N", 48 * s), ("M", 8 * s)],
+        "matmul" => vec![("N", 8 * s), ("M", 8 * s), ("P", 8)],
+        "stencil" => vec![("N", 64 * s + 2)],
+        other => panic!("unknown corpus kernel {other}"),
+    };
+    corpus_kernel_with_consts(name, &consts).expect("corpus kernel builds")
+}
+
+fn cfg(
+    threads: u32,
+    stack_sets: u32,
+    invalidate: bool,
+    count_ts: bool,
+    max_runs: Option<u64>,
+    path: FsPath,
+) -> FsModelConfig {
+    let mut c = FsModelConfig::for_machine(&presets::paper48(), threads);
+    c.stack_sets = stack_sets;
+    c.invalidate_on_detect = invalidate;
+    c.count_true_sharing = count_ts;
+    c.max_chunk_runs = max_runs;
+    c.path = path;
+    c
+}
+
+/// Assert every counting field matches between the two results.
+fn assert_paths_agree(opt: &FsModelResult, reference: &FsModelResult, ctx: &str) {
+    assert_eq!(opt, reference, "paths diverge for {ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full equivalence across the bundled corpus and the model's knobs.
+    #[test]
+    fn optimized_path_matches_reference(
+        name in prop::sample::select(vec![
+            "dft",
+            "heat",
+            "histogram",
+            "linreg",
+            "matmul",
+            "stencil",
+        ]),
+        scale in 1u64..4,
+        threads in 1u32..9,
+        chunk in prop::sample::select(vec![1u64, 2, 4, 16]),
+        stack_sets in prop::sample::select(vec![1u32, 2, 3, 64, 1024]),
+        invalidate in any::<bool>(),
+        count_ts in any::<bool>(),
+        max_runs in prop::sample::select(vec![None, Some(1u64), Some(2), Some(5)]),
+    ) {
+        let mut kernel = sized_corpus_kernel(name, scale);
+        kernel.nest.parallel.schedule = loop_ir::Schedule::Static { chunk };
+        let opt = run_fs_model(
+            &kernel,
+            &cfg(threads, stack_sets, invalidate, count_ts, max_runs, FsPath::Optimized),
+        );
+        let reference = run_fs_model(
+            &kernel,
+            &cfg(threads, stack_sets, invalidate, count_ts, max_runs, FsPath::Reference),
+        );
+        assert_paths_agree(
+            &opt,
+            &reference,
+            &format!(
+                "{name} scale={scale} threads={threads} chunk={chunk} \
+                 sets={stack_sets} invalidate={invalidate} count_ts={count_ts} \
+                 max_runs={max_runs:?}"
+            ),
+        );
+    }
+
+    /// Tiny cache states force constant eviction traffic — the hardest case
+    /// for the dense tables' writer-mask bookkeeping.
+    #[test]
+    fn equivalence_under_heavy_eviction(
+        name in prop::sample::select(vec!["dft", "transpose_like", "stencil"]),
+        threads in 2u32..9,
+        stack_lines in prop::sample::select(vec![2usize, 4, 8, 16]),
+        stack_sets in prop::sample::select(vec![1u32, 2, 8]),
+    ) {
+        let kernel = match name {
+            "transpose_like" => loop_ir::kernels::transpose(24, 24, 1),
+            other => sized_corpus_kernel(other, 1),
+        };
+        let mk = |path| {
+            let mut c = cfg(threads, stack_sets, false, false, None, path);
+            c.stack_lines = stack_lines;
+            run_fs_model(&kernel, &c)
+        };
+        let opt = mk(FsPath::Optimized);
+        let reference = mk(FsPath::Reference);
+        assert_paths_agree(
+            &opt,
+            &reference,
+            &format!("{name} threads={threads} lines={stack_lines} sets={stack_sets}"),
+        );
+    }
+}
