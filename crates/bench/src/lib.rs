@@ -234,6 +234,20 @@ pub fn render_prediction(title: &str, rows: &[PredictionRow]) -> String {
     out
 }
 
+/// Extract the numeric value of `"key": <number>` from a JSON document by
+/// string search. The workspace has a JSON renderer but deliberately no
+/// parser; bench baselines only need one scalar back out of their own
+/// artifacts, so a full parser would be dead weight.
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Smaller thread sweep for quick checks (`FS_QUICK=1`).
 pub fn thread_counts_from_env() -> Vec<u32> {
     if std::env::var("FS_QUICK").is_ok() {
@@ -273,6 +287,17 @@ mod tests {
             assert!(r.measured_pct > 0.0);
             assert!(r.modeled_pct > 0.0);
         }
+    }
+
+    #[test]
+    fn json_number_reads_rendered_artifacts() {
+        let doc =
+            "{\n  \"points_per_sec_after\": 77.127589,\n  \"speedup\": 5.664,\n  \"pass\": true\n}";
+        assert_eq!(json_number(doc, "speedup"), Some(5.664));
+        assert!((json_number(doc, "points_per_sec_after").unwrap() - 77.127589).abs() < 1e-9);
+        assert_eq!(json_number(doc, "missing"), None);
+        assert_eq!(json_number(doc, "pass"), None);
+        assert_eq!(json_number("{\"k\":-1.5e3}", "k"), Some(-1500.0));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!          [--advise] [--eliminate] [--sim] [--contention] [--baseline]
 //!          [--sweep] [--sweep-grid THREADS:CHUNKS] [--workers N]
 //!          [--early-exit] [--const NAME=VALUE ...] [--list]
+//!          [--profile] [--trace-out FILE] [--quiet] [--verbose]
 //! ```
 //!
 //! Prints the Eq. 1 cost breakdown, the FS case count, victim arrays, and
@@ -21,12 +22,44 @@
 //! size; `--early-exit` switches the per-point FS model to the adaptive
 //! predictor). `--json` emits the analysis — and the grid, when requested —
 //! as one structured JSON document on stdout.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): `--profile` prints a span
+//! and counter summary to stderr, `--trace-out FILE` writes a Chrome
+//! trace-event JSON loadable in `chrome://tracing`/Perfetto, and `--json`
+//! carries a `metrics` section (counters, gauges, span aggregates). The
+//! *result* always goes to stdout; every diagnostic — usage, warnings,
+//! verbose notes, the profile — goes to stderr, so `--json` output can be
+//! piped without filtering. `--verbose` adds progress notes; `--quiet`
+//! suppresses everything on stderr except errors.
 
+use fs_core::obs;
 use fs_core::{
     machines, recommend_chunk, try_analyze, AnalysisOptions, EarlyExit, EvalMode, JsonValue,
     SweepEngine, SweepGrid,
 };
 use std::process::ExitCode;
+
+/// Stderr diagnostics policy: errors always print; `note` prints unless
+/// `--quiet`; `detail` prints only with `--verbose`.
+#[derive(Clone, Copy)]
+struct Diag {
+    quiet: bool,
+    verbose: bool,
+}
+
+impl Diag {
+    fn note(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("fsdetect: {msg}");
+        }
+    }
+
+    fn detail(&self, msg: &str) {
+        if self.verbose && !self.quiet {
+            eprintln!("fsdetect: {msg}");
+        }
+    }
+}
 
 struct Args {
     path: String,
@@ -44,6 +77,10 @@ struct Args {
     early_exit: bool,
     json: bool,
     consts: Vec<(String, i64)>,
+    profile: bool,
+    trace_out: Option<String>,
+    quiet: bool,
+    verbose: bool,
 }
 
 fn usage() -> ! {
@@ -51,7 +88,8 @@ fn usage() -> ! {
         "usage: fsdetect <kernel.loop | @bundled> [--threads N] [--machine paper48|generic|tiny]\n\
          \x20              [--predict RUNS] [--json] [--advise] [--eliminate] [--sim] [--contention]\n\
          \x20              [--sweep] [--sweep-grid THREADS:CHUNKS] [--workers N] [--early-exit]\n\
-         \x20              [--const NAME=VALUE ...] [--list]"
+         \x20              [--const NAME=VALUE ...] [--list]\n\
+         \x20              [--profile] [--trace-out FILE] [--quiet] [--verbose]"
     );
     std::process::exit(2);
 }
@@ -84,6 +122,10 @@ fn parse_args() -> Args {
         early_exit: false,
         json: false,
         consts: Vec::new(),
+        profile: false,
+        trace_out: None,
+        quiet: false,
+        verbose: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -121,6 +163,10 @@ fn parse_args() -> Args {
             }
             "--early-exit" => args.early_exit = true,
             "--json" => args.json = true,
+            "--profile" => args.profile = true,
+            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" | "-q" => args.quiet = true,
+            "--verbose" | "-v" => args.verbose = true,
             "--list" => {
                 for e in fs_core::CORPUS {
                     println!("@{:<12} {}", e.name, e.blurb);
@@ -152,8 +198,156 @@ fn parse_args() -> Args {
     args
 }
 
+/// The `metrics` section of `--json`: every counter and gauge by name,
+/// span aggregates (the per-phase timings), and the trace coverage figure.
+fn metrics_json(snap: &obs::Snapshot) -> JsonValue {
+    let mut counters = JsonValue::obj();
+    for &(name, v) in &snap.counters {
+        counters = counters.field(name, v);
+    }
+    let mut gauges = JsonValue::obj();
+    for &(name, v) in &snap.gauges {
+        gauges = gauges.field(name, v);
+    }
+    let spans = snap
+        .span_aggregate()
+        .into_iter()
+        .map(|a| {
+            JsonValue::obj()
+                .field("name", a.name)
+                .field("count", a.count)
+                .field("total_ms", a.total_ns as f64 / 1e6)
+                .field("max_ms", a.max_ns as f64 / 1e6)
+        })
+        .collect();
+    JsonValue::obj()
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("spans", JsonValue::Arr(spans))
+        .field("wall_ms", snap.wall_ns() as f64 / 1e6)
+        .field("span_coverage", span_coverage(snap))
+}
+
+/// Fraction of the snapshot's wall interval inside at least one span.
+fn span_coverage(snap: &obs::Snapshot) -> f64 {
+    let wall = snap.wall_ns();
+    if wall == 0 {
+        0.0
+    } else {
+        snap.covered_ns() as f64 / wall as f64
+    }
+}
+
+/// The `--profile` summary. Diagnostics, so stderr — `--json` on stdout
+/// stays machine-readable even when profiling.
+fn print_profile(snap: &obs::Snapshot, grid_result: Option<&fs_core::SweepGridResult>) {
+    eprintln!("-- profile --");
+    eprintln!(
+        "wall {:.3} ms, span coverage {:.1}%",
+        snap.wall_ns() as f64 / 1e6,
+        span_coverage(snap) * 100.0
+    );
+    eprintln!(
+        "{:<18} {:>8} {:>12} {:>12}",
+        "span", "count", "total ms", "max ms"
+    );
+    for a in snap.span_aggregate() {
+        eprintln!(
+            "{:<18} {:>8} {:>12.3} {:>12.3}",
+            a.name,
+            a.count,
+            a.total_ns as f64 / 1e6,
+            a.max_ns as f64 / 1e6
+        );
+    }
+    let busy = snap.track_busy_ns();
+    if busy.len() > 1 {
+        eprintln!("tracks:");
+        for (t, ns) in busy {
+            eprintln!(
+                "  {:<16} busy {:>10.3} ms",
+                snap.track_name(t).unwrap_or("?"),
+                ns as f64 / 1e6
+            );
+        }
+    }
+    eprintln!("counters:");
+    for &(name, v) in &snap.counters {
+        if v > 0 {
+            eprintln!("  {name:<26} {v}");
+        }
+    }
+    for &(name, v) in &snap.gauges {
+        if v > 0 {
+            eprintln!("  {name:<26} {v}");
+        }
+    }
+    if let Some(r) = grid_result {
+        eprintln!(
+            "sweep: {:.1} points/sec over {} points",
+            r.stats.points_per_sec(),
+            r.outcomes.len()
+        );
+        eprintln!("slowest points:");
+        for (i, ns) in r.stats.slowest(5) {
+            let o = &r.outcomes[i];
+            eprintln!(
+                "  {:<16} threads {:>3} chunk {:>6}  {:>10.3} ms",
+                o.kernel,
+                o.threads,
+                o.chunk,
+                ns as f64 / 1e6
+            );
+        }
+    }
+}
+
+/// Drop-the-span-then-snapshot finalization shared by the JSON and text
+/// paths: write the Chrome trace (if requested) and print the profile.
+/// Returns false when the trace file could not be written.
+fn finalize_obs(
+    args: &Args,
+    diag: &Diag,
+    snap: &obs::Snapshot,
+    grid_result: Option<&fs_core::SweepGridResult>,
+) -> bool {
+    if let Some(path) = &args.trace_out {
+        let trace = obs::trace::chrome_trace(snap);
+        match std::fs::write(path, trace) {
+            Ok(()) => {
+                diag.detail(&format!(
+                    "trace written to {path} ({} spans, {:.1}% coverage)",
+                    snap.spans.len(),
+                    span_coverage(snap) * 100.0
+                ));
+            }
+            Err(e) => {
+                eprintln!("fsdetect: cannot write trace {path}: {e}");
+                return false;
+            }
+        }
+    }
+    if args.profile {
+        print_profile(snap, grid_result);
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    let diag = Diag {
+        quiet: args.quiet,
+        verbose: args.verbose,
+    };
+    // Observability stays a no-op unless an export was requested (`--json`
+    // carries the metrics section, so it counts as a request).
+    let obs_on = args.profile || args.trace_out.is_some() || args.json;
+    if obs_on {
+        obs::configure(obs::ObsConfig::enabled());
+    }
+    // Top-level span: everything from parsing to the last model run is
+    // inside it, so trace coverage of the wall interval stays >= 95%.
+    let mut main_span = Some(obs::span("fsdetect.main"));
     let src = if let Some(name) = args.path.strip_prefix('@') {
         match fs_core::corpus_entry(name) {
             Some(e) => e.source.to_string(),
@@ -189,6 +383,14 @@ fn main() -> ExitCode {
         }
     };
 
+    diag.detail(&format!(
+        "parsed kernel '{}' ({} arrays), machine {}, {} threads",
+        kernel.name,
+        kernel.arrays.len(),
+        args.machine,
+        args.threads
+    ));
+
     let mut opts = AnalysisOptions::new(args.threads);
     opts.predict_chunk_runs = args.predict;
     let report = match try_analyze(&kernel, &machine, &opts) {
@@ -198,6 +400,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    diag.detail(&format!(
+        "analysis: {} FS cases, {:.1}% of modeled cycles",
+        report.cost.fs.fs_cases,
+        report.fs_percent()
+    ));
 
     let grid_result = if let Some((threads, chunks)) = &args.sweep_grid {
         let grid = SweepGrid::new(
@@ -207,6 +414,9 @@ fn main() -> ExitCode {
             chunks.clone(),
         );
         let mode = if args.early_exit {
+            if args.predict.is_some() {
+                diag.note("--early-exit overrides --predict for the sweep grid");
+            }
             EvalMode::EarlyExit(EarlyExit::default())
         } else {
             match args.predict {
@@ -219,7 +429,15 @@ fn main() -> ExitCode {
             engine = engine.workers(w);
         }
         match engine.run(&grid) {
-            Ok(r) => Some(r),
+            Ok(r) => {
+                diag.detail(&format!(
+                    "sweep grid: {} points in {:.1} ms ({} memo hits)",
+                    r.outcomes.len(),
+                    r.stats.wall_ns as f64 / 1e6,
+                    r.memo_hits
+                ));
+                Some(r)
+            }
             Err(e) => {
                 eprintln!("fsdetect: sweep grid: {e}");
                 return ExitCode::FAILURE;
@@ -230,11 +448,20 @@ fn main() -> ExitCode {
     };
 
     if args.json {
+        // Close the top-level span before snapshotting so the metrics and
+        // trace cover the whole run.
+        drop(main_span.take());
+        let snap = obs::snapshot();
         let mut doc = JsonValue::obj().field("report", report.to_json());
         if let Some(r) = &grid_result {
             doc = doc.field("sweep_grid", r.to_json());
+            doc = doc.field("sweep_stats", r.stats_json(5));
         }
+        doc = doc.field("metrics", metrics_json(&snap));
         print!("{}", doc.render_pretty());
+        if !finalize_obs(&args, &diag, &snap, grid_result.as_ref()) {
+            return ExitCode::FAILURE;
+        }
         return if report.has_significant_fs() {
             ExitCode::from(1)
         } else {
@@ -372,6 +599,14 @@ fn main() -> ExitCode {
             println!("best: {}", best.description);
             println!("-- transformed kernel --");
             print!("{}", fs_core::kernel_to_dsl(&best.kernel));
+        }
+    }
+
+    if obs_on {
+        drop(main_span.take());
+        let snap = obs::snapshot();
+        if !finalize_obs(&args, &diag, &snap, grid_result.as_ref()) {
+            return ExitCode::FAILURE;
         }
     }
 

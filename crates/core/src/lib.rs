@@ -46,14 +46,14 @@ pub use corpus::{corpus_entry, corpus_kernel, corpus_kernel_with_consts, CorpusE
 pub use error::AnalysisError;
 pub use json::JsonValue;
 pub use report::{AnalysisReport, HotLine, VictimArray};
-pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome};
+pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome, SweepRunStats};
 pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
 
 use loop_ir::Kernel;
 use machine::MachineConfig;
 
 pub use cost_model::sweep::{
-    kernel_at_chunk, EarlyExit, EvalMode, MemoCache, SweepGrid, SweepPointSpec,
+    kernel_at_chunk, point_key, EarlyExit, EvalMode, MemoCache, SweepGrid, SweepPointSpec,
 };
 #[allow(deprecated)]
 pub use cost_model::AnalyzeOptions;
@@ -67,6 +67,11 @@ pub use cost_model::{
     shared_cache_interference, AnalysisOptions, BusInterference, FsModelConfig, FsModelResult,
     LoopCost, SharedCacheInterference,
 };
+/// The observability layer (spans, counters, Chrome-trace export) — see
+/// `docs/OBSERVABILITY.md`. Disabled by default; `fsdetect` enables it for
+/// `--profile`/`--trace-out` and the benches enable it for counter-sourced
+/// reporting.
+pub use fs_obs as obs;
 pub use loop_ir::dsl::parse_kernel_with_consts;
 pub use loop_ir::{dsl::parse_kernel, kernels, pretty::kernel_to_dsl, KernelBuilder};
 

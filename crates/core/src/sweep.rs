@@ -19,6 +19,7 @@ use fs_runtime::pool::ThreadPool;
 use fs_runtime::shared::SharedSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One evaluated grid point, labeled with its axes.
 #[derive(Debug, Clone)]
@@ -50,6 +51,44 @@ impl SweepOutcome {
     }
 }
 
+/// Wall-clock statistics of one [`SweepEngine::run`].
+///
+/// Deliberately kept *out* of [`SweepGridResult::to_json`]: that document
+/// carries the byte-identical parallel/sequential guarantee, and wall times
+/// are nondeterministic. Export them via [`SweepGridResult::stats_json`]
+/// (the `--json` `sweep_stats` section) or the `--profile` summary instead.
+#[derive(Debug, Clone, Default)]
+pub struct SweepRunStats {
+    /// Whole-run wall time (validation + evaluation).
+    pub wall_ns: u64,
+    /// Per-point wall time, parallel to the outcomes (canonical grid
+    /// order). Every entry is *measured*, never derived from model terms:
+    /// a memoized point records its (tiny) real lookup time, and a point
+    /// truncated by early exit records the truncated evaluation's real
+    /// cost — so no point silently reports zero.
+    pub point_wall_ns: Vec<u64>,
+}
+
+impl SweepRunStats {
+    /// The `n` slowest points as `(outcome index, wall ns)`, slowest first.
+    /// Ties break toward the earlier (canonical-order) point.
+    pub fn slowest(&self, n: usize) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self.point_wall_ns.iter().copied().enumerate().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Points per second over the whole run (0 when nothing ran).
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 || self.point_wall_ns.is_empty() {
+            0.0
+        } else {
+            self.point_wall_ns.len() as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
 /// All outcomes of one grid run, in canonical order.
 #[derive(Debug, Clone)]
 pub struct SweepGridResult {
@@ -57,6 +96,8 @@ pub struct SweepGridResult {
     /// Memo hits/misses accumulated by this run alone.
     pub memo_hits: u64,
     pub memo_misses: u64,
+    /// Wall-clock timing of this run (not part of [`Self::to_json`]).
+    pub stats: SweepRunStats,
 }
 
 impl SweepGridResult {
@@ -77,6 +118,30 @@ impl SweepGridResult {
         self.outcomes
             .iter()
             .min_by(|a, b| a.cost.total_cycles.total_cmp(&b.cost.total_cycles))
+    }
+
+    /// Timing statistics as JSON — a *separate* document from
+    /// [`Self::to_json`] because wall times are nondeterministic. Labels
+    /// the `slowest_n` slowest points with their grid axes.
+    pub fn stats_json(&self, slowest_n: usize) -> JsonValue {
+        let slowest = self
+            .stats
+            .slowest(slowest_n)
+            .into_iter()
+            .map(|(i, ns)| {
+                let o = &self.outcomes[i];
+                JsonValue::obj()
+                    .field("kernel", o.kernel.as_str())
+                    .field("machine", o.machine.as_str())
+                    .field("threads", o.threads)
+                    .field("chunk", o.chunk)
+                    .field("wall_ms", ns as f64 / 1e6)
+            })
+            .collect();
+        JsonValue::obj()
+            .field("wall_ms", self.stats.wall_ns as f64 / 1e6)
+            .field("points_per_sec", self.stats.points_per_sec())
+            .field("slowest_points", JsonValue::Arr(slowest))
     }
 }
 
@@ -135,6 +200,8 @@ impl SweepEngine {
     /// Evaluate every grid point. Fails fast — before evaluating anything —
     /// if any machine, kernel, or axis value is invalid.
     pub fn run(&self, grid: &SweepGrid) -> Result<SweepGridResult, AnalysisError> {
+        let _span = fs_obs::span("sweep.run");
+        let run_start = Instant::now();
         for (_, m) in &grid.machines {
             check_machine(m)?;
         }
@@ -153,18 +220,44 @@ impl SweepEngine {
         }
 
         let points = grid.points();
+        let sequential = self.workers <= 1 || points.len() <= 1;
+        fs_obs::gauges::SWEEP_GRID_POINTS.set(points.len() as u64);
+        fs_obs::gauges::SWEEP_WORKERS.set(if sequential {
+            1
+        } else {
+            self.workers.min(points.len()) as u64
+        });
         let (hits0, misses0) = self.memo_stats();
-        let outcomes = if self.workers <= 1 || points.len() <= 1 {
+        let timed = if sequential {
             self.run_points_sequential(grid, &points)
         } else {
             self.run_points_parallel(grid, &points)
         };
         let (hits1, misses1) = self.memo_stats();
+        let mut outcomes = Vec::with_capacity(timed.len());
+        let mut point_wall_ns = Vec::with_capacity(timed.len());
+        for (o, ns) in timed {
+            outcomes.push(o);
+            point_wall_ns.push(ns);
+        }
         Ok(SweepGridResult {
             outcomes,
             memo_hits: hits1 - hits0,
             memo_misses: misses1 - misses0,
+            stats: SweepRunStats {
+                wall_ns: run_start.elapsed().as_nanos() as u64,
+                point_wall_ns,
+            },
         })
+    }
+
+    /// [`Self::eval_one`] with its wall time and per-point span/counter.
+    fn eval_timed(&self, grid: &SweepGrid, spec: &SweepPointSpec) -> (SweepOutcome, u64) {
+        let _span = fs_obs::span("sweep.point");
+        fs_obs::counters::SWEEP_POINTS.inc();
+        let start = Instant::now();
+        let outcome = self.eval_one(grid, spec);
+        (outcome, start.elapsed().as_nanos() as u64)
     }
 
     /// One point: memo lookup under the lock, computation outside it, so
@@ -205,18 +298,18 @@ impl SweepEngine {
         &self,
         grid: &SweepGrid,
         points: &[SweepPointSpec],
-    ) -> Vec<SweepOutcome> {
-        points.iter().map(|p| self.eval_one(grid, p)).collect()
+    ) -> Vec<(SweepOutcome, u64)> {
+        points.iter().map(|p| self.eval_timed(grid, p)).collect()
     }
 
     fn run_points_parallel(
         &self,
         grid: &SweepGrid,
         points: &[SweepPointSpec],
-    ) -> Vec<SweepOutcome> {
+    ) -> Vec<(SweepOutcome, u64)> {
         let n = points.len();
         let pool = ThreadPool::new(self.workers.min(n));
-        let mut slots: Vec<Option<SweepOutcome>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<(SweepOutcome, u64)>> = (0..n).map(|_| None).collect();
         {
             let shared = SharedSlice::new(&mut slots);
             let next = AtomicUsize::new(0);
@@ -225,7 +318,7 @@ impl SweepEngine {
                 if i >= n {
                     break;
                 }
-                let outcome = self.eval_one(grid, &points[i]);
+                let outcome = self.eval_timed(grid, &points[i]);
                 // SAFETY: the work queue hands index i to exactly one
                 // worker, so writes to slot i are never concurrent.
                 unsafe { *shared.get_mut(i) = Some(outcome) };
@@ -326,6 +419,27 @@ mod tests {
                 (b.kernel.as_str(), b.threads, b.chunk)
             );
         }
+    }
+
+    #[test]
+    fn stats_record_every_point_and_stay_out_of_to_json() {
+        let g = grid();
+        let engine = SweepEngine::new().workers(2);
+        let r = engine.run(&g).unwrap();
+        assert_eq!(r.stats.point_wall_ns.len(), r.outcomes.len());
+        assert!(r.stats.wall_ns > 0);
+        assert!(r.stats.points_per_sec() > 0.0);
+        let slowest = r.stats.slowest(3);
+        assert_eq!(slowest.len(), 3);
+        assert!(slowest[0].1 >= slowest[1].1 && slowest[1].1 >= slowest[2].1);
+        // Timing lives in stats_json, never in the deterministic document.
+        assert!(r.stats_json(2).render().contains("\"slowest_points\""));
+        assert!(!r.to_json().render().contains("wall_ms"));
+        // A fully memoized re-run still measures real (nonzero-length)
+        // per-point times instead of silently reporting nothing.
+        let again = engine.run(&g).unwrap();
+        assert_eq!(again.memo_misses, 0);
+        assert_eq!(again.stats.point_wall_ns.len(), again.outcomes.len());
     }
 
     #[test]

@@ -379,17 +379,32 @@ pub fn run_fs_model_prepared(
          (use fs_core::try_analyze for a recoverable error)",
         cfg.num_threads
     );
-    match cfg.path {
-        FsPath::Reference => run_fs_model_reference(kernel, cfg, plan, bases),
+    fs_obs::counters::FS_MODEL_RUNS.inc();
+    let result = match cfg.path {
+        FsPath::Reference => {
+            fs_obs::counters::FS_DISPATCH_REFERENCE.inc();
+            run_fs_model_reference(kernel, cfg, plan, bases)
+        }
         FsPath::Optimized => {
             let footprint_lines = crate::footprint::line_footprint(kernel, cfg.line_size);
             if footprint_lines > DENSE_LINE_LIMIT {
+                fs_obs::counters::FS_DENSE_FALLBACKS.inc();
+                fs_obs::counters::FS_DISPATCH_REFERENCE.inc();
                 run_fs_model_reference(kernel, cfg, plan, bases)
             } else {
+                fs_obs::counters::FS_DISPATCH_DENSE.inc();
                 run_fs_model_optimized(kernel, cfg, plan, bases, footprint_lines)
             }
         }
+    };
+    // One flush per model run: the hot loop never touches the registry.
+    if fs_obs::counters_enabled() {
+        fs_obs::counters::FS_CASES.add(result.fs_cases);
+        fs_obs::counters::FS_EVENTS.add(result.fs_events);
+        fs_obs::counters::FS_STEPS.add(result.steps);
+        fs_obs::counters::FS_ITERATIONS.add(result.iterations);
     }
+    result
 }
 
 /// The paper's algorithm, transcribed directly: per-access affine address
@@ -402,6 +417,7 @@ fn run_fs_model_reference(
     plan: &AccessPlan,
     bases: &[u64],
 ) -> FsModelResult {
+    let _span = fs_obs::span("fs.reference");
     let num_threads = cfg.num_threads.max(1) as usize;
 
     // Per-thread cache states (step 3's LRU stacks).
@@ -442,7 +458,9 @@ fn run_fs_model_reference(
 
     let mut idx_buf = vec![0i64; plan.max_rank.max(1)];
     let line_size = cfg.line_size;
+    let mut evictions = 0u64;
 
+    let walk_span = fs_obs::span("fs.walk");
     loop {
         if let Some(ms) = max_steps {
             if result.steps >= ms {
@@ -455,6 +473,7 @@ fn run_fs_model_reference(
         let states_ref = &mut states;
         let writers_ref = &mut writers;
         let phys_ref = &mut phys_writers;
+        let evict_ref = &mut evictions;
         let res = &mut result;
         let more = walker.step(|t, env| {
             iter_count += 1;
@@ -570,6 +589,7 @@ fn run_fs_model_reference(
                         *writers_ref.entry(line).or_insert(0) |= self_bit;
                     }
                     if let Some((evicted, einfo)) = st.insert(line, info) {
+                        *evict_ref += 1;
                         if einfo.written {
                             // Evicted line leaves this thread's state.
                             if let Some(w) = writers_ref.get_mut(&evicted) {
@@ -600,6 +620,8 @@ fn run_fs_model_reference(
             result.events_series.push((run, result.fs_events));
         }
     }
+    drop(walk_span);
+    fs_obs::counters::FS_LRU_EVICTIONS.add(evictions);
     result.finish_series(steps_per_run);
     result
 }
@@ -625,6 +647,8 @@ fn run_fs_model_optimized(
     bases: &[u64],
     footprint_lines: u64,
 ) -> FsModelResult {
+    let _span = fs_obs::span("fs.dense");
+    let setup_span = fs_obs::span("fs.setup");
     let num_threads = cfg.num_threads.max(1) as usize;
     let (num_sets, ways) = set_geometry(cfg.stack_lines, cfg.stack_sets);
     let set_mask = num_sets.is_power_of_two().then(|| num_sets as u64 - 1);
@@ -669,7 +693,10 @@ fn run_fs_model_optimized(
 
     let line_size = cfg.line_size;
     let granules = line_size / 64;
+    let mut evictions = 0u64;
+    drop(setup_span);
 
+    let walk_span = fs_obs::span("fs.walk");
     loop {
         if let Some(ms) = max_steps {
             if result.steps >= ms {
@@ -684,6 +711,7 @@ fn run_fs_model_optimized(
         let interner_ref = &mut interner;
         let acc_is_write_ref = &acc_is_write;
         let acc_size_ref = &acc_size;
+        let evict_ref = &mut evictions;
         let res = &mut result;
         let more = walker.step_streams(&cplan, &mut cursors, |t, _env, addrs| {
             iter_count += 1;
@@ -805,6 +833,7 @@ fn run_fs_model_optimized(
                         writers_ref[idx] |= self_bit;
                     }
                     if let Some((evicted, einfo)) = st.insert(set, id, info) {
+                        *evict_ref += 1;
                         if einfo.written {
                             writers_ref[evicted as usize] &= !self_bit;
                             phys_ref[evicted as usize] &= !self_bit;
@@ -824,6 +853,9 @@ fn run_fs_model_optimized(
             result.events_series.push((run, result.fs_events));
         }
     }
+    drop(walk_span);
+    fs_obs::counters::FS_LRU_EVICTIONS.add(evictions);
+    fs_obs::counters::FS_LINE_TABLE_SLOTS.add(interner.len() as u64);
     result.finish_series(steps_per_run);
     for (idx, &c) in line_cases.iter().enumerate() {
         if c > 0 {

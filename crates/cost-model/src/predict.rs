@@ -107,6 +107,8 @@ pub fn predict_fs_prepared(
     plan: &AccessPlan,
     bases: &[u64],
 ) -> Option<FsPrediction> {
+    let _span = fs_obs::span("predict.fit");
+    fs_obs::counters::PREDICT_FITS.inc();
     let mut sample_cfg = cfg.clone();
     sample_cfg.max_chunk_runs = Some(chunk_runs.max(2));
     let sample = run_fs_model_prepared(kernel, &sample_cfg, plan, bases);

@@ -260,10 +260,12 @@ impl MemoCache {
         match self.points.get(key) {
             Some(c) => {
                 self.hits += 1;
+                fs_obs::counters::SWEEP_MEMO_HITS.inc();
                 Some(c.clone())
             }
             None => {
                 self.misses += 1;
+                fs_obs::counters::SWEEP_MEMO_MISSES.inc();
                 None
             }
         }

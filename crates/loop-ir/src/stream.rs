@@ -41,6 +41,8 @@ impl CompiledPlan {
     /// Fold `plan`'s subscripts against the `bases` layout. `n_vars` is the
     /// environment width ([`crate::Kernel::vars`]`.len()`).
     pub fn new(plan: &AccessPlan, n_vars: usize, bases: &[u64]) -> CompiledPlan {
+        let _span = fs_obs::span("stream.compile");
+        fs_obs::counters::STREAM_PLANS_COMPILED.inc();
         let mut coeffs = vec![0i64; plan.accesses.len() * n_vars];
         let mut consts = Vec::with_capacity(plan.accesses.len());
         for (a, acc) in plan.accesses.iter().enumerate() {

@@ -1,0 +1,138 @@
+//! Chrome trace-event export.
+//!
+//! [`chrome_trace`] renders a [`Snapshot`](crate::Snapshot) as the JSON
+//! object format of the Trace Event specification: `"ph":"M"` metadata
+//! events naming one track per recording thread, followed by `"ph":"X"`
+//! complete events (timestamps and durations in microseconds). The output
+//! loads directly in `chrome://tracing` and in Perfetto.
+//!
+//! Rendering is deterministic: tracks are emitted in id order and events in
+//! the snapshot's `(start_ns, track, depth)` order, so two snapshots with
+//! the same contents produce byte-identical files.
+
+use crate::Snapshot;
+
+/// Escape `s` for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds with sub-microsecond precision, as chrome://tracing expects.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Render `snap` as a Chrome trace-event JSON document. Every span becomes
+/// a `"ph":"X"` complete event on its thread's track (`pid` 1, `tid` =
+/// track id); thread names are attached via `thread_name` metadata events.
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(128 + snap.spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (track, name) in &snap.tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\""
+        ));
+        escape_into(&mut out, name);
+        out.push_str("\"}}");
+    }
+    for ev in &snap.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&ev.track.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&us(ev.start_ns));
+        out.push_str(",\"dur\":");
+        out.push_str(&us(ev.dur_ns));
+        out.push_str(",\"name\":\"");
+        escape_into(&mut out, ev.name);
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanEvent;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            tracks: vec![(0, "main".to_string()), (1, "fs-worker-0".to_string())],
+            spans: vec![
+                SpanEvent {
+                    name: "sweep.run",
+                    track: 0,
+                    depth: 0,
+                    start_ns: 1_000,
+                    dur_ns: 500_000,
+                },
+                SpanEvent {
+                    name: "sweep.point",
+                    track: 1,
+                    depth: 0,
+                    start_ns: 2_500,
+                    dur_ns: 10_500,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn emits_metadata_and_complete_events() {
+        let json = chrome_trace(&sample());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"main\"}}"
+        ));
+        assert!(json.contains("\"args\":{\"name\":\"fs-worker-0\"}"));
+        // 1000 ns -> 1.000 us, 500_000 ns -> 500.000 us.
+        assert!(json.contains(
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.000,\"dur\":500.000,\"name\":\"sweep.run\"}"
+        ));
+        assert!(json.contains("\"ts\":2.500,\"dur\":10.500,\"name\":\"sweep.point\""));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(chrome_trace(&sample()), chrome_trace(&sample()));
+    }
+
+    #[test]
+    fn escapes_names() {
+        let mut s = sample();
+        s.tracks = vec![(0, "we\"ird\\name".to_string())];
+        s.spans.truncate(1);
+        let json = chrome_trace(&s);
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let json = chrome_trace(&Snapshot::default());
+        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+    }
+}

@@ -41,7 +41,10 @@ impl ThreadPool {
                         while let Ok(msg) = rx.recv() {
                             match msg {
                                 Msg::Run(job) => {
-                                    job(t);
+                                    {
+                                        let _span = fs_obs::span("pool.job");
+                                        job(t);
+                                    }
                                     done.send(()).expect("pool owner vanished");
                                 }
                                 Msg::Quit => break,

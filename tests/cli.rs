@@ -138,6 +138,90 @@ fn file_input_and_errors() {
 }
 
 #[test]
+fn json_stdout_stays_clean_under_quiet() {
+    let out = fsdetect(&["@histogram", "--threads", "8", "--json", "--quiet"]);
+    assert_eq!(out.status.code(), Some(1), "FS verdict survives --json");
+    assert!(
+        out.stderr.is_empty(),
+        "--quiet --json leaks to stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.starts_with('{'), "stdout is pure JSON:\n{text}");
+    assert!(text.contains("\"metrics\""), "{text}");
+    assert!(text.contains("\"fs.model_runs\""), "{text}");
+    assert!(text.contains("\"span_coverage\""), "{text}");
+}
+
+#[test]
+fn verbose_notes_go_to_stderr_not_stdout() {
+    let out = fsdetect(&["@histogram", "--threads", "8", "--verbose"]);
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("fsdetect:"), "verbose notes on stderr: {err}");
+    assert!(
+        !stdout(&out).contains("fsdetect:"),
+        "notes leaked to stdout"
+    );
+
+    let quiet = fsdetect(&["@histogram", "--threads", "8", "--quiet"]);
+    assert!(quiet.stderr.is_empty(), "--quiet silences diagnostics");
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace() {
+    let dir = std::env::temp_dir().join("fsdetect_cli_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.trace.json");
+    let out = fsdetect(&[
+        "@histogram",
+        "--threads",
+        "4",
+        "--sweep-grid",
+        "2,4:1,4",
+        "--workers",
+        "2",
+        "--trace-out",
+        path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        out.status.code() == Some(0) || out.status.code() == Some(1),
+        "analysis ran"
+    );
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(
+        trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        "{trace}"
+    );
+    assert!(trace.contains("\"ph\":\"X\""), "complete events present");
+    assert!(
+        trace.contains("\"fsdetect.main\""),
+        "top-level span present"
+    );
+    assert!(trace.contains("\"sweep.point\""), "per-point spans present");
+}
+
+#[test]
+fn profile_summary_prints_to_stderr() {
+    let out = fsdetect(&["@histogram", "--threads", "4", "--profile"]);
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("-- profile --"), "{err}");
+    assert!(err.contains("span coverage"), "{err}");
+    assert!(err.contains("fs.model_runs"), "{err}");
+    assert!(!stdout(&out).contains("-- profile --"), "profile on stdout");
+}
+
+#[test]
+fn sweep_json_carries_stats_and_memo_metrics() {
+    let out = fsdetect(&["@histogram", "--sweep-grid", "2,4:1,4", "--json", "--quiet"]);
+    let text = stdout(&out);
+    assert!(text.contains("\"sweep_stats\""), "{text}");
+    assert!(text.contains("\"slowest_points\""), "{text}");
+    assert!(text.contains("\"points_per_sec\""), "{text}");
+    assert!(text.contains("\"sweep.memo_misses\""), "{text}");
+}
+
+#[test]
 fn unknown_machine_rejected() {
     let out = fsdetect(&["@heat", "--machine", "cray1"]);
     assert_eq!(out.status.code(), Some(1));

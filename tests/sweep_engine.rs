@@ -153,6 +153,129 @@ fn advisor_on_sweep_primitives_matches_direct_sweep() {
 }
 
 #[test]
+fn memo_accounting_survives_clear_memo() {
+    let grid = corpus_grid();
+    let n = grid.len() as u64;
+    let engine = SweepEngine::new();
+    assert_eq!(engine.memo_stats(), (0, 0));
+
+    engine.run(&grid).unwrap();
+    assert_eq!(engine.memo_stats(), (0, n), "cold cache: all misses");
+    engine.run(&grid).unwrap();
+    assert_eq!(engine.memo_stats(), (n, n), "warm cache: all hits");
+
+    // clear_memo drops the entries but NOT the lifetime counters — they
+    // describe the cache's history, not its contents. A re-run therefore
+    // misses everything again on top of the accumulated stats.
+    engine.clear_memo();
+    assert_eq!(engine.memo_stats(), (n, n), "clear keeps lifetime counters");
+    engine.run(&grid).unwrap();
+    assert_eq!(engine.memo_stats(), (n, 2 * n), "cleared cache: all misses");
+    engine.run(&grid).unwrap();
+    assert_eq!(engine.memo_stats(), (2 * n, 2 * n));
+}
+
+#[test]
+fn concurrent_runs_account_every_lookup() {
+    let grid = corpus_grid();
+    let n = grid.len() as u64;
+    let reference = SweepEngine::new().workers(1).run(&grid).unwrap();
+    let engine = std::sync::Arc::new(SweepEngine::new().workers(2));
+    const RUNS: u64 = 4;
+
+    let handles: Vec<_> = (0..RUNS)
+        .map(|_| {
+            let engine = std::sync::Arc::clone(&engine);
+            let grid = corpus_grid();
+            std::thread::spawn(move || engine.run(&grid).unwrap())
+        })
+        .collect();
+    // Memoization must be invisible in the results, no matter how the
+    // racing runs interleave. The document header's memo_hits/memo_misses
+    // legitimately vary per racing run, so compare from `results` on.
+    fn results_payload(doc: String) -> String {
+        let at = doc.find("\"results\"").expect("results field");
+        doc[at..].to_string()
+    }
+    let want = results_payload(reference.to_json().render());
+    for h in handles {
+        let r = h.join().expect("concurrent run panicked");
+        assert_eq!(results_payload(r.to_json().render()), want);
+    }
+
+    let (hits, misses) = engine.memo_stats();
+    // Every lookup is either a hit or a miss — the race may recompute a
+    // point more than once (miss before another thread's insert lands),
+    // but it can never lose accounting.
+    assert_eq!(hits + misses, RUNS * n, "hits {hits} + misses {misses}");
+    assert!(misses >= n, "at least one full grid of cold misses");
+    assert!(hits >= n, "later runs hit the shared cache");
+}
+
+#[test]
+fn obs_counters_mirror_memo_accounting() {
+    let grid = corpus_grid();
+    let n = grid.len() as u64;
+    fs_core::obs::configure(fs_core::obs::ObsConfig::enabled());
+    let before = fs_core::obs::snapshot();
+    let engine = SweepEngine::new();
+    engine.run(&grid).unwrap();
+    engine.run(&grid).unwrap();
+    let after = fs_core::obs::snapshot();
+    fs_core::obs::configure(fs_core::obs::ObsConfig::disabled());
+    // Other tests in this binary may run engines concurrently while obs is
+    // enabled, so the global registry deltas are lower-bounded, not exact.
+    let d_hits = after.counter("sweep.memo_hits") - before.counter("sweep.memo_hits");
+    let d_misses = after.counter("sweep.memo_misses") - before.counter("sweep.memo_misses");
+    let d_points =
+        after.counter("sweep.points_evaluated") - before.counter("sweep.points_evaluated");
+    assert!(d_hits >= n, "registry saw this engine's {n} hits: {d_hits}");
+    assert!(
+        d_misses >= n,
+        "registry saw this engine's {n} misses: {d_misses}"
+    );
+    assert!(
+        d_points >= 2 * n,
+        "registry saw both runs' points: {d_points}"
+    );
+}
+
+#[test]
+fn point_keys_are_content_fingerprints() {
+    use fs_core::point_key;
+    let m = machines::paper48();
+    let k = scaled_kernel("histogram");
+
+    // Stable across calls and across structurally identical kernels built
+    // independently — the key is a content fingerprint, not an identity.
+    let key = point_key(&k, &m, 8, &EvalMode::Full);
+    assert_eq!(key, point_key(&k, &m, 8, &EvalMode::Full));
+    assert_eq!(key, point_key(&k.clone(), &m, 8, &EvalMode::Full));
+    assert_eq!(
+        key,
+        point_key(&scaled_kernel("histogram"), &m, 8, &EvalMode::Full)
+    );
+
+    // Any coordinate change must change the key.
+    assert_ne!(key, point_key(&k, &m, 4, &EvalMode::Full));
+    assert_ne!(
+        key,
+        point_key(&k, &m, 8, &EvalMode::EarlyExit(EarlyExit::default()))
+    );
+    assert_ne!(
+        key,
+        point_key(&fs_core::kernel_at_chunk(&k, 4), &m, 8, &EvalMode::Full)
+    );
+    let mut other_machine = machines::paper48();
+    other_machine.caches.line_size *= 2;
+    assert_ne!(key, point_key(&k, &other_machine, 8, &EvalMode::Full));
+    assert_ne!(
+        key,
+        point_key(&scaled_kernel("heat"), &m, 8, &EvalMode::Full)
+    );
+}
+
+#[test]
 fn sweep_json_document_shape_is_stable() {
     let grid = SweepGrid::new(
         vec![("histogram".to_string(), scaled_kernel("histogram"))],
