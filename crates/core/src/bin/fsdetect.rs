@@ -369,7 +369,9 @@ fn main() -> ExitCode {
     let kernel = match fs_core::parse_kernel_with_consts(&src, &consts) {
         Ok(k) => k,
         Err(e) => {
-            eprintln!("fsdetect: {}: {e}", args.path);
+            // `kernels/stencil.loop:12:7: parse error: ...` — clickable in
+            // editors and CI logs.
+            eprintln!("fsdetect: {}", e.with_source_name(&args.path));
             return ExitCode::FAILURE;
         }
     };
@@ -453,6 +455,11 @@ fn main() -> ExitCode {
         drop(main_span.take());
         let snap = obs::snapshot();
         let mut doc = JsonValue::obj().field("report", report.to_json());
+        // The symbolic lint verdict rides along: same kernel, machine and
+        // team as the simulated report, closed-form cost.
+        if let Ok(lint) = fs_core::try_lint(&kernel, &machine, args.threads) {
+            doc = doc.field("lint", lint.to_json());
+        }
         if let Some(r) = &grid_result {
             doc = doc.field("sweep_grid", r.to_json());
             doc = doc.field("sweep_stats", r.stats_json(5));

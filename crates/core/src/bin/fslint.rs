@@ -1,0 +1,244 @@
+//! `fslint` — symbolic, simulation-free false-sharing lint for loop DSL
+//! kernels.
+//!
+//! ```text
+//! fslint <kernel.loop | @bundled-name>... [--threads N]
+//!        [--machine paper48|generic|tiny] [--const NAME=VALUE ...]
+//!        [--json] [--format sarif] [--advise] [--list] [--quiet]
+//! ```
+//!
+//! Where `fsdetect` *runs* the paper's false-sharing cost model over the
+//! iteration space, `fslint` decides the same question in closed form from
+//! the loop's affine structure — microseconds per kernel, independent of
+//! trip counts — and reports per-write-site diagnostics with DSL source
+//! positions and actionable fixes (padding / chunk widening), padding fixes
+//! verified by transform-and-relint. Rules: FS001 (chunk-seam sharing),
+//! FS002 (strided interleaving), FS003 (outside the decidable fragment),
+//! FS004 (true sharing). See `docs/LINT.md`.
+//!
+//! Output modes: human text (default, one `file:line:col: severity: [rule]
+//! message` block per finding), `--json` (one structured document for all
+//! inputs), `--format sarif` (a SARIF 2.1.0 document suitable for code
+//! scanning upload). Results go to stdout, diagnostics to stderr.
+//!
+//! `--advise` additionally runs the simulator-backed chunk advisor on each
+//! kernel with findings — the one opt-in that is *not* simulation-free.
+//!
+//! Exit codes: 0 = no findings, 1 = findings or any error, 2 = usage.
+
+use fs_core::{machines, sarif_document, JsonValue, LintReport};
+use std::process::ExitCode;
+
+struct Args {
+    inputs: Vec<String>,
+    threads: u32,
+    machine: String,
+    consts: Vec<(String, i64)>,
+    json: bool,
+    sarif: bool,
+    advise: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fslint <kernel.loop | @bundled>... [--threads N] [--machine paper48|generic|tiny]\n\
+         \x20             [--const NAME=VALUE ...] [--json] [--format sarif] [--advise] [--list]\n\
+         \x20             [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        inputs: Vec::new(),
+        threads: 8,
+        machine: "paper48".to_string(),
+        consts: Vec::new(),
+        json: false,
+        sarif: false,
+        advise: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--machine" => args.machine = it.next().unwrap_or_else(|| usage()),
+            "--const" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let Some((name, value)) = kv.split_once('=') else {
+                    usage()
+                };
+                let Ok(value) = value.parse::<i64>() else {
+                    usage()
+                };
+                args.consts.push((name.to_string(), value));
+            }
+            "--json" => args.json = true,
+            "--format" => match it.next().as_deref() {
+                Some("sarif") => args.sarif = true,
+                Some("json") => args.json = true,
+                Some("text") => {}
+                _ => usage(),
+            },
+            "--advise" => args.advise = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--list" => {
+                for e in fs_core::CORPUS {
+                    println!("@{:<12} {}", e.name, e.blurb);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') || other.starts_with('@') => {
+                args.inputs.push(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    if args.inputs.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// One successfully linted input.
+struct Linted {
+    /// Display/artifact name (file path, or `@name` for bundled kernels).
+    name: String,
+    report: LintReport,
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let machine = match args.machine.as_str() {
+        "paper48" => machines::paper48(),
+        "generic" => machines::generic_x86(),
+        "tiny" => machines::tiny_test(),
+        other => {
+            eprintln!("fslint: unknown machine '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+    let consts: Vec<(&str, i64)> = args.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+
+    let mut linted: Vec<Linted> = Vec::new();
+    let mut had_error = false;
+    for input in &args.inputs {
+        let src = if let Some(name) = input.strip_prefix('@') {
+            match fs_core::corpus_entry(name) {
+                Some(e) => e.source.to_string(),
+                None => {
+                    eprintln!("fslint: no bundled kernel '@{name}' (try --list)");
+                    had_error = true;
+                    continue;
+                }
+            }
+        } else {
+            match std::fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("fslint: cannot read {input}: {e}");
+                    had_error = true;
+                    continue;
+                }
+            }
+        };
+        let kernel = match fs_core::parse_kernel_with_consts(&src, &consts) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("fslint: {}", e.with_source_name(input));
+                had_error = true;
+                continue;
+            }
+        };
+        match fs_core::try_lint(&kernel, &machine, args.threads) {
+            Ok(report) => linted.push(Linted {
+                name: input.clone(),
+                report,
+            }),
+            Err(e) => {
+                eprintln!("fslint: {input}: {e}");
+                had_error = true;
+            }
+        }
+    }
+
+    let any_findings = linted.iter().any(|l| l.report.has_findings());
+
+    if args.sarif {
+        let doc = sarif_document(
+            linted
+                .iter()
+                .map(|l| (l.name.clone(), l.report.sarif_results(&l.name)))
+                .collect(),
+        );
+        print!("{}", doc.render_pretty());
+    } else if args.json {
+        let reports: Vec<JsonValue> = linted
+            .iter()
+            .map(|l| {
+                JsonValue::obj()
+                    .field("file", l.name.as_str())
+                    .field("lint", l.report.to_json())
+            })
+            .collect();
+        let doc = JsonValue::obj()
+            .field("threads", args.threads as u64)
+            .field("machine", args.machine.as_str())
+            .field("reports", reports)
+            .field("findings", any_findings)
+            .field("errors", had_error);
+        print!("{}", doc.render_pretty());
+    } else {
+        for l in &linted {
+            print!("{}", l.report.render(&l.name));
+            if args.advise && l.report.has_findings() {
+                // Opt-in simulator-backed refinement of the chunk fix.
+                let src_kernel = kernel_of(&l.name, &consts);
+                if let Some(k) = src_kernel {
+                    let advice = fs_core::recommend_chunk(&k, &machine, args.threads, 64, None);
+                    println!(
+                        "    advisor: best chunk {} ({:.2}x vs chunk 1, simulated)",
+                        advice.best_chunk, advice.speedup_vs_chunk1
+                    );
+                }
+            }
+        }
+        if !args.quiet {
+            let n_findings: usize = linted
+                .iter()
+                .map(|l| l.report.result.findings().count())
+                .sum();
+            eprintln!(
+                "fslint: {} input(s), {} finding(s){}",
+                linted.len(),
+                n_findings,
+                if had_error { ", errors" } else { "" }
+            );
+        }
+    }
+
+    if had_error || any_findings {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Re-load a kernel for the advisor (it needs the `Kernel`, which the lint
+/// report does not retain).
+fn kernel_of(input: &str, consts: &[(&str, i64)]) -> Option<loop_ir::Kernel> {
+    let src = if let Some(name) = input.strip_prefix('@') {
+        fs_core::corpus_entry(name)?.source.to_string()
+    } else {
+        std::fs::read_to_string(input).ok()?
+    };
+    fs_core::parse_kernel_with_consts(&src, consts).ok()
+}

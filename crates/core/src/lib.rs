@@ -37,6 +37,7 @@ pub mod advisor;
 pub mod corpus;
 pub mod error;
 pub mod json;
+pub mod lint;
 pub mod report;
 pub mod sweep;
 pub mod transform;
@@ -45,6 +46,7 @@ pub use advisor::{recommend_chunk, ChunkAdvice, ChunkPoint};
 pub use corpus::{corpus_entry, corpus_kernel, corpus_kernel_with_consts, CorpusEntry, CORPUS};
 pub use error::AnalysisError;
 pub use json::JsonValue;
+pub use lint::{sarif_document, LintReport, VerifiedFix, LINT_RULES};
 pub use report::{AnalysisReport, HotLine, VictimArray};
 pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome, SweepRunStats};
 pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
@@ -57,6 +59,7 @@ pub use cost_model::sweep::{
 };
 #[allow(deprecated)]
 pub use cost_model::AnalyzeOptions;
+pub use cost_model::FsPath;
 /// Re-exported building blocks for users who need the full substrate.
 ///
 /// `AnalysisOptions` is the *one* options type shared by the low-level
@@ -67,6 +70,7 @@ pub use cost_model::{
     shared_cache_interference, AnalysisOptions, BusInterference, FsModelConfig, FsModelResult,
     LoopCost, SharedCacheInterference,
 };
+pub use cost_model::{lint_kernel, Diagnostic, LintResult, LintVerdict, Severity, SiteClass};
 /// The observability layer (spans, counters, Chrome-trace export) — see
 /// `docs/OBSERVABILITY.md`. Disabled by default; `fsdetect` enables it for
 /// `--profile`/`--trace-out` and the benches enable it for counter-sourced
@@ -115,6 +119,49 @@ pub fn try_analyze(
     loop_ir::validate(kernel)?;
     let cost = analyze_loop(kernel, machine, opts);
     Ok(AnalysisReport::new(kernel, machine, opts.num_threads, cost))
+}
+
+/// Lint a kernel symbolically: run the closed-form false-sharing analyzer
+/// (`cost_model::lint`) under the same machine/team guards as
+/// [`try_analyze`], without simulating a single iteration. Suggested
+/// padding fixes are verified by applying [`pad_array`] and re-linting.
+///
+/// The verdict carries a differential contract against the simulator (see
+/// `tests/lint_differential.rs`): `FalseSharing` implies the reference FS
+/// model counts at least one case at this (threads, chunk) configuration,
+/// and `Clean` implies it counts none.
+pub fn try_lint(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    num_threads: u32,
+) -> Result<lint::LintReport, AnalysisError> {
+    error::check_machine(machine)?;
+    if num_threads == 0 {
+        return Err(AnalysisError::UnsupportedSchedule {
+            reason: "team size (num_threads) must be >= 1".to_string(),
+        });
+    }
+    if num_threads > cost_model::MAX_MODEL_THREADS {
+        return Err(AnalysisError::Validation(
+            loop_ir::ValidateError::TeamTooLarge {
+                requested: num_threads,
+                max: cost_model::MAX_MODEL_THREADS,
+            },
+        ));
+    }
+    loop_ir::validate(kernel)?;
+    let result = cost_model::lint::lint_kernel(kernel, machine.line_size(), num_threads);
+    Ok(lint::LintReport::new(kernel, result))
+}
+
+/// Parse a kernel from DSL source and lint it in one step.
+pub fn try_lint_dsl(
+    source: &str,
+    machine: &MachineConfig,
+    num_threads: u32,
+) -> Result<lint::LintReport, AnalysisError> {
+    let kernel = parse_kernel(source)?;
+    try_lint(&kernel, machine, num_threads)
 }
 
 /// Parse a kernel from DSL source and analyze it in one step.

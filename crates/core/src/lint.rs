@@ -1,0 +1,353 @@
+//! High-level surface of the symbolic lint: [`crate::try_lint`] wraps
+//! `cost_model::lint::lint_kernel` with the same machine/team guards as
+//! `try_analyze`, verifies suggested padding fixes by actually applying
+//! [`crate::pad_array`] and re-linting, and renders the outcome for humans,
+//! `--json`, and SARIF 2.1.0.
+
+use crate::json::JsonValue;
+use cost_model::lint::{Diagnostic, LintResult, LintVerdict, Severity};
+use loop_ir::Kernel;
+
+/// Rule metadata table: (id, short description), in rule-id order. Drives
+/// both the SARIF `tool.driver.rules` array and `docs/LINT.md`.
+pub const LINT_RULES: &[(&str, &str)] = &[
+    (
+        cost_model::lint::RULE_SHARED_LINE,
+        "Chunk-seam writes from different threads share a cache line",
+    ),
+    (
+        cost_model::lint::RULE_STRIDED,
+        "Per-iteration cross-thread write interleaving within cache lines",
+    ),
+    (
+        cost_model::lint::RULE_POTENTIAL,
+        "Write pattern outside the closed-form fragment; verdict unknown",
+    ),
+    (
+        cost_model::lint::RULE_TRUE_SHARING,
+        "All threads write the same bytes (true sharing, not false sharing)",
+    ),
+];
+
+/// A padding fix that was *verified*: applying [`crate::pad_array`] to the
+/// array and re-linting yields a clean verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedFix {
+    pub array: String,
+    /// Element size after padding, in bytes.
+    pub padded_elem_bytes: usize,
+}
+
+/// Result of [`crate::try_lint`]: the symbolic verdict plus presentation.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    pub kernel_name: String,
+    pub result: LintResult,
+    /// Padding fixes confirmed by transform-and-relint.
+    pub verified_fixes: Vec<VerifiedFix>,
+}
+
+impl LintReport {
+    pub(crate) fn new(kernel: &Kernel, result: LintResult) -> LintReport {
+        // Verify pad suggestions: pad each implicated array and re-lint.
+        // The transform is pure and the lint closed-form, so this costs
+        // microseconds — no simulation involved.
+        let mut verified_fixes = Vec::new();
+        for d in &result.diagnostics {
+            if d.suggested_fix
+                .as_deref()
+                .is_none_or(|f| !f.contains("pad"))
+            {
+                continue;
+            }
+            let Some((id, _)) = kernel
+                .arrays
+                .iter()
+                .enumerate()
+                .find(|(_, a)| a.name == d.array)
+                .map(|(i, a)| (loop_ir::ArrayId(i as u32), a))
+            else {
+                continue;
+            };
+            if let Some((padded, new_size)) = crate::pad_array(kernel, id, result.line_size) {
+                let relint =
+                    cost_model::lint::lint_kernel(&padded, result.line_size, result.num_threads);
+                if relint.verdict == LintVerdict::Clean
+                    && !verified_fixes
+                        .iter()
+                        .any(|v: &VerifiedFix| v.array == d.array)
+                {
+                    verified_fixes.push(VerifiedFix {
+                        array: d.array.clone(),
+                        padded_elem_bytes: new_size,
+                    });
+                }
+            }
+        }
+        LintReport {
+            kernel_name: kernel.name.clone(),
+            result,
+            verified_fixes,
+        }
+    }
+
+    /// True when the lint produced at least one Error/Warning finding (the
+    /// condition under which `fslint` exits 1).
+    pub fn has_findings(&self) -> bool {
+        self.result.findings().next().is_some()
+    }
+
+    /// Human-readable rendering: one `file:line:col: severity: [rule]
+    /// message` block per diagnostic, then the verdict line.
+    pub fn render(&self, source_name: &str) -> String {
+        let mut out = String::new();
+        for d in &self.result.diagnostics {
+            let (line, col) = span_or_default(d);
+            out.push_str(&format!(
+                "{source_name}:{line}:{col}: {}: [{}] {}\n",
+                d.severity, d.rule_id, d.message
+            ));
+            if let Some(fix) = &d.suggested_fix {
+                out.push_str(&format!("    fix: {fix}\n"));
+            }
+            if let Some(v) = self.verified_fixes.iter().find(|v| v.array == d.array) {
+                out.push_str(&format!(
+                    "    verified: padding '{}' to {} B elements re-lints clean\n",
+                    v.array, v.padded_elem_bytes
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{}: verdict {} ({} threads, chunk {}, {} B lines)\n",
+            self.kernel_name,
+            self.result.verdict.as_str(),
+            self.result.num_threads,
+            self.result.chunk,
+            self.result.line_size
+        ));
+        out
+    }
+
+    /// Structured JSON mirroring [`Self::render`], stable field order.
+    pub fn to_json(&self) -> JsonValue {
+        let diags: Vec<JsonValue> = self
+            .result
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let (line, col) = span_or_default(d);
+                JsonValue::obj()
+                    .field("rule_id", d.rule_id)
+                    .field("severity", d.severity.as_str())
+                    .field("array", d.array.as_str())
+                    .field("line", line as u64)
+                    .field("col", col as u64)
+                    .field("message", d.message.as_str())
+                    .field(
+                        "suggested_fix",
+                        d.suggested_fix
+                            .as_ref()
+                            .map(|f| JsonValue::Str(f.clone()))
+                            .unwrap_or(JsonValue::Null),
+                    )
+            })
+            .collect();
+        let sites: Vec<JsonValue> = self
+            .result
+            .sites
+            .iter()
+            .map(|s| {
+                JsonValue::obj()
+                    .field("array", s.array.as_str())
+                    .field("access", if s.access.is_write() { "write" } else { "read" })
+                    .field("class", s.class.as_str())
+                    .field(
+                        "span",
+                        s.span
+                            .map(|sp| JsonValue::Str(sp.to_string()))
+                            .unwrap_or(JsonValue::Null),
+                    )
+            })
+            .collect();
+        let fixes: Vec<JsonValue> = self
+            .verified_fixes
+            .iter()
+            .map(|v| {
+                JsonValue::obj()
+                    .field("array", v.array.as_str())
+                    .field("padded_elem_bytes", v.padded_elem_bytes as u64)
+            })
+            .collect();
+        JsonValue::obj()
+            .field("kernel", self.kernel_name.as_str())
+            .field("verdict", self.result.verdict.as_str())
+            .field("threads", self.result.num_threads as u64)
+            .field("chunk", self.result.chunk)
+            .field("line_size", self.result.line_size)
+            .field("diagnostics", diags)
+            .field("sites", sites)
+            .field("verified_fixes", fixes)
+    }
+
+    /// SARIF `result` objects for this report, attributed to `uri`.
+    pub fn sarif_results(&self, uri: &str) -> Vec<JsonValue> {
+        self.result
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let (line, col) = span_or_default(d);
+                let mut text = d.message.clone();
+                if let Some(fix) = &d.suggested_fix {
+                    text.push_str(" Suggested fix: ");
+                    text.push_str(fix);
+                }
+                JsonValue::obj()
+                    .field("ruleId", d.rule_id)
+                    .field("level", d.severity.sarif_level())
+                    .field("message", JsonValue::obj().field("text", text))
+                    .field(
+                        "locations",
+                        vec![JsonValue::obj().field(
+                            "physicalLocation",
+                            JsonValue::obj()
+                                .field("artifactLocation", JsonValue::obj().field("uri", uri))
+                                .field(
+                                    "region",
+                                    JsonValue::obj()
+                                        .field("startLine", line as u64)
+                                        .field("startColumn", col as u64),
+                                ),
+                        )],
+                    )
+            })
+            .collect()
+    }
+
+    /// A complete single-artifact SARIF 2.1.0 document.
+    pub fn to_sarif(&self, uri: &str) -> JsonValue {
+        sarif_document(vec![(uri.to_string(), self.sarif_results(uri))])
+    }
+}
+
+fn span_or_default(d: &Diagnostic) -> (u32, u32) {
+    d.span.map(|s| (s.line, s.col)).unwrap_or((1, 1))
+}
+
+/// Assemble a SARIF 2.1.0 document from per-artifact result lists (as
+/// produced by [`LintReport::sarif_results`]).
+pub fn sarif_document(entries: Vec<(String, Vec<JsonValue>)>) -> JsonValue {
+    let rules: Vec<JsonValue> = LINT_RULES
+        .iter()
+        .map(|(id, short)| {
+            JsonValue::obj()
+                .field("id", *id)
+                .field("shortDescription", JsonValue::obj().field("text", *short))
+        })
+        .collect();
+    let mut results = Vec::new();
+    for (_, rs) in entries {
+        results.extend(rs);
+    }
+    JsonValue::obj()
+        .field("$schema", "https://json.schemastore.org/sarif-2.1.0.json")
+        .field("version", "2.1.0")
+        .field(
+            "runs",
+            vec![JsonValue::obj()
+                .field(
+                    "tool",
+                    JsonValue::obj().field(
+                        "driver",
+                        JsonValue::obj()
+                            .field("name", "fslint")
+                            .field("informationUri", "https://github.com/paper-repro/fs-detect")
+                            .field("version", env!("CARGO_PKG_VERSION"))
+                            .field("rules", rules),
+                    ),
+                )
+                .field("results", results)],
+        )
+}
+
+/// Severity of the worst diagnostic, for summary lines.
+pub fn worst_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    fn stencil_report() -> LintReport {
+        let k = crate::parse_kernel(
+            "kernel s {
+  array A[4096]: f64;
+  array B[4096]: f64;
+  parallel for i in 0..4096 schedule(static, 1) {
+    B[i] = A[i] + 1.0;
+  }
+}",
+        )
+        .unwrap();
+        crate::try_lint(&k, &machines::paper48(), 8).unwrap()
+    }
+
+    #[test]
+    fn report_renders_spans_and_verified_fix() {
+        let r = stencil_report();
+        assert!(r.has_findings());
+        let text = r.render("kernels/s.loop");
+        assert!(
+            text.contains("kernels/s.loop:5:5: error: [FS002]"),
+            "{text}"
+        );
+        assert!(text.contains("verified: padding 'B' to 64 B"), "{text}");
+        assert_eq!(
+            r.verified_fixes,
+            vec![VerifiedFix {
+                array: "B".into(),
+                padded_elem_bytes: 64
+            }]
+        );
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let doc = stencil_report().to_json().render();
+        for key in [
+            "\"kernel\":\"s\"",
+            "\"verdict\":\"false-sharing\"",
+            "\"rule_id\":\"FS002\"",
+            "\"line\":5",
+            "\"col\":5",
+            "\"verified_fixes\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+
+    #[test]
+    fn sarif_has_required_fields() {
+        let doc = stencil_report().to_sarif("kernels/s.loop").render();
+        for key in [
+            "\"version\":\"2.1.0\"",
+            "\"name\":\"fslint\"",
+            "\"ruleId\":\"FS002\"",
+            "\"level\":\"error\"",
+            "\"artifactLocation\":{\"uri\":\"kernels/s.loop\"}",
+            "\"startLine\":5",
+            "\"startColumn\":5",
+            "\"id\":\"FS001\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+
+    #[test]
+    fn worst_severity_orders() {
+        let r = stencil_report();
+        assert_eq!(worst_severity(&r.result.diagnostics), Some(Severity::Error));
+        assert_eq!(worst_severity(&[]), None);
+    }
+}

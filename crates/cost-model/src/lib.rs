@@ -18,6 +18,7 @@
 pub mod contention;
 pub mod footprint;
 pub mod fs;
+pub mod lint;
 pub mod overhead;
 pub mod predict;
 pub mod processor;
@@ -32,6 +33,7 @@ pub use footprint::{cache_cost, reference_groups, tlb_cost, CacheCost, RefGroup,
 pub use fs::{
     run_fs_model, run_fs_model_prepared, FsModelConfig, FsModelResult, FsPath, MAX_MODEL_THREADS,
 };
+pub use lint::{lint_kernel, Diagnostic, LintResult, LintVerdict, Severity, SiteClass, SiteReport};
 pub use overhead::{overhead_cost, OverheadCost};
 pub use predict::{least_squares, predict_fs, predict_fs_prepared, FsPrediction, LinearFit};
 pub use processor::{machine_cost, MachineCost};

@@ -35,7 +35,7 @@ mod lexer;
 mod parser;
 
 pub use lexer::{LexError, Token, TokenKind};
-pub use parser::{parse_kernel, parse_kernel_with_consts, ParseError};
+pub use parser::{parse_kernel, parse_kernel_with_consts, ParseError, SourceNamed};
 
 #[cfg(test)]
 mod tests {
@@ -62,6 +62,49 @@ mod tests {
             let back = parse_kernel(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", k.name));
             assert_eq!(k, back, "round-trip mismatch for {}\n{src}", k.name);
         }
+    }
+
+    #[test]
+    fn parsed_references_carry_spans() {
+        let src = "kernel k {
+  array A[8]: f64;
+  array B[8]: f64;
+  parallel for i in 0..8 schedule(static, 1) {
+    A[i] = B[i] + 1.0;
+  }
+}";
+        let k = parse_kernel(src).unwrap();
+        let stmt = &k.nest.body[0];
+        // LHS `A` sits on line 5, column 5; RHS `B` at column 12.
+        assert_eq!(stmt.lhs.span, Some(crate::SourceSpan::new(5, 5)));
+        let mut reads = Vec::new();
+        stmt.rhs.collect_reads(&mut reads);
+        assert_eq!(reads[0].span, Some(crate::SourceSpan::new(5, 12)));
+        // Builder-built kernels carry no spans yet still compare equal to
+        // their parsed round-trip (span-neutral equality).
+        let back = parse_kernel(&kernel_to_dsl(&k)).unwrap();
+        assert_eq!(k, back);
+    }
+
+    #[test]
+    fn with_source_name_prefixes_file_position() {
+        let err = parse_kernel("kernel k { array A[8]: f64; }").unwrap_err();
+        let text = err.with_source_name("kernels/k.loop").to_string();
+        assert!(
+            text.starts_with("kernels/k.loop:"),
+            "file prefix present: {text}"
+        );
+        assert!(text.contains("parse error"), "{text}");
+        // line:col between name and message
+        let rest = text.strip_prefix("kernels/k.loop:").unwrap();
+        let mut it = rest.splitn(3, ':');
+        it.next().unwrap().parse::<u32>().unwrap();
+        it.next().unwrap().parse::<u32>().unwrap();
+
+        let lex_err = crate::dsl::lexer::lex("kernel k { ~ }").unwrap_err();
+        let text = lex_err.with_source_name("bad.loop").to_string();
+        assert!(text.starts_with("bad.loop:1:"), "{text}");
+        assert!(text.contains("lex error"), "{text}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::array::{ArrayDecl, ArrayId, ElemLayout, FieldDef};
 use crate::expr::{AffineExpr, VarId};
 use crate::kernel::Kernel;
 use crate::nest::{Loop, LoopNest, Parallel, Schedule};
-use crate::reference::{AccessKind, ArrayRef};
+use crate::reference::{AccessKind, ArrayRef, SourceSpan};
 use crate::stmt::{AssignOp, BinOp, Expr, Stmt, UnOp};
 use crate::types::ScalarType;
 use crate::validate::{validate, ValidateError};
@@ -31,6 +31,55 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Display adapter prefixing the error with a file name, in the
+    /// `file:line:col: message` shape editors and CI annotators parse:
+    /// `kernels/stencil.loop:3:5: parse error: unknown array 'c'`.
+    pub fn with_source_name<'a>(&'a self, name: &'a str) -> SourceNamed<'a> {
+        SourceNamed {
+            name,
+            line: self.line,
+            col: self.col,
+            kind: "parse error",
+            message: &self.message,
+        }
+    }
+}
+
+impl LexError {
+    /// Display adapter prefixing the error with a file name (see
+    /// [`ParseError::with_source_name`]).
+    pub fn with_source_name<'a>(&'a self, name: &'a str) -> SourceNamed<'a> {
+        SourceNamed {
+            name,
+            line: self.line,
+            col: self.col,
+            kind: "lex error",
+            message: &self.message,
+        }
+    }
+}
+
+/// See [`ParseError::with_source_name`].
+#[derive(Debug, Clone, Copy)]
+pub struct SourceNamed<'a> {
+    name: &'a str,
+    line: u32,
+    col: u32,
+    kind: &'static str,
+    message: &'a str,
+}
+
+impl fmt::Display for SourceNamed<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.name, self.line, self.col, self.kind, self.message
+        )
+    }
+}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
@@ -377,6 +426,8 @@ impl Parser {
     }
 
     fn array_ref(&mut self, access: AccessKind) -> Result<ArrayRef, ParseError> {
+        // Span = position of the array identifier that opens the reference.
+        let span = SourceSpan::new(self.peek().line, self.peek().col);
         let name = self.expect_ident()?;
         let &id = self
             .array_ids
@@ -412,6 +463,7 @@ impl Parser {
             indices,
             field,
             access,
+            span: Some(span),
         })
     }
 

@@ -46,7 +46,7 @@ pub use array::{ArrayDecl, ArrayId, ElemLayout, FieldDef, FieldId};
 pub use expr::{AffineExpr, VarId};
 pub use kernel::{AccessPlan, Kernel, KernelBuilder, PlannedAccess};
 pub use nest::{Loop, LoopNest, Parallel, Schedule};
-pub use reference::{AccessKind, ArrayRef};
+pub use reference::{AccessKind, ArrayRef, SourceSpan};
 pub use stmt::{AssignOp, BinOp, Expr, OpKind, Stmt, UnOp};
 pub use stream::{CompiledPlan, StreamCursor};
 pub use transforms::{

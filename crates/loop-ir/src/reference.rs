@@ -16,9 +16,30 @@ impl AccessKind {
     }
 }
 
+/// A source location: 1-based line/column where a reference was written in
+/// DSL text. Carried for diagnostics only — two references that differ only
+/// in span compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceSpan {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl SourceSpan {
+    pub fn new(line: u32, col: u32) -> Self {
+        SourceSpan { line, col }
+    }
+}
+
+impl std::fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A subscripted (possibly field-qualified) array reference, e.g.
 /// `tid_args[j].sx` or `A[i][j-1]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ArrayRef {
     pub array: ArrayId,
     /// One affine subscript per array dimension, outermost first.
@@ -27,7 +48,24 @@ pub struct ArrayRef {
     /// scalar element (or the whole struct).
     pub field: Option<FieldId>,
     pub access: AccessKind,
+    /// Where the reference appears in DSL source (`None` for programmatic
+    /// kernels). Excluded from equality: a parsed kernel and the equivalent
+    /// builder-built kernel compare equal.
+    pub span: Option<SourceSpan>,
 }
+
+/// Spans are metadata, not identity: equality covers only the semantic
+/// fields, so DSL round-trips and memoization keys are span-agnostic.
+impl PartialEq for ArrayRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.array == other.array
+            && self.indices == other.indices
+            && self.field == other.field
+            && self.access == other.access
+    }
+}
+
+impl Eq for ArrayRef {}
 
 impl ArrayRef {
     pub fn read(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
@@ -36,6 +74,7 @@ impl ArrayRef {
             indices,
             field: None,
             access: AccessKind::Read,
+            span: None,
         }
     }
 
@@ -45,7 +84,14 @@ impl ArrayRef {
             indices,
             field: None,
             access: AccessKind::Write,
+            span: None,
         }
+    }
+
+    /// Same reference carrying a source span (used by the DSL parser).
+    pub fn with_span(mut self, span: SourceSpan) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// Same reference but targeting a struct field.
@@ -134,6 +180,15 @@ mod tests {
         // Different variable in last dim: a[i][j] vs a[i][i].
         let e = ArrayRef::read(ArrayId(0), vec![idx(0, 0), idx(0, 0)]);
         assert!(!a.same_reference_group(&e));
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let a = ArrayRef::read(ArrayId(0), vec![idx(0, 0)]);
+        let b = a.clone().with_span(SourceSpan::new(7, 3));
+        assert_eq!(a, b, "span is metadata, not identity");
+        assert_eq!(b.span, Some(SourceSpan::new(7, 3)));
+        assert_eq!(SourceSpan::new(7, 3).to_string(), "7:3");
     }
 
     #[test]

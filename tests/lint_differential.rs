@@ -1,0 +1,281 @@
+//! Differential oracle for the symbolic lint: random valid kernels are
+//! generated from DSL templates, linted in closed form, and replayed
+//! through the `FsPath::Reference` simulator. The contract:
+//!
+//! * `FalseSharing` ⇒ the simulator counts at least one FS case at the same
+//!   (threads, chunk) configuration;
+//! * `Clean` ⇒ the simulator counts exactly zero;
+//! * `Unknown` never occurs — every generated kernel stays inside the
+//!   lint's decidable fragment.
+//!
+//! On divergence the failing configuration is minimized (shrink the trip
+//! multiplier, then threads, then chunk) and the smallest diverging kernel
+//! is dumped as a `.loop` reproducer for `fslint`/`fsdetect`.
+
+use fs_core::{machines, try_lint_dsl, FsModelConfig, FsPath, LintVerdict};
+use proptest::prelude::*;
+
+/// Generator parameters: one point in the template space.
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    template: usize,
+    threads: u32,
+    chunk: u64,
+    /// Trip count multiplier: trip = chunk * threads * k (zero skew).
+    k: u64,
+    /// Element stride multiplier inside subscripts.
+    stride: i64,
+}
+
+const NUM_TEMPLATES: usize = 7;
+
+/// Render the DSL source for one parameter point. Every template keeps the
+/// per-thread footprint far below the paper machine's 64 KiB L1, so the
+/// lint's residency assumption holds in the simulator.
+fn render(p: Params) -> String {
+    let trip = p.chunk * p.threads as u64 * p.k;
+    let s = p.stride;
+    match p.template {
+        // Strided writes: FS whenever chunk*stride*8 misaligns with lines.
+        0 => format!(
+            "kernel strided {{
+  array A[{n}]: f64;
+  array B[{n}]: f64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    B[{s}*i] = A[{s}*i] + 1.0;
+  }}
+}}",
+            n = s as u64 * trip + 1,
+            chunk = p.chunk,
+        ),
+        // Padded elements: one line per iteration, always clean.
+        1 => format!(
+            "kernel padded {{
+  array B[{n}] of {{ v: f64 }} pad 64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    B[{s}*i].v = 2.0;
+  }}
+}}",
+            n = s as u64 * trip + 1,
+            chunk = p.chunk,
+        ),
+        // Histogram-style read-modify-write accumulators.
+        2 => format!(
+            "kernel rmw {{
+  array H[{trip}]: f64;
+  array D[{trip}][16]: f64;
+  parallel for t in 0..{trip} schedule(static, {chunk}) {{
+    for i in 0..16 {{
+      H[t] += D[t][i];
+    }}
+  }}
+}}",
+            chunk = p.chunk,
+        ),
+        // Outer sequential loop shifting the written row each instance.
+        3 => format!(
+            "kernel outer {{
+  array A[{r}][{trip}]: f64;
+  array B[{r}][{trip}]: f64;
+  for r in 0..{r} {{
+    parallel for j in 0..{trip} schedule(static, {chunk}) {{
+      B[r][j] = A[r][j] * 0.5;
+    }}
+  }}
+}}",
+            r = (p.stride as u64).clamp(2, 4),
+            chunk = p.chunk,
+        ),
+        // Struct-field accumulators (linear-regression shape, 16 B elems).
+        4 => format!(
+            "kernel fields {{
+  array S[{trip}] of {{ a: f64, b: f64 }};
+  array P[{trip}][8] of {{ x: f64, y: f64 }};
+  parallel for j in 0..{trip} schedule(static, {chunk}) {{
+    for i in 0..8 {{
+      S[j].a += P[j][i].x;
+      S[j].b += P[j][i].y;
+    }}
+  }}
+}}",
+            chunk = p.chunk,
+        ),
+        // Full-line element spacing (8 doubles): always clean.
+        5 => format!(
+            "kernel spaced {{
+  array A[{n}]: f64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    A[8*i] = 1.0;
+  }}
+}}",
+            n = 8 * trip + 1,
+            chunk = p.chunk,
+        ),
+        // Negative stride: threads walk the array backwards.
+        6 => format!(
+            "kernel reversed {{
+  array B[{n}]: f64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    B[{last} - {s}*i] = 3.0;
+  }}
+}}",
+            n = s as u64 * (trip - 1) + 1,
+            last = s as u64 * (trip - 1),
+            chunk = p.chunk,
+        ),
+        _ => unreachable!("template out of range"),
+    }
+}
+
+/// Simulated FS cases at the paper machine on the reference path.
+fn oracle_cases(source: &str, threads: u32) -> u64 {
+    let kernel = fs_core::parse_kernel(source).expect("generated kernel parses");
+    let mut cfg = FsModelConfig::for_machine(&machines::paper48(), threads);
+    cfg.path = FsPath::Reference;
+    fs_core::run_fs_model(&kernel, &cfg).fs_cases
+}
+
+/// Check one point; Some(description) on divergence.
+fn divergence(p: Params) -> Option<String> {
+    let source = render(p);
+    let report = try_lint_dsl(&source, &machines::paper48(), p.threads)
+        .unwrap_or_else(|e| panic!("generated kernel rejected: {e}\n{source}"));
+    let cases = oracle_cases(&source, p.threads);
+    match report.result.verdict {
+        LintVerdict::FalseSharing if cases == 0 => Some(format!(
+            "lint says FalseSharing, simulator counted 0 ({p:?})"
+        )),
+        LintVerdict::Clean if cases > 0 => Some(format!(
+            "lint says Clean, simulator counted {cases} ({p:?})"
+        )),
+        LintVerdict::Unknown => Some(format!(
+            "generated kernel left the decidable fragment ({p:?})"
+        )),
+        _ => None,
+    }
+}
+
+/// Shrink a diverging point: smaller trip multiplier, then fewer threads,
+/// then smaller chunk — keeping the divergence alive at every step.
+fn minimize(mut p: Params) -> Params {
+    loop {
+        let mut shrunk = false;
+        for cand in [
+            Params { k: p.k - 1, ..p },
+            Params {
+                threads: p.threads - 1,
+                ..p
+            },
+            Params {
+                chunk: p.chunk / 2,
+                ..p
+            },
+            Params {
+                stride: p.stride - 1,
+                ..p
+            },
+        ] {
+            if cand.k >= 1
+                && cand.threads >= 2
+                && cand.chunk >= 1
+                && cand.stride >= 1
+                && divergence(cand).is_some()
+            {
+                p = cand;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return p;
+        }
+    }
+}
+
+/// Dump a `.loop` reproducer for a diverging point and return its path.
+fn dump_reproducer(p: Params) -> std::path::PathBuf {
+    let dir = option_env!("CARGO_TARGET_TMPDIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let path = dir.join(format!(
+        "lint_divergence_t{}_c{}_k{}_s{}_tpl{}.loop",
+        p.threads, p.chunk, p.k, p.stride, p.template
+    ));
+    std::fs::write(&path, render(p)).expect("write reproducer");
+    path
+}
+
+fn check_point(p: Params) {
+    if let Some(msg) = divergence(p) {
+        let small = minimize(p);
+        let path = dump_reproducer(small);
+        panic!(
+            "lint/simulator divergence: {msg}\nminimized to {small:?}\n\
+             reproducer: {} (run `fslint {}` vs `fsdetect {}`)",
+            path.display(),
+            path.display(),
+            path.display()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline differential property: >= 256 random (template,
+    /// threads, chunk, trip, stride) points, zero divergences.
+    #[test]
+    fn lint_verdicts_agree_with_reference_simulator(
+        template in 0usize..NUM_TEMPLATES,
+        threads in 2u32..=8,
+        chunk_pow in 0u32..4,
+        k in 1u64..=4,
+        stride in 1i64..=4,
+    ) {
+        check_point(Params {
+            template,
+            threads,
+            chunk: 1u64 << chunk_pow,
+            k,
+            stride,
+        });
+    }
+}
+
+#[test]
+fn divergence_harness_covers_every_template() {
+    // Deterministic sweep so each template is exercised at least once per
+    // run even if the random sampler clusters.
+    for template in 0..NUM_TEMPLATES {
+        for threads in [2u32, 8] {
+            for chunk in [1u64, 4] {
+                check_point(Params {
+                    template,
+                    threads,
+                    chunk,
+                    k: 2,
+                    stride: 2,
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn minimizer_shrinks_and_dumps() {
+    // Exercise the reproducer machinery itself on a synthetic "divergence"
+    // (any strided point at chunk 1 false-shares, so treat the FS verdict
+    // as the thing to reproduce): the dump must parse and round-trip.
+    let p = Params {
+        template: 0,
+        threads: 4,
+        chunk: 1,
+        k: 2,
+        stride: 1,
+    };
+    let path = dump_reproducer(p);
+    let src = std::fs::read_to_string(&path).unwrap();
+    let k = fs_core::parse_kernel(&src).unwrap();
+    assert_eq!(k.name, "strided");
+    std::fs::remove_file(&path).ok();
+}
