@@ -1,8 +1,14 @@
 //! Regenerate every table and figure of the paper in one run (the output
 //! recorded in EXPERIMENTS.md). Set `FS_QUICK=1` for a reduced thread
 //! sweep.
+//!
+//! Tables go to stdout; progress and per-binary wall time go to stderr
+//! (interleaved with each binary's own `sim.*` counter summary), so
+//! `all_experiments > EXPERIMENTS.out` captures clean tables while the
+//! terminal still shows where the time went.
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     // Keep each experiment in its own binary so they can be run (and
@@ -22,12 +28,25 @@ fn main() {
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for bin in bins {
+    let total = Instant::now();
+    for (i, bin) in bins.iter().enumerate() {
+        eprintln!("[{}/{}] {bin} ...", i + 1, bins.len());
         let path = dir.join(bin);
+        let t0 = Instant::now();
         let status = Command::new(&path)
             .status()
             .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
         assert!(status.success(), "{bin} failed");
+        eprintln!(
+            "[{}/{}] {bin} done in {:.2}s",
+            i + 1,
+            bins.len(),
+            t0.elapsed().as_secs_f64()
+        );
         println!();
     }
+    eprintln!(
+        "all experiments regenerated in {:.2}s",
+        total.elapsed().as_secs_f64()
+    );
 }

@@ -5,6 +5,7 @@
 use fs_bench::{measured_time_seconds, paper48, scale};
 
 fn main() {
+    fs_bench::enable_sim_counters();
     let machine = paper48();
     let threads = 8;
     println!("## Fig. 2: linear regression execution time vs chunk size ({threads} threads)");
@@ -16,4 +17,5 @@ fn main() {
         println!("{:>8} {:>14.6} {:>15.1}%", chunk, t, (t / b - 1.0) * 100.0);
     }
     println!("(expect a falling curve: larger chunks remove the false sharing)");
+    fs_bench::eprint_sim_summary("fig2_chunksize");
 }

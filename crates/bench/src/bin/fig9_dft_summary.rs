@@ -4,6 +4,7 @@
 use fs_bench::{fs_effect_table, paper48, prediction_table, scale, thread_counts_from_env};
 
 fn main() {
+    fs_bench::enable_sim_counters();
     let machine = paper48();
     let threads = thread_counts_from_env();
     let effect = fs_effect_table(scale::dft, scale::DFT_CHUNKS, &machine, &threads);
@@ -19,4 +20,5 @@ fn main() {
             e.threads, e.measured_pct, e.modeled_pct, p.pred_pct
         );
     }
+    fs_bench::eprint_sim_summary("fig9_dft_summary");
 }

@@ -4,6 +4,7 @@
 use fs_bench::{fs_effect_table, paper48, render_fs_effect, scale, thread_counts_from_env};
 
 fn main() {
+    fs_bench::enable_sim_counters();
     let machine = paper48();
     let rows = fs_effect_table(
         scale::dft,
@@ -18,4 +19,5 @@ fn main() {
             &rows
         )
     );
+    fs_bench::eprint_sim_summary("table2_dft");
 }

@@ -14,7 +14,7 @@ use cost_model::{machine_cost, modeled_fs_overhead, AnalysisOptions};
 use loop_ir::Kernel;
 use machine::MachineConfig;
 
-pub use cache_sim::{simulate_kernel, SimOptions};
+pub use cache_sim::{simulate_kernel, SimOptions, SimPath, SimPrepared};
 pub use loop_ir::kernels;
 pub use machine::presets::paper48;
 
@@ -55,9 +55,28 @@ pub mod scale {
 /// target machine. This is the reproduction's substitute for the paper's
 /// wall-clock columns.
 pub fn measured_time_seconds(kernel: &Kernel, machine: &MachineConfig, threads: u32) -> f64 {
+    let prepared = SimPrepared::new(kernel, machine.line_size());
+    measured_time_seconds_prepared(kernel, machine, threads, &prepared)
+}
+
+/// [`measured_time_seconds`] with the trace planning already done. The
+/// FS/no-FS halves of every table row differ only in chunk size, which is
+/// exactly the schedule-only variation [`SimPrepared`] permits, so one
+/// preparation serves the whole pair.
+pub fn measured_time_seconds_prepared(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    threads: u32,
+    prepared: &SimPrepared,
+) -> f64 {
     let compute = machine_cost(kernel, &machine.processor).cycles_per_iter;
-    let cycles =
-        cache_sim::simulated_time_cycles(kernel, machine, SimOptions::new(threads), compute);
+    let cycles = cache_sim::simulated_time_cycles_prepared(
+        kernel,
+        machine,
+        SimOptions::new(threads),
+        compute,
+        prepared,
+    );
     machine.cycles_to_seconds(cycles)
 }
 
@@ -76,30 +95,37 @@ pub struct FsEffectRow {
 }
 
 /// Build a Tables I-III comparison over `threads` for a kernel family.
+///
+/// Rows are independent (kernel × threads × chunk) points, so they are
+/// evaluated concurrently on the `fs-runtime` pool via
+/// [`fs_core::run_indexed`] — results come back in canonical `threads`
+/// order regardless of worker count (`FS_SIM_WORKERS` overrides the
+/// default of one worker per available core). Within a row, the FS and
+/// no-FS kernels differ only in chunk size, so the trace planning is done
+/// once and shared across the pair.
 pub fn fs_effect_table(
-    mk: impl Fn(u64, u32) -> Kernel,
+    mk: impl Fn(u64, u32) -> Kernel + Sync,
     chunks: (u64, u64),
     machine: &MachineConfig,
     threads: &[u32],
 ) -> Vec<FsEffectRow> {
     let (c_fs, c_nfs) = chunks;
-    threads
-        .iter()
-        .map(|&t| {
-            let k_fs = mk(c_fs, t);
-            let k_nfs = mk(c_nfs, t);
-            let t_fs = measured_time_seconds(&k_fs, machine, t);
-            let t_nfs = measured_time_seconds(&k_nfs, machine, t);
-            let modeled = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalysisOptions::new(t));
-            FsEffectRow {
-                threads: t,
-                t_fs,
-                t_nfs,
-                measured_pct: ((t_fs - t_nfs) / t_fs).max(0.0) * 100.0,
-                modeled_pct: modeled.fs_overhead_fraction * 100.0,
-            }
-        })
-        .collect()
+    fs_core::run_indexed(threads.len(), fs_core::sim_workers(), |i| {
+        let t = threads[i];
+        let k_fs = mk(c_fs, t);
+        let k_nfs = mk(c_nfs, t);
+        let prepared = SimPrepared::new(&k_fs, machine.line_size());
+        let t_fs = measured_time_seconds_prepared(&k_fs, machine, t, &prepared);
+        let t_nfs = measured_time_seconds_prepared(&k_nfs, machine, t, &prepared);
+        let modeled = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalysisOptions::new(t));
+        FsEffectRow {
+            threads: t,
+            t_fs,
+            t_nfs,
+            measured_pct: ((t_fs - t_nfs) / t_fs).max(0.0) * 100.0,
+            modeled_pct: modeled.fs_overhead_fraction * 100.0,
+        }
+    })
 }
 
 /// One row of a Tables IV-VI style prediction comparison.
@@ -132,58 +158,58 @@ pub fn sample_runs(kernel: &Kernel, threads: u32, nominal: u64) -> u64 {
     }
 }
 
-/// Build a Tables IV-VI comparison.
+/// Build a Tables IV-VI comparison. Rows are model-side only (no simulator
+/// replay) but still independent, so they run on the pool like
+/// [`fs_effect_table`] rows, with the same deterministic ordering.
 pub fn prediction_table(
-    mk: impl Fn(u64, u32) -> Kernel,
+    mk: impl Fn(u64, u32) -> Kernel + Sync,
     chunks: (u64, u64),
     machine: &MachineConfig,
     threads: &[u32],
     nominal_runs: u64,
 ) -> Vec<PredictionRow> {
     let (c_fs, c_nfs) = chunks;
-    threads
-        .iter()
-        .map(|&t| {
-            let k_fs = mk(c_fs, t);
-            let k_nfs = mk(c_nfs, t);
-            let runs_fs = sample_runs(&k_fs, t, nominal_runs);
-            let runs_nfs = sample_runs(&k_nfs, t, nominal_runs);
+    fs_core::run_indexed(threads.len(), fs_core::sim_workers(), |i| {
+        let t = threads[i];
+        let k_fs = mk(c_fs, t);
+        let k_nfs = mk(c_nfs, t);
+        let runs_fs = sample_runs(&k_fs, t, nominal_runs);
+        let runs_nfs = sample_runs(&k_nfs, t, nominal_runs);
 
-            let full = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalysisOptions::new(t));
-            let mut popts = AnalysisOptions::new(t);
-            popts.predict_chunk_runs = Some(runs_fs);
-            let pred_fs_loop = cost_model::analyze_loop(&k_fs, machine, &popts);
-            popts.predict_chunk_runs = Some(runs_nfs);
-            let pred_nfs_loop = cost_model::analyze_loop(&k_nfs, machine, &popts);
+        let full = modeled_fs_overhead(&k_fs, &k_nfs, machine, &AnalysisOptions::new(t));
+        let mut popts = AnalysisOptions::new(t);
+        popts.predict_chunk_runs = Some(runs_fs);
+        let pred_fs_loop = cost_model::analyze_loop(&k_fs, machine, &popts);
+        popts.predict_chunk_runs = Some(runs_nfs);
+        let pred_nfs_loop = cost_model::analyze_loop(&k_nfs, machine, &popts);
 
-            let cfg = cost_model::FsModelConfig::for_machine(machine, t);
-            let pred_fs = cost_model::predict_fs(&k_fs, &cfg, runs_fs)
-                .map(|p| p.predicted_cases)
-                .unwrap_or(full.fs_loop.fs.fs_cases as f64);
-            let pred_nfs = cost_model::predict_fs(&k_nfs, &cfg, runs_nfs)
-                .map(|p| p.predicted_cases)
-                .unwrap_or(full.nfs_loop.fs.fs_cases as f64);
+        let cfg = cost_model::FsModelConfig::for_machine(machine, t);
+        let pred_fs = cost_model::predict_fs(&k_fs, &cfg, runs_fs)
+            .map(|p| p.predicted_cases)
+            .unwrap_or(full.fs_loop.fs.fs_cases as f64);
+        let pred_nfs = cost_model::predict_fs(&k_nfs, &cfg, runs_nfs)
+            .map(|p| p.predicted_cases)
+            .unwrap_or(full.nfs_loop.fs.fs_cases as f64);
 
-            let pred_pct = if pred_fs_loop.total_cycles > 0.0 {
-                ((pred_fs_loop.fs_cycles - pred_nfs_loop.fs_cycles).max(0.0)
-                    / pred_fs_loop.total_cycles)
-                    * 100.0
-            } else {
-                0.0
-            };
+        let pred_pct = if pred_fs_loop.total_cycles > 0.0 {
+            ((pred_fs_loop.fs_cycles - pred_nfs_loop.fs_cycles).max(0.0)
+                / pred_fs_loop.total_cycles)
+                * 100.0
+        } else {
+            0.0
+        };
 
-            PredictionRow {
-                threads: t,
-                pred_fs_cases: pred_fs,
-                pred_nfs_cases: pred_nfs,
-                pred_pct,
-                modeled_fs_cases: full.fs_loop.fs.fs_cases,
-                modeled_nfs_cases: full.nfs_loop.fs.fs_cases,
-                modeled_pct: full.fs_overhead_fraction * 100.0,
-                sample_runs: runs_fs,
-            }
-        })
-        .collect()
+        PredictionRow {
+            threads: t,
+            pred_fs_cases: pred_fs,
+            pred_nfs_cases: pred_nfs,
+            pred_pct,
+            modeled_fs_cases: full.fs_loop.fs.fs_cases,
+            modeled_nfs_cases: full.nfs_loop.fs.fs_cases,
+            modeled_pct: full.fs_overhead_fraction * 100.0,
+            sample_runs: runs_fs,
+        }
+    })
 }
 
 /// Render a Tables I-III style table.
@@ -248,6 +274,43 @@ pub fn json_number(doc: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Turn on `fs-obs` counters for an experiment binary. Spans stay off:
+/// the tables only need the `sim.*` totals, and counters are the cheap
+/// half of the registry (atomic adds, no event sink).
+pub fn enable_sim_counters() {
+    let mut cfg = fs_core::obs::config();
+    cfg.counters = true;
+    fs_core::obs::configure(cfg);
+}
+
+/// One-line summary of the process's `sim.*` counters (see
+/// `docs/OBSERVABILITY.md` for the taxonomy).
+pub fn sim_summary() -> String {
+    let snap = fs_core::obs::snapshot();
+    format!(
+        "sim: {} replays ({} dense, {} reference, {} fallbacks), {} points on {} workers, \
+         {} accesses, {} coherence misses ({} FS, {} TS)",
+        snap.counter("sim.replays"),
+        snap.counter("sim.dispatch_dense"),
+        snap.counter("sim.dispatch_reference"),
+        snap.counter("sim.dense_limit_fallbacks"),
+        snap.counter("sim.points_evaluated"),
+        snap.gauge("sim.workers").max(1),
+        snap.counter("sim.accesses"),
+        snap.counter("sim.coherence_misses"),
+        snap.counter("sim.false_sharing"),
+        snap.counter("sim.true_sharing"),
+    )
+}
+
+/// Print [`sim_summary`] to stderr, tagged with the experiment name. The
+/// per-table binaries call this on exit so `all_experiments` progress
+/// output interleaves simulator totals with its own timing lines (stderr,
+/// so piping the tables to a file stays clean).
+pub fn eprint_sim_summary(label: &str) {
+    eprintln!("[{label}] {}", sim_summary());
+}
+
 /// Smaller thread sweep for quick checks (`FS_QUICK=1`).
 pub fn thread_counts_from_env() -> Vec<u32> {
     if std::env::var("FS_QUICK").is_ok() {
@@ -287,6 +350,20 @@ mod tests {
             assert!(r.measured_pct > 0.0);
             assert!(r.modeled_pct > 0.0);
         }
+    }
+
+    #[test]
+    fn sim_summary_reports_replays() {
+        enable_sim_counters();
+        let m = paper48();
+        let prepared = SimPrepared::new(&kernels::stencil1d(130, 1), m.line_size());
+        let t = measured_time_seconds_prepared(&kernels::stencil1d(130, 1), &m, 2, &prepared);
+        assert!(t > 0.0);
+        let s = sim_summary();
+        assert!(
+            s.contains("replays") && s.contains("coherence misses"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! * [`mesi`] — private L1/L2 per core, optional shared last level per
 //!   cluster, full-map directory, per-byte dirty masks for classifying
 //!   coherence misses into **true** vs **false** sharing.
-//! * [`sim`] — one-call kernel simulation ([`sim::simulate_kernel`]).
+//! * [`dense`] — the optimized replay engine: same MESI protocol over a
+//!   line-interned dense directory and [`lru::DenseSetLru`] caches.
+//! * [`sim`] — one-call kernel simulation ([`sim::simulate_kernel`]) with
+//!   the [`sim::SimPath`] reference/optimized dispatcher.
 //! * [`stats`] — per-thread and aggregate counters.
 
+pub mod dense;
 pub mod lru;
 pub mod mesi;
 pub mod prefetch;
@@ -25,11 +29,15 @@ pub mod stats;
 pub mod trace;
 pub mod trace_io;
 
-pub use lru::{LruCache, ReuseDistanceProfiler};
+pub use dense::DenseMultiCoreSim;
+pub use lru::{DenseSetLru, LruCache, ReuseDistanceProfiler};
 pub use mesi::MultiCoreSim;
 pub use prefetch::StreamPrefetcher;
 pub use sharing::{LineClass, LineRecord, SharingAnalysis};
-pub use sim::{simulate_kernel, simulated_time_cycles, SimOptions};
+pub use sim::{
+    simulate_kernel, simulate_kernel_prepared, simulated_time_cycles,
+    simulated_time_cycles_prepared, SimOptions, SimPath, SimPrepared,
+};
 pub use stats::{SimStats, ThreadStats};
 pub use trace::{Interleave, MemAccess, TraceGen};
 pub use trace_io::{dump_kernel_trace, read_trace, write_trace, Trace, TraceReadError};

@@ -407,6 +407,22 @@ impl<V: Default> DenseSetLru<V> {
         self.lens[set] += 1;
         evicted
     }
+
+    /// Remove a specific key, returning its value — the dense counterpart
+    /// of [`LruCache::remove`] (the MESI simulator invalidates lines on
+    /// upgrades and inclusive evictions).
+    pub fn remove(&mut self, key: u32) -> Option<V> {
+        let slot = *self.index.get(key as usize)?;
+        if slot == NIL {
+            return None;
+        }
+        self.detach(slot);
+        let set = self.nodes[slot as usize].set as usize;
+        self.index[key as usize] = NIL;
+        self.free.push(slot);
+        self.lens[set] -= 1;
+        Some(std::mem::take(&mut self.nodes[slot as usize].value))
+    }
 }
 
 /// Records the reuse (stack) distance of every access over an *unbounded*
@@ -620,6 +636,13 @@ mod tests {
                 }
                 1 => {
                     assert_eq!(dense.touch(key), refs[set].touch(&key), "touch {key} @ {i}");
+                }
+                2 => {
+                    assert_eq!(
+                        dense.remove(key),
+                        refs[set].remove(&key),
+                        "remove {key} @ {i}"
+                    );
                 }
                 _ => {
                     let ev_d = dense.insert(set, key, i);

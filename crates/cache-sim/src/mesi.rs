@@ -19,7 +19,7 @@ use crate::prefetch::StreamPrefetcher;
 use crate::stats::SimStats;
 use machine::cache::{CacheHierarchy, CacheLevel};
 use machine::{CoherenceParams, MachineConfig};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Global MESI state of one line across all private caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,7 +126,7 @@ pub struct MultiCoreSim {
     coherence: CoherenceParams,
     dir: HashMap<u64, GlobalState>,
     /// Lines ever brought in from memory, for cold-miss classification.
-    seen: HashMap<u64, ()>,
+    seen: HashSet<u64>,
     stats: SimStats,
     /// Per-core stride prefetchers (None when disabled).
     prefetchers: Option<Vec<StreamPrefetcher>>,
@@ -171,7 +171,7 @@ impl MultiCoreSim {
             memory_latency: h.memory_latency,
             coherence: machine.coherence,
             dir: HashMap::new(),
-            seen: HashMap::new(),
+            seen: HashSet::new(),
             stats: SimStats::new(num_threads),
             prefetchers: None,
             pf_buf: Vec::new(),
@@ -576,14 +576,14 @@ impl MultiCoreSim {
     /// Probe the cluster's shared level (filling it on a memory fetch).
     fn fetch_from_shared_or_memory(&mut self, thread: u32, line: u64) -> MissSource {
         if self.shared.is_empty() {
-            let cold = self.seen.insert(line, ()).is_none();
+            let cold = self.seen.insert(line);
             return MissSource::Memory { cold };
         }
         let cl = self.cluster_of(thread);
         if self.shared[cl].probe(line) {
             MissSource::SharedLevel
         } else {
-            let cold = self.seen.insert(line, ()).is_none();
+            let cold = self.seen.insert(line);
             self.shared[cl].insert(line);
             MissSource::Memory { cold }
         }

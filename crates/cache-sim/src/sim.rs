@@ -1,11 +1,35 @@
 //! Kernel-level simulation driver: trace a kernel and replay it through the
 //! MESI simulator.
+//!
+//! [`simulate_kernel`] dispatches between two implementations:
+//!
+//! * [`SimPath::Reference`] — the original per-access closure over
+//!   [`MultiCoreSim`] with its hash-map directory, kept as the oracle.
+//! * [`SimPath::Optimized`] (default) — batched block replay
+//!   ([`TraceGen::for_each_interleaved_blocks`]) through the dense-table
+//!   [`crate::dense::DenseMultiCoreSim`].
+//!
+//! Both produce bit-identical [`SimStats`] (differential tests in
+//! `tests/sim_path_equivalence.rs` and the `sim_bench` correctness gate);
+//! kernels whose footprint exceeds the dense sizing limit silently fall
+//! back to the reference path.
 
+use crate::dense::{DenseMultiCoreSim, DENSE_LINE_LIMIT};
 use crate::mesi::MultiCoreSim;
 use crate::stats::SimStats;
 use crate::trace::{Interleave, TraceGen};
-use loop_ir::Kernel;
+use loop_ir::stream::CompiledPlan;
+use loop_ir::{AccessPlan, Kernel};
 use machine::MachineConfig;
+
+/// Which replay implementation [`simulate_kernel`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPath {
+    /// Hash-map directory, per-access closure. The oracle.
+    Reference,
+    /// Dense directory + batched block replay. Stats-identical, faster.
+    Optimized,
+}
 
 /// Options for [`simulate_kernel`].
 #[derive(Debug, Clone, Copy)]
@@ -16,6 +40,8 @@ pub struct SimOptions {
     /// testbed has one, and without it streaming locality misses drown the
     /// coherence effects being measured).
     pub prefetch: bool,
+    /// Replay implementation; [`SimPath::Optimized`] by default.
+    pub path: SimPath,
 }
 
 impl SimOptions {
@@ -24,12 +50,74 @@ impl SimOptions {
             num_threads,
             interleave: Interleave::PerIteration,
             prefetch: true,
+            path: SimPath::Optimized,
         }
     }
 
     pub fn without_prefetch(mut self) -> Self {
         self.prefetch = false;
         self
+    }
+
+    pub fn with_path(mut self, path: SimPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    pub fn with_interleave(mut self, interleave: Interleave) -> Self {
+        self.interleave = interleave;
+        self
+    }
+}
+
+/// Trace-planning work hoisted out of the replay: access plan, array base
+/// layout, the strength-reduced address streams, and the footprint bound
+/// that sizes the dense tables.
+///
+/// The benches replay the *same* kernel shape many times (FS vs no-FS chunk
+/// of one kernel, repeated timings); sharing a `SimPrepared` across those
+/// replays skips re-planning. A kernel passed to
+/// [`simulate_kernel_prepared`] may differ from the prepared kernel only in
+/// its schedule (chunk size): the plan, bases and streams depend on arrays
+/// and subscripts, not on the schedule.
+#[derive(Debug, Clone)]
+pub struct SimPrepared {
+    plan: AccessPlan,
+    bases: Vec<u64>,
+    cplan: CompiledPlan,
+    footprint_lines: u64,
+}
+
+impl SimPrepared {
+    pub fn new(kernel: &Kernel, line_size: u64) -> Self {
+        let plan = kernel.access_plan();
+        let bases = kernel.array_bases(line_size);
+        let cplan = plan.compile(kernel.vars.len(), &bases);
+        let footprint_lines = footprint_lines(kernel, &bases, line_size);
+        SimPrepared {
+            plan,
+            bases,
+            cplan,
+            footprint_lines,
+        }
+    }
+
+    /// Cache lines spanned by the kernel's arrays under the aligned base
+    /// layout (the dense id range of the optimized path).
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint_lines
+    }
+}
+
+/// Lines spanned by `[0, last_base + last_array_size)` — the same formula
+/// as the FS model's `footprint::line_footprint` (cost-model depends on
+/// this crate, so the three-line computation is duplicated here rather than
+/// inverting the dependency).
+fn footprint_lines(kernel: &Kernel, bases: &[u64], line_size: u64) -> u64 {
+    let line_size = line_size.max(1);
+    match (bases.last(), kernel.arrays.last()) {
+        (Some(&base), Some(decl)) => (base + decl.size_bytes().max(1)).div_ceil(line_size),
+        _ => 0,
     }
 }
 
@@ -39,15 +127,62 @@ impl SimOptions {
 /// paper's 48-core machine: the returned [`SimStats`] carry per-thread cycle
 /// counts whose chunk-size sensitivity is the "measured FS effect".
 pub fn simulate_kernel(kernel: &Kernel, machine: &MachineConfig, opts: SimOptions) -> SimStats {
-    let gen = TraceGen::new(kernel, opts.num_threads, machine.line_size());
-    let mut sim = MultiCoreSim::new(machine, opts.num_threads);
-    if opts.prefetch {
-        sim = sim.with_prefetchers();
+    let prepared = SimPrepared::new(kernel, machine.line_size());
+    simulate_kernel_prepared(kernel, machine, opts, &prepared)
+}
+
+/// [`simulate_kernel`] with the planning work already done (see
+/// [`SimPrepared`] for the kernel-compatibility contract).
+pub fn simulate_kernel_prepared(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: SimOptions,
+    prepared: &SimPrepared,
+) -> SimStats {
+    let _span = fs_obs::span("sim.replay");
+    let gen = TraceGen::from_parts(
+        kernel,
+        prepared.plan.clone(),
+        prepared.bases.clone(),
+        opts.num_threads,
+    );
+    let use_dense = opts.path == SimPath::Optimized
+        && prepared.footprint_lines <= DENSE_LINE_LIMIT
+        && opts.num_threads <= 64;
+    let stats = if use_dense {
+        fs_obs::counters::SIM_DISPATCH_DENSE.inc();
+        let mut sim = DenseMultiCoreSim::new(machine, opts.num_threads, prepared.footprint_lines);
+        if opts.prefetch {
+            sim = sim.with_prefetchers();
+        }
+        gen.for_each_interleaved_blocks(opts.interleave, &prepared.cplan, |block| {
+            sim.replay(block)
+        });
+        sim.into_stats()
+    } else {
+        if opts.path == SimPath::Optimized {
+            fs_obs::counters::SIM_DENSE_FALLBACKS.inc();
+        }
+        fs_obs::counters::SIM_DISPATCH_REFERENCE.inc();
+        let mut sim = MultiCoreSim::new(machine, opts.num_threads);
+        if opts.prefetch {
+            sim = sim.with_prefetchers();
+        }
+        gen.for_each_interleaved(opts.interleave, |a| {
+            sim.access(a.thread, a.addr, a.size, a.is_write);
+        });
+        sim.into_stats()
+    };
+    fs_obs::counters::SIM_REPLAYS.inc();
+    if fs_obs::counters_enabled() {
+        // Phase-grained (once per replay, never per access): sum the
+        // already-aggregated stats into the process counters.
+        fs_obs::counters::SIM_ACCESSES.add(stats.total_accesses());
+        fs_obs::counters::SIM_COHERENCE_MISSES.add(stats.total_coherence_misses());
+        fs_obs::counters::SIM_FALSE_SHARING.add(stats.total_false_sharing());
+        fs_obs::counters::SIM_TRUE_SHARING.add(stats.total_true_sharing());
     }
-    gen.for_each_interleaved(opts.interleave, |a| {
-        sim.access(a.thread, a.addr, a.size, a.is_write);
-    });
-    sim.into_stats()
+    stats
 }
 
 /// Convenience: simulated execution-time estimate in cycles for the kernel,
@@ -59,7 +194,19 @@ pub fn simulated_time_cycles(
     opts: SimOptions,
     compute_cycles_per_iter: f64,
 ) -> f64 {
-    let stats = simulate_kernel(kernel, machine, opts);
+    let prepared = SimPrepared::new(kernel, machine.line_size());
+    simulated_time_cycles_prepared(kernel, machine, opts, compute_cycles_per_iter, &prepared)
+}
+
+/// [`simulated_time_cycles`] with the planning work already done.
+pub fn simulated_time_cycles_prepared(
+    kernel: &Kernel,
+    machine: &MachineConfig,
+    opts: SimOptions,
+    compute_cycles_per_iter: f64,
+    prepared: &SimPrepared,
+) -> f64 {
+    let stats = simulate_kernel_prepared(kernel, machine, opts, prepared);
     let per_thread_iters = kernel
         .nest
         .total_iterations()
@@ -121,5 +268,74 @@ mod tests {
         let t1 = simulated_time_cycles(&k, &m, SimOptions::new(4), 10.0);
         assert!(t1 > t0);
         assert!((t1 - t0 - 10.0 * 128.0 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paths_agree_on_representative_kernels() {
+        // The proptest oracle lives in tests/sim_path_equivalence.rs; this
+        // is the fast in-crate smoke check over both interleave extremes.
+        let m = presets::paper48();
+        for k in [
+            kernels::transpose(32, 32, 1),
+            kernels::heat_diffusion(18, 18, 2),
+            kernels::dotprod_partials(4, 64, false),
+        ] {
+            for interleave in [
+                Interleave::PerIteration,
+                Interleave::PerChunk,
+                Interleave::PerIterationSkewed,
+            ] {
+                for prefetch in [false, true] {
+                    let mut opts = SimOptions::new(4).with_interleave(interleave);
+                    opts.prefetch = prefetch;
+                    let optimized = simulate_kernel(&k, &m, opts.with_path(SimPath::Optimized));
+                    let reference = simulate_kernel(&k, &m, opts.with_path(SimPath::Reference));
+                    assert_eq!(
+                        optimized, reference,
+                        "kernel={} interleave={interleave:?} prefetch={prefetch}",
+                        k.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_across_schedules() {
+        let m = presets::paper48();
+        // Prepare once at chunk=1, replay a chunk=8 variant: plan/bases are
+        // schedule-independent, so the contract allows this.
+        let prepared = SimPrepared::new(&kernels::transpose(64, 64, 1), m.line_size());
+        let k8 = kernels::transpose(64, 64, 8);
+        let opts = SimOptions::new(8);
+        assert_eq!(
+            simulate_kernel_prepared(&k8, &m, opts, &prepared),
+            simulate_kernel(&k8, &m, opts)
+        );
+    }
+
+    #[test]
+    fn oversized_footprint_falls_back_to_reference() {
+        // A footprint past DENSE_LINE_LIMIT must still simulate (on the
+        // reference path) and agree on both requested paths. The kernel
+        // touches a huge array sparsely: big footprint, few accesses.
+        use loop_ir::{ArrayRef, Expr, KernelBuilder, ScalarType, Schedule, Stmt};
+        let m = presets::tiny_test();
+        let stride = 1 << 19;
+        let mut b = KernelBuilder::new("sparse_touch");
+        let i = b.loop_var("i");
+        let a = b.array("A", &[64 * stride as u64], ScalarType::F64);
+        b.parallel_for(i, 0, 64, Schedule::Static { chunk: 1 });
+        b.stmt(Stmt::assign(
+            ArrayRef::write(a, vec![b.idx(i) * stride]),
+            Expr::num(1.0),
+        ));
+        let k = b.build();
+        let prepared = SimPrepared::new(&k, m.line_size());
+        assert!(prepared.footprint_lines() > DENSE_LINE_LIMIT);
+        let opts = SimOptions::new(2);
+        let optimized = simulate_kernel(&k, &m, opts.with_path(SimPath::Optimized));
+        let reference = simulate_kernel(&k, &m, opts.with_path(SimPath::Reference));
+        assert_eq!(optimized, reference);
     }
 }

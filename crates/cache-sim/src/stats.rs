@@ -42,7 +42,12 @@ impl ThreadStats {
 }
 
 /// Aggregated statistics of a multi-core simulation.
-#[derive(Debug, Clone, Default)]
+///
+/// Implements `PartialEq`/`Eq` field-for-field: the differential tests
+/// between [`crate::sim::SimPath::Reference`] and
+/// [`crate::sim::SimPath::Optimized`] assert whole-struct equality,
+/// including per-line FS attribution and per-thread cycle counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     pub per_thread: Vec<ThreadStats>,
     /// False-sharing misses per cache line, for victim identification.

@@ -7,8 +7,14 @@
 //! round-robin approximates the lockstep progress of threads doing equal
 //! work (the regime in which false sharing is worst).
 
+use loop_ir::stream::{CompiledPlan, StreamCursor};
 use loop_ir::walk::{LockstepWalker, ThreadWalker};
 use loop_ir::{AccessPlan, Kernel};
+
+/// Accesses per block handed to the sink by
+/// [`TraceGen::for_each_interleaved_blocks`]. Large enough to amortize the
+/// callback, small enough to stay in L1/L2 of the *host*.
+const BLOCK_ACCESSES: usize = 4096;
 
 /// One memory access of one thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +61,32 @@ impl<'k> TraceGen<'k> {
         }
     }
 
+    /// Build from a precomputed plan and base layout (see
+    /// [`crate::sim::SimPrepared`]): sharing one `AccessPlan`/`bases` pair
+    /// across many replays of the same kernel shape skips the per-replay
+    /// planning work.
+    pub fn from_parts(
+        kernel: &'k Kernel,
+        plan: AccessPlan,
+        bases: Vec<u64>,
+        num_threads: u32,
+    ) -> Self {
+        TraceGen {
+            kernel,
+            plan,
+            bases,
+            num_threads,
+        }
+    }
+
     pub fn plan(&self) -> &AccessPlan {
         &self.plan
+    }
+
+    /// Compile the plan's affine subscripts into a strength-reduced
+    /// [`CompiledPlan`] for use with [`Self::for_each_interleaved_blocks`].
+    pub fn compile_plan(&self) -> CompiledPlan {
+        self.plan.compile(self.kernel.vars.len(), &self.bases)
     }
 
     pub fn bases(&self) -> &[u64] {
@@ -162,6 +192,130 @@ impl<'k> TraceGen<'k> {
         }
     }
 
+    /// Stream the merged trace under `policy` in contiguous blocks whose
+    /// concatenation is bit-identical to the access sequence of
+    /// [`Self::for_each_interleaved`].
+    ///
+    /// This is the optimized-path generator: addresses come from the
+    /// strength-reduced [`StreamCursor`]s (no per-access affine subscript
+    /// re-evaluation), and the sink is invoked once per ~[`BLOCK_ACCESSES`]
+    /// accesses instead of once per access. The per-chunk policy streams
+    /// segments directly from the walkers instead of materializing every
+    /// thread's full trace.
+    pub fn for_each_interleaved_blocks(
+        &self,
+        policy: Interleave,
+        cplan: &CompiledPlan,
+        mut f: impl FnMut(&[MemAccess]),
+    ) {
+        let n = self.num_threads as usize;
+        let pa = self.plan.len();
+        // Per-access shape is iteration-invariant; only addresses change.
+        let shape: Vec<(u32, bool)> = self
+            .plan
+            .accesses
+            .iter()
+            .map(|a| (a.size, a.is_write))
+            .collect();
+        let mut block: Vec<MemAccess> = Vec::with_capacity(BLOCK_ACCESSES + n * pa);
+        match policy {
+            Interleave::PerIteration | Interleave::PerIterationSkewed => {
+                let skew = matches!(policy, Interleave::PerIterationSkewed);
+                let mut ls = LockstepWalker::new(self.kernel, self.num_threads as u64);
+                let mut cursors: Vec<StreamCursor> =
+                    (0..n).map(|_| StreamCursor::new(cplan)).collect();
+                // One flat buffer per round: each live thread owns a
+                // `pa`-access segment; `seg_at[t]` is its offset (or MAX
+                // when the thread has finished).
+                let mut round_buf: Vec<MemAccess> = Vec::with_capacity(n * pa);
+                let mut seg_at: Vec<usize> = vec![usize::MAX; n];
+                let mut round: usize = 0;
+                loop {
+                    round_buf.clear();
+                    seg_at.iter_mut().for_each(|s| *s = usize::MAX);
+                    let more = ls.step_streams(cplan, &mut cursors, |t, _env, addrs| {
+                        seg_at[t] = round_buf.len();
+                        for (k, &addr) in addrs.iter().enumerate() {
+                            let (size, is_write) = shape[k];
+                            round_buf.push(MemAccess {
+                                thread: t as u32,
+                                addr: addr as u64,
+                                size,
+                                is_write,
+                            });
+                        }
+                    });
+                    if !more {
+                        break;
+                    }
+                    let start = if skew { round % n } else { 0 };
+                    for k in 0..n {
+                        let at = seg_at[(start + k) % n];
+                        if at != usize::MAX {
+                            block.extend_from_slice(&round_buf[at..at + pa]);
+                        }
+                    }
+                    if block.len() >= BLOCK_ACCESSES {
+                        f(&block);
+                        block.clear();
+                    }
+                    round += 1;
+                }
+            }
+            Interleave::PerChunk => {
+                // Same rotation as the reference (each thread emits
+                // `chunk * inner_iters` iterations per turn), but streamed:
+                // per-thread walkers + cursors, no materialized traces.
+                let chunk = self.kernel.nest.parallel.schedule.chunk();
+                let inner = self
+                    .kernel
+                    .nest
+                    .inner_iters_per_parallel_iter()
+                    .unwrap_or(1)
+                    .max(1);
+                let seg_iters = (chunk * inner).max(1);
+                let mut walkers: Vec<ThreadWalker> = (0..self.num_threads)
+                    .map(|t| ThreadWalker::new(self.kernel, self.num_threads as u64, t as u64))
+                    .collect();
+                let mut cursors: Vec<StreamCursor> =
+                    (0..n).map(|_| StreamCursor::new(cplan)).collect();
+                loop {
+                    let mut any = false;
+                    for t in 0..n {
+                        let walker = &mut walkers[t];
+                        let cursor = &mut cursors[t];
+                        let mut it = 0u64;
+                        while it < seg_iters {
+                            let Some(env) = walker.next_env() else { break };
+                            let addrs = cursor.advance(cplan, env);
+                            for (k, &addr) in addrs.iter().enumerate() {
+                                let (size, is_write) = shape[k];
+                                block.push(MemAccess {
+                                    thread: t as u32,
+                                    addr: addr as u64,
+                                    size,
+                                    is_write,
+                                });
+                            }
+                            it += 1;
+                            any = true;
+                        }
+                        if block.len() >= BLOCK_ACCESSES {
+                            f(&block);
+                            block.clear();
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+            }
+        }
+        if !block.is_empty() {
+            f(&block);
+        }
+    }
+
     /// Collect the merged trace into a vector (tests / small kernels).
     pub fn interleaved(&self, policy: Interleave) -> Vec<MemAccess> {
         let mut v = Vec::new();
@@ -264,6 +418,51 @@ mod tests {
         a.sort_by_key(key);
         b.sort_by_key(key);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_generation_is_bit_identical_to_per_access() {
+        // The optimized generator must reproduce the reference sequence
+        // exactly — order included — for every policy, thread count, and
+        // ragged iteration split (66-2 interior points over 4 threads).
+        for k in [
+            kernels::stencil1d(66, 1),
+            kernels::stencil1d(66, 8),
+            kernels::heat_diffusion(10, 10, 2),
+            kernels::linear_regression(8, 6, 1),
+        ] {
+            for threads in [1u32, 2, 3, 4] {
+                let gen = TraceGen::new(&k, threads, 64);
+                let cplan = gen.compile_plan();
+                for policy in [
+                    Interleave::PerIteration,
+                    Interleave::PerChunk,
+                    Interleave::PerIterationSkewed,
+                ] {
+                    let reference = gen.interleaved(policy);
+                    let mut blocks: Vec<MemAccess> = Vec::new();
+                    gen.for_each_interleaved_blocks(policy, &cplan, |b| {
+                        blocks.extend_from_slice(b)
+                    });
+                    assert_eq!(
+                        blocks, reference,
+                        "kernel={} threads={threads} policy={policy:?}",
+                        k.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_matches_new() {
+        let k = kernels::stencil1d(66, 1);
+        let direct = TraceGen::new(&k, 2, 64);
+        let parts = TraceGen::from_parts(&k, k.access_plan(), k.array_bases(64), 2);
+        assert_eq!(
+            direct.interleaved(Interleave::PerIteration),
+            parts.interleaved(Interleave::PerIteration)
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod error;
 pub mod json;
 pub mod lint;
 pub mod report;
+pub mod simharness;
 pub mod sweep;
 pub mod transform;
 
@@ -48,6 +49,7 @@ pub use error::AnalysisError;
 pub use json::JsonValue;
 pub use lint::{sarif_document, LintReport, VerifiedFix, LINT_RULES};
 pub use report::{AnalysisReport, HotLine, VictimArray};
+pub use simharness::{run_indexed, sim_workers};
 pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome, SweepRunStats};
 pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
 
@@ -88,8 +90,9 @@ pub mod machines {
 /// Simulation entry points (the "measured" side of experiments).
 pub mod simulation {
     pub use cache_sim::{
-        simulate_kernel, simulated_time_cycles, Interleave, LineClass, SharingAnalysis, SimOptions,
-        SimStats,
+        simulate_kernel, simulate_kernel_prepared, simulated_time_cycles,
+        simulated_time_cycles_prepared, Interleave, LineClass, SharingAnalysis, SimOptions,
+        SimPath, SimPrepared, SimStats,
     };
 }
 

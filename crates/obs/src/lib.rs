@@ -237,8 +237,27 @@ pub mod counters {
     pub static STREAM_PLANS_COMPILED: Counter = Counter::new("stream.plans_compiled");
     /// §III-E linear-regression predictor fits.
     pub static PREDICT_FITS: Counter = Counter::new("predict.fits");
+    /// Full trace replays through the MESI simulator (either path).
+    pub static SIM_REPLAYS: Counter = Counter::new("sim.replays");
+    /// Line-granular accesses simulated, summed over replays.
+    pub static SIM_ACCESSES: Counter = Counter::new("sim.accesses");
+    /// Coherence misses (remote-dirty transfers), summed over replays.
+    pub static SIM_COHERENCE_MISSES: Counter = Counter::new("sim.coherence_misses");
+    /// Coherence misses classified as false sharing, summed over replays.
+    pub static SIM_FALSE_SHARING: Counter = Counter::new("sim.false_sharing");
+    /// Coherence misses classified as true sharing, summed over replays.
+    pub static SIM_TRUE_SHARING: Counter = Counter::new("sim.true_sharing");
+    /// Replays dispatched to the dense (optimized) simulator.
+    pub static SIM_DISPATCH_DENSE: Counter = Counter::new("sim.dispatch_dense");
+    /// Replays dispatched to the reference hash-map simulator.
+    pub static SIM_DISPATCH_REFERENCE: Counter = Counter::new("sim.dispatch_reference");
+    /// Optimized-path requests that fell back to the reference simulator
+    /// because the kernel footprint exceeded the dense line limit.
+    pub static SIM_DENSE_FALLBACKS: Counter = Counter::new("sim.dense_limit_fallbacks");
+    /// Experiment points evaluated by the parallel measured-side harness.
+    pub static SIM_POINTS: Counter = Counter::new("sim.points_evaluated");
 
-    pub(super) static ALL: [&Counter; 15] = [
+    pub(super) static ALL: [&Counter; 24] = [
         &SWEEP_MEMO_HITS,
         &SWEEP_MEMO_MISSES,
         &SWEEP_POINTS,
@@ -254,6 +273,15 @@ pub mod counters {
         &FS_DENSE_FALLBACKS,
         &STREAM_PLANS_COMPILED,
         &PREDICT_FITS,
+        &SIM_REPLAYS,
+        &SIM_ACCESSES,
+        &SIM_COHERENCE_MISSES,
+        &SIM_FALSE_SHARING,
+        &SIM_TRUE_SHARING,
+        &SIM_DISPATCH_DENSE,
+        &SIM_DISPATCH_REFERENCE,
+        &SIM_DENSE_FALLBACKS,
+        &SIM_POINTS,
     ];
 }
 
@@ -265,8 +293,10 @@ pub mod gauges {
     pub static SWEEP_WORKERS: Gauge = Gauge::new("sweep.workers");
     /// Grid size (points) of the most recent `SweepEngine::run`.
     pub static SWEEP_GRID_POINTS: Gauge = Gauge::new("sweep.grid_points");
+    /// Worker-thread count of the most recent measured-side harness run.
+    pub static SIM_WORKERS: Gauge = Gauge::new("sim.workers");
 
-    pub(super) static ALL: [&Gauge; 2] = [&SWEEP_WORKERS, &SWEEP_GRID_POINTS];
+    pub(super) static ALL: [&Gauge; 3] = [&SWEEP_WORKERS, &SWEEP_GRID_POINTS, &SIM_WORKERS];
 }
 
 // ---------------------------------------------------------------------------

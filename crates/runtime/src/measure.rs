@@ -2,35 +2,56 @@
 
 use std::time::{Duration, Instant};
 
-/// Summary of repeated timed runs.
+/// Summary of repeated timed runs. Runs are sorted once at construction so
+/// the order statistics (`min`/`max`/`median`) are plain indexing instead
+/// of a clone-and-sort per call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
-    pub runs: Vec<Duration>,
+    /// Run times in ascending order.
+    sorted: Vec<Duration>,
 }
 
 impl Measurement {
+    pub fn new(mut runs: Vec<Duration>) -> Self {
+        runs.sort_unstable();
+        Measurement { sorted: runs }
+    }
+
+    /// The measured run times, ascending (insertion order is not kept).
+    pub fn runs(&self) -> &[Duration] {
+        &self.sorted
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
     pub fn min(&self) -> Duration {
-        self.runs.iter().copied().min().unwrap_or_default()
+        self.sorted.first().copied().unwrap_or_default()
     }
 
     pub fn max(&self) -> Duration {
-        self.runs.iter().copied().max().unwrap_or_default()
+        self.sorted.last().copied().unwrap_or_default()
     }
 
+    /// Upper median (element at index `len / 2`), matching the historical
+    /// behavior on even-length run sets.
     pub fn median(&self) -> Duration {
-        if self.runs.is_empty() {
+        if self.sorted.is_empty() {
             return Duration::ZERO;
         }
-        let mut v = self.runs.clone();
-        v.sort();
-        v[v.len() / 2]
+        self.sorted[self.sorted.len() / 2]
     }
 
     pub fn mean(&self) -> Duration {
-        if self.runs.is_empty() {
+        if self.sorted.is_empty() {
             return Duration::ZERO;
         }
-        self.runs.iter().sum::<Duration>() / self.runs.len() as u32
+        self.sorted.iter().sum::<Duration>() / self.sorted.len() as u32
     }
 
     /// Median in seconds, the number the experiment tables print.
@@ -50,7 +71,7 @@ pub fn measure(warmups: usize, reps: usize, mut body: impl FnMut()) -> Measureme
         body();
         runs.push(start.elapsed());
     }
-    Measurement { runs }
+    Measurement::new(runs)
 }
 
 /// Relative slowdown of `slow` vs `fast`: `(slow - fast)/slow`, the
@@ -69,18 +90,24 @@ mod tests {
 
     #[test]
     fn statistics_over_known_runs() {
-        let m = Measurement {
-            runs: vec![
-                Duration::from_millis(30),
-                Duration::from_millis(10),
-                Duration::from_millis(20),
-            ],
-        };
+        let m = Measurement::new(vec![
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        ]);
         assert_eq!(m.min(), Duration::from_millis(10));
         assert_eq!(m.max(), Duration::from_millis(30));
         assert_eq!(m.median(), Duration::from_millis(20));
         assert_eq!(m.mean(), Duration::from_millis(20));
         assert!((m.seconds() - 0.020).abs() < 1e-9);
+        assert_eq!(
+            m.runs(),
+            &[
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(30),
+            ]
+        );
     }
 
     #[test]
@@ -88,7 +115,7 @@ mod tests {
         let mut calls = 0;
         let m = measure(2, 5, || calls += 1);
         assert_eq!(calls, 7);
-        assert_eq!(m.runs.len(), 5);
+        assert_eq!(m.len(), 5);
     }
 
     #[test]
@@ -100,8 +127,27 @@ mod tests {
 
     #[test]
     fn empty_measurement_is_zero() {
-        let m = Measurement { runs: vec![] };
+        let m = Measurement::new(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.min(), Duration::ZERO);
+        assert_eq!(m.max(), Duration::ZERO);
         assert_eq!(m.median(), Duration::ZERO);
         assert_eq!(m.mean(), Duration::ZERO);
+        assert_eq!(m.seconds(), 0.0);
+    }
+
+    #[test]
+    fn even_length_uses_upper_median() {
+        let m = Measurement::new(vec![
+            Duration::from_millis(40),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ]);
+        // len/2 = index 2 of [10, 20, 30, 40] -> 30 ms (upper median).
+        assert_eq!(m.median(), Duration::from_millis(30));
+        assert_eq!(m.mean(), Duration::from_millis(25));
+        assert_eq!(m.min(), Duration::from_millis(10));
+        assert_eq!(m.max(), Duration::from_millis(40));
     }
 }
