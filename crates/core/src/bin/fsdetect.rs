@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fsdetect <kernel.loop | @bundled-name> [--threads N]
-//!          [--machine paper48|generic|tiny] [--predict RUNS] [--json]
+//!          [--machine paper48|generic|tiny] [--predict RUNS]
+//!          [--format json|sarif|human] [--json]
 //!          [--advise] [--eliminate] [--sim] [--contention] [--baseline]
 //!          [--sweep] [--sweep-grid THREADS:CHUNKS] [--workers N]
 //!          [--early-exit] [--const NAME=VALUE ...] [--list]
@@ -20,8 +21,15 @@
 //! `--sweep-grid 2,4,8:1,4,16` evaluates the kernel over a threads × chunks
 //! grid on the parallel memoized sweep engine (`--workers` sets the pool
 //! size; `--early-exit` switches the per-point FS model to the adaptive
-//! predictor). `--json` emits the analysis — and the grid, when requested —
-//! as one structured JSON document on stdout.
+//! predictor). `--format json` (or `--json`) emits the versioned
+//! `fsd_version` envelope — the same document `fslint --format json` and
+//! the `fsd` daemon produce (see `docs/DAEMON.md`); `--format sarif` emits
+//! the lint results as SARIF 2.1.0.
+//!
+//! This binary is a veneer: every analysis step runs through
+//! [`fs_core::service`], the same layer the daemon serves over a socket.
+//! Argument parsing, exit codes, and stderr diagnostics live here; nothing
+//! else does.
 //!
 //! Observability (see `docs/OBSERVABILITY.md`): `--profile` prints a span
 //! and counter summary to stderr, `--trace-out FILE` writes a Chrome
@@ -32,11 +40,8 @@
 //! piped without filtering. `--verbose` adds progress notes; `--quiet`
 //! suppresses everything on stderr except errors.
 
-use fs_core::obs;
-use fs_core::{
-    machines, recommend_chunk, try_analyze, AnalysisOptions, EarlyExit, EvalMode, JsonValue,
-    SweepEngine, SweepGrid,
-};
+use fs_core::service::{self, KernelInput, Service, ServiceOptions, ServiceRequest};
+use fs_core::{extras, obs};
 use std::process::ExitCode;
 
 /// Stderr diagnostics policy: errors always print; `note` prints unless
@@ -61,6 +66,13 @@ impl Diag {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     path: String,
     threads: u32,
@@ -75,7 +87,7 @@ struct Args {
     sweep_grid: Option<(Vec<u32>, Vec<u64>)>,
     workers: Option<usize>,
     early_exit: bool,
-    json: bool,
+    format: Format,
     consts: Vec<(String, i64)>,
     profile: bool,
     trace_out: Option<String>,
@@ -86,23 +98,13 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: fsdetect <kernel.loop | @bundled> [--threads N] [--machine paper48|generic|tiny]\n\
-         \x20              [--predict RUNS] [--json] [--advise] [--eliminate] [--sim] [--contention]\n\
-         \x20              [--sweep] [--sweep-grid THREADS:CHUNKS] [--workers N] [--early-exit]\n\
+         \x20              [--predict RUNS] [--format json|sarif|human] [--json] [--advise]\n\
+         \x20              [--eliminate] [--sim] [--contention] [--sweep]\n\
+         \x20              [--sweep-grid THREADS:CHUNKS] [--workers N] [--early-exit]\n\
          \x20              [--const NAME=VALUE ...] [--list]\n\
          \x20              [--profile] [--trace-out FILE] [--quiet] [--verbose]"
     );
     std::process::exit(2);
-}
-
-/// Parse `2,4,8:1,4,16,64` into (threads, chunks).
-fn parse_grid_spec(spec: &str) -> Option<(Vec<u32>, Vec<u64>)> {
-    let (t, c) = spec.split_once(':')?;
-    let threads: Option<Vec<u32>> = t.split(',').map(|v| v.trim().parse().ok()).collect();
-    let chunks: Option<Vec<u64>> = c.split(',').map(|v| v.trim().parse().ok()).collect();
-    match (threads, chunks) {
-        (Some(t), Some(c)) if !t.is_empty() && !c.is_empty() => Some((t, c)),
-        _ => None,
-    }
 }
 
 fn parse_args() -> Args {
@@ -120,7 +122,7 @@ fn parse_args() -> Args {
         sweep_grid: None,
         workers: None,
         early_exit: false,
-        json: false,
+        format: Format::Human,
         consts: Vec::new(),
         profile: false,
         trace_out: None,
@@ -152,7 +154,7 @@ fn parse_args() -> Args {
             "--sweep" => args.sweep = true,
             "--sweep-grid" => {
                 let spec = it.next().unwrap_or_else(|| usage());
-                args.sweep_grid = Some(parse_grid_spec(&spec).unwrap_or_else(|| usage()));
+                args.sweep_grid = Some(service::parse_grid_spec(&spec).unwrap_or_else(|| usage()));
             }
             "--workers" => {
                 args.workers = Some(
@@ -162,7 +164,13 @@ fn parse_args() -> Args {
                 )
             }
             "--early-exit" => args.early_exit = true,
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.format = Format::Json,
+                Some("sarif") => args.format = Format::Sarif,
+                Some("human") | Some("text") => args.format = Format::Human,
+                _ => usage(),
+            },
             "--profile" => args.profile = true,
             "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--quiet" | "-q" => args.quiet = true,
@@ -198,110 +206,6 @@ fn parse_args() -> Args {
     args
 }
 
-/// The `metrics` section of `--json`: every counter and gauge by name,
-/// span aggregates (the per-phase timings), and the trace coverage figure.
-fn metrics_json(snap: &obs::Snapshot) -> JsonValue {
-    let mut counters = JsonValue::obj();
-    for &(name, v) in &snap.counters {
-        counters = counters.field(name, v);
-    }
-    let mut gauges = JsonValue::obj();
-    for &(name, v) in &snap.gauges {
-        gauges = gauges.field(name, v);
-    }
-    let spans = snap
-        .span_aggregate()
-        .into_iter()
-        .map(|a| {
-            JsonValue::obj()
-                .field("name", a.name)
-                .field("count", a.count)
-                .field("total_ms", a.total_ns as f64 / 1e6)
-                .field("max_ms", a.max_ns as f64 / 1e6)
-        })
-        .collect();
-    JsonValue::obj()
-        .field("counters", counters)
-        .field("gauges", gauges)
-        .field("spans", JsonValue::Arr(spans))
-        .field("wall_ms", snap.wall_ns() as f64 / 1e6)
-        .field("span_coverage", span_coverage(snap))
-}
-
-/// Fraction of the snapshot's wall interval inside at least one span.
-fn span_coverage(snap: &obs::Snapshot) -> f64 {
-    let wall = snap.wall_ns();
-    if wall == 0 {
-        0.0
-    } else {
-        snap.covered_ns() as f64 / wall as f64
-    }
-}
-
-/// The `--profile` summary. Diagnostics, so stderr — `--json` on stdout
-/// stays machine-readable even when profiling.
-fn print_profile(snap: &obs::Snapshot, grid_result: Option<&fs_core::SweepGridResult>) {
-    eprintln!("-- profile --");
-    eprintln!(
-        "wall {:.3} ms, span coverage {:.1}%",
-        snap.wall_ns() as f64 / 1e6,
-        span_coverage(snap) * 100.0
-    );
-    eprintln!(
-        "{:<18} {:>8} {:>12} {:>12}",
-        "span", "count", "total ms", "max ms"
-    );
-    for a in snap.span_aggregate() {
-        eprintln!(
-            "{:<18} {:>8} {:>12.3} {:>12.3}",
-            a.name,
-            a.count,
-            a.total_ns as f64 / 1e6,
-            a.max_ns as f64 / 1e6
-        );
-    }
-    let busy = snap.track_busy_ns();
-    if busy.len() > 1 {
-        eprintln!("tracks:");
-        for (t, ns) in busy {
-            eprintln!(
-                "  {:<16} busy {:>10.3} ms",
-                snap.track_name(t).unwrap_or("?"),
-                ns as f64 / 1e6
-            );
-        }
-    }
-    eprintln!("counters:");
-    for &(name, v) in &snap.counters {
-        if v > 0 {
-            eprintln!("  {name:<26} {v}");
-        }
-    }
-    for &(name, v) in &snap.gauges {
-        if v > 0 {
-            eprintln!("  {name:<26} {v}");
-        }
-    }
-    if let Some(r) = grid_result {
-        eprintln!(
-            "sweep: {:.1} points/sec over {} points",
-            r.stats.points_per_sec(),
-            r.outcomes.len()
-        );
-        eprintln!("slowest points:");
-        for (i, ns) in r.stats.slowest(5) {
-            let o = &r.outcomes[i];
-            eprintln!(
-                "  {:<16} threads {:>3} chunk {:>6}  {:>10.3} ms",
-                o.kernel,
-                o.threads,
-                o.chunk,
-                ns as f64 / 1e6
-            );
-        }
-    }
-}
-
 /// Drop-the-span-then-snapshot finalization shared by the JSON and text
 /// paths: write the Chrome trace (if requested) and print the profile.
 /// Returns false when the trace file could not be written.
@@ -318,7 +222,7 @@ fn finalize_obs(
                 diag.detail(&format!(
                     "trace written to {path} ({} spans, {:.1}% coverage)",
                     snap.spans.len(),
-                    span_coverage(snap) * 100.0
+                    service::span_coverage(snap) * 100.0
                 ));
             }
             Err(e) => {
@@ -328,7 +232,7 @@ fn finalize_obs(
         }
     }
     if args.profile {
-        print_profile(snap, grid_result);
+        eprint!("{}", extras::profile_text(snap, grid_result));
     }
     true
 }
@@ -341,49 +245,50 @@ fn main() -> ExitCode {
     };
     // Observability stays a no-op unless an export was requested (`--json`
     // carries the metrics section, so it counts as a request).
-    let obs_on = args.profile || args.trace_out.is_some() || args.json;
+    let obs_on = args.profile || args.trace_out.is_some() || args.format == Format::Json;
     if obs_on {
         obs::configure(obs::ObsConfig::enabled());
     }
     // Top-level span: everything from parsing to the last model run is
     // inside it, so trace coverage of the wall interval stays >= 95%.
     let mut main_span = Some(obs::span("fsdetect.main"));
-    let src = if let Some(name) = args.path.strip_prefix('@') {
-        match fs_core::corpus_entry(name) {
-            Some(e) => e.source.to_string(),
-            None => {
-                eprintln!("fsdetect: no bundled kernel '@{name}' (try --list)");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        match std::fs::read_to_string(&args.path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("fsdetect: cannot read {}: {e}", args.path);
-                return ExitCode::FAILURE;
-            }
-        }
+
+    if args.early_exit && args.predict.is_some() && args.sweep_grid.is_some() {
+        diag.note("--early-exit overrides --predict for the sweep grid");
+    }
+
+    let request = ServiceRequest {
+        kernels: vec![KernelInput::named(&args.path)],
+        machines: vec![args.machine.clone()],
+        grid: args.sweep_grid.clone(),
+        options: ServiceOptions {
+            threads: args.threads,
+            predict: args.predict,
+            early_exit: args.early_exit,
+            workers: args.workers,
+            analyze: true,
+            lint: true,
+            timing: true,
+            consts: args.consts.clone(),
+        },
     };
-    let consts: Vec<(&str, i64)> = args.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-    let kernel = match fs_core::parse_kernel_with_consts(&src, &consts) {
-        Ok(k) => k,
-        Err(e) => {
-            // `kernels/stencil.loop:12:7: parse error: ...` — clickable in
-            // editors and CI logs.
-            eprintln!("fsdetect: {}", e.with_source_name(&args.path));
-            return ExitCode::FAILURE;
-        }
-    };
-    let machine = match args.machine.as_str() {
-        "paper48" => machines::paper48(),
-        "generic" => machines::generic_x86(),
-        "tiny" => machines::tiny_test(),
-        other => {
-            eprintln!("fsdetect: unknown machine '{other}'");
-            return ExitCode::FAILURE;
-        }
-    };
+    let svc = Service::new();
+    let resp = svc.handle(&request);
+
+    // Request-level failures (unknown machine, invalid sweep grid) and the
+    // single kernel's own failure both abort before any output.
+    for e in &resp.errors {
+        eprintln!("fsdetect: {e}");
+    }
+    if let Some(e) = resp.results.first().and_then(|r| r.error.as_deref()) {
+        eprintln!("fsdetect: {e}");
+    }
+    if resp.has_errors() {
+        return ExitCode::FAILURE;
+    }
+    let result = &resp.results[0];
+    let kernel = result.kernel.as_ref().expect("no error implies a kernel");
+    let report = result.report.as_ref().expect("analyze requested");
 
     diag.detail(&format!(
         "parsed kernel '{}' ({} arrays), machine {}, {} threads",
@@ -392,234 +297,93 @@ fn main() -> ExitCode {
         args.machine,
         args.threads
     ));
-
-    let mut opts = AnalysisOptions::new(args.threads);
-    opts.predict_chunk_runs = args.predict;
-    let report = match try_analyze(&kernel, &machine, &opts) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fsdetect: {}: {e}", args.path);
-            return ExitCode::FAILURE;
-        }
-    };
     diag.detail(&format!(
         "analysis: {} FS cases, {:.1}% of modeled cycles",
         report.cost.fs.fs_cases,
         report.fs_percent()
     ));
+    if let Some(r) = &resp.sweep {
+        diag.detail(&format!(
+            "sweep grid: {} points in {:.1} ms ({} memo hits)",
+            r.outcomes.len(),
+            r.stats.wall_ns as f64 / 1e6,
+            r.memo_hits
+        ));
+    }
 
-    let grid_result = if let Some((threads, chunks)) = &args.sweep_grid {
-        let grid = SweepGrid::new(
-            vec![(kernel.name.clone(), kernel.clone())],
-            (machine.name.clone(), machine.clone()),
-            threads.clone(),
-            chunks.clone(),
-        );
-        let mode = if args.early_exit {
-            if args.predict.is_some() {
-                diag.note("--early-exit overrides --predict for the sweep grid");
-            }
-            EvalMode::EarlyExit(EarlyExit::default())
-        } else {
-            match args.predict {
-                Some(runs) => EvalMode::Predict(runs),
-                None => EvalMode::Full,
-            }
-        };
-        let mut engine = SweepEngine::new().mode(mode);
-        if let Some(w) = args.workers {
-            engine = engine.workers(w);
-        }
-        match engine.run(&grid) {
-            Ok(r) => {
-                diag.detail(&format!(
-                    "sweep grid: {} points in {:.1} ms ({} memo hits)",
-                    r.outcomes.len(),
-                    r.stats.wall_ns as f64 / 1e6,
-                    r.memo_hits
-                ));
-                Some(r)
-            }
-            Err(e) => {
-                eprintln!("fsdetect: sweep grid: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let exit = if resp.has_significant_fs() {
+        ExitCode::from(1)
     } else {
-        None
+        ExitCode::SUCCESS
     };
 
-    if args.json {
-        // Close the top-level span before snapshotting so the metrics and
-        // trace cover the whole run.
-        drop(main_span.take());
-        let snap = obs::snapshot();
-        let mut doc = JsonValue::obj().field("report", report.to_json());
-        // The symbolic lint verdict rides along: same kernel, machine and
-        // team as the simulated report, closed-form cost.
-        if let Ok(lint) = fs_core::try_lint(&kernel, &machine, args.threads) {
-            doc = doc.field("lint", lint.to_json());
+    match args.format {
+        Format::Json => {
+            // Close the top-level span before snapshotting so the metrics
+            // and trace cover the whole run.
+            drop(main_span.take());
+            let snap = obs::snapshot();
+            let doc = resp
+                .envelope()
+                .field("metrics", service::metrics_json(&snap));
+            print!("{}", doc.render_pretty());
+            if !finalize_obs(&args, &diag, &snap, resp.sweep.as_ref()) {
+                return ExitCode::FAILURE;
+            }
+            return exit;
         }
-        if let Some(r) = &grid_result {
-            doc = doc.field("sweep_grid", r.to_json());
-            doc = doc.field("sweep_stats", r.stats_json(5));
+        Format::Sarif => {
+            print!("{}", resp.sarif().render_pretty());
+            return exit;
         }
-        doc = doc.field("metrics", metrics_json(&snap));
-        print!("{}", doc.render_pretty());
-        if !finalize_obs(&args, &diag, &snap, grid_result.as_ref()) {
-            return ExitCode::FAILURE;
-        }
-        return if report.has_significant_fs() {
-            ExitCode::from(1)
-        } else {
-            ExitCode::SUCCESS
-        };
+        Format::Human => {}
     }
 
     print!("{}", report.render());
-
-    if let Some(r) = &grid_result {
-        println!("-- sweep grid ({} points) --", r.outcomes.len());
-        println!(
-            "{:>8} {:>8} {:>12} {:>16} {:>8}",
-            "threads", "chunk", "fs cases", "total cycles", "fs %"
-        );
-        for o in &r.outcomes {
-            println!(
-                "{:>8} {:>8} {:>12} {:>16.0} {:>7.1}%",
-                o.threads,
-                o.chunk,
-                o.cost.fs.fs_cases,
-                o.cost.total_cycles,
-                o.cost.fs_fraction() * 100.0
-            );
-        }
-        if let Some(best) = r.best() {
-            println!(
-                "best point: {} threads, chunk {} ({:.0} cycles)",
-                best.threads, best.chunk, best.cost.total_cycles
-            );
-        }
-        println!("memo: {} hits, {} misses", r.memo_hits, r.memo_misses);
+    let machine = service::machine_by_name(&args.machine).expect("machine resolved by service");
+    if let Some(r) = &resp.sweep {
+        print!("{}", extras::grid_section(r));
     }
-
     if args.sim {
-        let stats = fs_core::simulation::simulate_kernel(
-            &kernel,
-            &machine,
-            fs_core::simulation::SimOptions::new(args.threads),
-        );
-        println!("-- MESI simulator (measured) --");
-        print!("{stats}");
+        print!("{}", extras::sim_section(kernel, &machine, args.threads));
     }
-
     if args.advise {
-        let advice = recommend_chunk(&kernel, &machine, args.threads, 1024, args.predict);
-        println!("-- chunk-size advice --");
-        println!("{:>8} {:>14} {:>16}", "chunk", "fs cases", "total cycles");
-        for p in &advice.points {
-            println!("{:>8} {:>14} {:>16.0}", p.chunk, p.fs_cases, p.total_cycles);
-        }
-        println!(
-            "recommended chunk size: {} ({:.2}x faster than chunk 1)",
-            advice.best_chunk, advice.speedup_vs_chunk1
+        print!(
+            "{}",
+            extras::advice_section(kernel, &machine, args.threads, args.predict)
         );
     }
-
     if args.baseline {
-        let a = fs_core::simulation::SharingAnalysis::of_kernel(
-            &kernel,
-            args.threads,
-            machine.line_size(),
+        print!(
+            "{}",
+            extras::baseline_section(kernel, &machine, args.threads)
         );
-        let (p, rs, ts, fs) = a.census();
-        println!("-- address-set baseline (LaRowe-style, §V related work) --");
-        println!("lines: {p} private, {rs} read-shared, {ts} true-shared, {fs} false-shared");
-        let bases = kernel.array_bases(machine.line_size());
-        for (line, rec) in a.false_shared_lines().into_iter().take(5) {
-            let addr = line * machine.line_size();
-            let name = kernel
-                .arrays
-                .iter()
-                .enumerate()
-                .find(|(i, d)| addr >= bases[*i] && addr < bases[*i] + d.size_bytes().max(1))
-                .map(|(_, d)| d.name.as_str())
-                .unwrap_or("?");
-            println!(
-                "  line {line:>8} in '{name}': {} sharers, {} accesses",
-                rec.sharer_count(),
-                rec.accesses
-            );
-        }
     }
-
     if args.contention {
-        let sc = fs_core::shared_cache_interference(&kernel, &machine, args.threads);
-        let bus = fs_core::bus_interference(&kernel, &machine, args.threads);
-        println!("-- contention extensions (paper §VI future work) --");
-        println!(
-            "shared cache: cluster footprint {:.0} KB of {} KB -> overflow {:.0}%, +{:.2} cy/iter",
-            sc.cluster_footprint / 1024.0,
-            sc.shared_capacity / 1024,
-            sc.overflow_fraction * 100.0,
-            sc.extra_cycles_per_iter.max(0.0)
-        );
-        println!(
-            "memory bus:   demand {:.1} B/cy of {:.1} B/cy -> slowdown {:.2}x",
-            bus.demanded_bytes_per_cycle, bus.available_bytes_per_cycle, bus.slowdown
+        print!(
+            "{}",
+            extras::contention_section(kernel, &machine, args.threads)
         );
     }
-
     if args.sweep {
-        let mut aopts = fs_core::AnalysisOptions::new(args.threads);
-        aopts.predict_chunk_runs = args.predict;
-        println!("-- hardware sensitivity sweeps --");
-        for sweep in cost_model::standard_battery(&kernel, &machine, &aopts) {
-            println!("{}:", sweep.parameter);
-            for p in &sweep.points {
-                println!(
-                    "  {:>10} -> FS {:>5.1}% of {:>12.0} cycles ({} cases)",
-                    p.value,
-                    p.fs_fraction * 100.0,
-                    p.total_cycles,
-                    p.fs_cases
-                );
-            }
-        }
+        print!(
+            "{}",
+            extras::sweeps_section(kernel, &machine, args.threads, args.predict)
+        );
     }
-
     if args.eliminate {
-        let mut opts = fs_core::AnalysisOptions::new(args.threads);
-        opts.predict_chunk_runs = args.predict;
-        let mit = fs_core::eliminate_false_sharing(&kernel, &machine, args.threads, &opts);
-        println!("-- mitigation search --");
-        if mit.candidates.is_empty() {
-            println!("no false sharing to eliminate");
-        } else {
-            for c in &mit.candidates {
-                println!(
-                    "  {:<48} {:>10.0} cycles ({:.2}x)",
-                    c.description, c.cost.total_cycles, c.speedup
-                );
-            }
-            let best = mit.best().unwrap();
-            println!("best: {}", best.description);
-            println!("-- transformed kernel --");
-            print!("{}", fs_core::kernel_to_dsl(&best.kernel));
-        }
+        print!(
+            "{}",
+            extras::eliminate_section(kernel, &machine, args.threads, args.predict)
+        );
     }
 
     if obs_on {
         drop(main_span.take());
         let snap = obs::snapshot();
-        if !finalize_obs(&args, &diag, &snap, grid_result.as_ref()) {
+        if !finalize_obs(&args, &diag, &snap, resp.sweep.as_ref()) {
             return ExitCode::FAILURE;
         }
     }
-
-    if report.has_significant_fs() {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    exit
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! fslint <kernel.loop | @bundled-name>... [--threads N]
 //!        [--machine paper48|generic|tiny] [--const NAME=VALUE ...]
-//!        [--json] [--format sarif] [--advise] [--list] [--quiet]
+//!        [--format json|sarif|human] [--json] [--advise] [--list] [--quiet]
 //! ```
 //!
 //! Where `fsdetect` *runs* the paper's false-sharing cost model over the
@@ -17,25 +17,37 @@
 //! FS004 (true sharing). See `docs/LINT.md`.
 //!
 //! Output modes: human text (default, one `file:line:col: severity: [rule]
-//! message` block per finding), `--json` (one structured document for all
-//! inputs), `--format sarif` (a SARIF 2.1.0 document suitable for code
-//! scanning upload). Results go to stdout, diagnostics to stderr.
+//! message` block per finding), `--format json` / `--json` (the versioned
+//! `fsd_version` envelope shared with `fsdetect` and the `fsd` daemon),
+//! `--format sarif` (a SARIF 2.1.0 document suitable for code scanning
+//! upload). Results go to stdout, diagnostics to stderr.
+//!
+//! This binary is a veneer over [`fs_core::service`] — the same layer
+//! `fsdetect` and the daemon call. It parses flags, builds one
+//! [`ServiceRequest`] (lint-only: the cost model never runs), and renders
+//! the response.
 //!
 //! `--advise` additionally runs the simulator-backed chunk advisor on each
 //! kernel with findings — the one opt-in that is *not* simulation-free.
 //!
 //! Exit codes: 0 = no findings, 1 = findings or any error, 2 = usage.
 
-use fs_core::{machines, sarif_document, JsonValue, LintReport};
+use fs_core::service::{KernelInput, Service, ServiceOptions, ServiceRequest};
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     inputs: Vec<String>,
     threads: u32,
     machine: String,
     consts: Vec<(String, i64)>,
-    json: bool,
-    sarif: bool,
+    format: Format,
     advise: bool,
     quiet: bool,
 }
@@ -43,8 +55,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: fslint <kernel.loop | @bundled>... [--threads N] [--machine paper48|generic|tiny]\n\
-         \x20             [--const NAME=VALUE ...] [--json] [--format sarif] [--advise] [--list]\n\
-         \x20             [--quiet]"
+         \x20             [--const NAME=VALUE ...] [--format json|sarif|human] [--json] [--advise]\n\
+         \x20             [--list] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -55,8 +67,7 @@ fn parse_args() -> Args {
         threads: 8,
         machine: "paper48".to_string(),
         consts: Vec::new(),
-        json: false,
-        sarif: false,
+        format: Format::Human,
         advise: false,
         quiet: false,
     };
@@ -80,11 +91,11 @@ fn parse_args() -> Args {
                 };
                 args.consts.push((name.to_string(), value));
             }
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
             "--format" => match it.next().as_deref() {
-                Some("sarif") => args.sarif = true,
-                Some("json") => args.json = true,
-                Some("text") => {}
+                Some("sarif") => args.format = Format::Sarif,
+                Some("json") => args.format = Format::Json,
+                Some("human") | Some("text") => args.format = Format::Human,
                 _ => usage(),
             },
             "--advise" => args.advise = true,
@@ -108,120 +119,76 @@ fn parse_args() -> Args {
     args
 }
 
-/// One successfully linted input.
-struct Linted {
-    /// Display/artifact name (file path, or `@name` for bundled kernels).
-    name: String,
-    report: LintReport,
-}
-
 fn main() -> ExitCode {
     let args = parse_args();
-    let machine = match args.machine.as_str() {
-        "paper48" => machines::paper48(),
-        "generic" => machines::generic_x86(),
-        "tiny" => machines::tiny_test(),
-        other => {
-            eprintln!("fslint: unknown machine '{other}'");
-            return ExitCode::FAILURE;
-        }
+    let request = ServiceRequest {
+        kernels: args.inputs.iter().map(KernelInput::named).collect(),
+        machines: vec![args.machine.clone()],
+        grid: None,
+        options: ServiceOptions {
+            threads: args.threads,
+            analyze: false,
+            lint: true,
+            consts: args.consts.clone(),
+            ..ServiceOptions::default()
+        },
     };
-    let consts: Vec<(&str, i64)> = args.consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let svc = Service::new();
+    let resp = svc.handle(&request);
 
-    let mut linted: Vec<Linted> = Vec::new();
+    // Request-level failure (unknown machine): nothing ran, abort.
+    if !resp.errors.is_empty() {
+        for e in &resp.errors {
+            eprintln!("fslint: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    // Per-kernel failures (bad input, parse error): report each, keep the
+    // rest of the batch.
     let mut had_error = false;
-    for input in &args.inputs {
-        let src = if let Some(name) = input.strip_prefix('@') {
-            match fs_core::corpus_entry(name) {
-                Some(e) => e.source.to_string(),
-                None => {
-                    eprintln!("fslint: no bundled kernel '@{name}' (try --list)");
-                    had_error = true;
-                    continue;
-                }
-            }
-        } else {
-            match std::fs::read_to_string(input) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("fslint: cannot read {input}: {e}");
-                    had_error = true;
-                    continue;
-                }
-            }
-        };
-        let kernel = match fs_core::parse_kernel_with_consts(&src, &consts) {
-            Ok(k) => k,
-            Err(e) => {
-                eprintln!("fslint: {}", e.with_source_name(input));
-                had_error = true;
-                continue;
-            }
-        };
-        match fs_core::try_lint(&kernel, &machine, args.threads) {
-            Ok(report) => linted.push(Linted {
-                name: input.clone(),
-                report,
-            }),
-            Err(e) => {
-                eprintln!("fslint: {input}: {e}");
-                had_error = true;
-            }
+    for r in &resp.results {
+        if let Some(e) = &r.error {
+            eprintln!("fslint: {e}");
+            had_error = true;
         }
     }
+    let any_findings = resp.findings;
 
-    let any_findings = linted.iter().any(|l| l.report.has_findings());
-
-    if args.sarif {
-        let doc = sarif_document(
-            linted
-                .iter()
-                .map(|l| (l.name.clone(), l.report.sarif_results(&l.name)))
-                .collect(),
-        );
-        print!("{}", doc.render_pretty());
-    } else if args.json {
-        let reports: Vec<JsonValue> = linted
-            .iter()
-            .map(|l| {
-                JsonValue::obj()
-                    .field("file", l.name.as_str())
-                    .field("lint", l.report.to_json())
-            })
-            .collect();
-        let doc = JsonValue::obj()
-            .field("threads", args.threads as u64)
-            .field("machine", args.machine.as_str())
-            .field("reports", reports)
-            .field("findings", any_findings)
-            .field("errors", had_error);
-        print!("{}", doc.render_pretty());
-    } else {
-        for l in &linted {
-            print!("{}", l.report.render(&l.name));
-            if args.advise && l.report.has_findings() {
-                // Opt-in simulator-backed refinement of the chunk fix.
-                let src_kernel = kernel_of(&l.name, &consts);
-                if let Some(k) = src_kernel {
-                    let advice = fs_core::recommend_chunk(&k, &machine, args.threads, 64, None);
-                    println!(
-                        "    advisor: best chunk {} ({:.2}x vs chunk 1, simulated)",
-                        advice.best_chunk, advice.speedup_vs_chunk1
-                    );
+    match args.format {
+        Format::Sarif => print!("{}", resp.sarif().render_pretty()),
+        Format::Json => print!("{}", resp.envelope().render_pretty()),
+        Format::Human => {
+            let machine = fs_core::service::machine_by_name(&args.machine)
+                .expect("machine resolved by service");
+            for r in &resp.results {
+                let Some(report) = &r.lint else { continue };
+                print!("{}", report.render(&r.file));
+                if args.advise && report.has_findings() {
+                    // Opt-in simulator-backed refinement of the chunk fix.
+                    if let Some(k) = &r.kernel {
+                        let advice = fs_core::recommend_chunk(k, &machine, args.threads, 64, None);
+                        println!(
+                            "    advisor: best chunk {} ({:.2}x vs chunk 1, simulated)",
+                            advice.best_chunk, advice.speedup_vs_chunk1
+                        );
+                    }
                 }
             }
-        }
-        if !args.quiet {
-            let n_findings: usize = linted
-                .iter()
-                .map(|l| l.report.result.findings().count())
-                .sum();
-            eprintln!(
-                "fslint: {} input(s), {} finding(s){}",
-                linted.len(),
-                n_findings,
-                if had_error { ", errors" } else { "" }
-            );
+            if !args.quiet {
+                let linted = resp.results.iter().filter(|r| r.lint.is_some()).count();
+                let n_findings: usize = resp
+                    .results
+                    .iter()
+                    .filter_map(|r| r.lint.as_ref())
+                    .map(|l| l.result.findings().count())
+                    .sum();
+                eprintln!(
+                    "fslint: {} input(s), {} finding(s){}",
+                    linted,
+                    n_findings,
+                    if had_error { ", errors" } else { "" }
+                );
+            }
         }
     }
 
@@ -230,15 +197,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
-}
-
-/// Re-load a kernel for the advisor (it needs the `Kernel`, which the lint
-/// report does not retain).
-fn kernel_of(input: &str, consts: &[(&str, i64)]) -> Option<loop_ir::Kernel> {
-    let src = if let Some(name) = input.strip_prefix('@') {
-        fs_core::corpus_entry(name)?.source.to_string()
-    } else {
-        std::fs::read_to_string(input).ok()?
-    };
-    fs_core::parse_kernel_with_consts(&src, consts).ok()
 }

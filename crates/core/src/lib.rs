@@ -36,9 +36,11 @@
 pub mod advisor;
 pub mod corpus;
 pub mod error;
+pub mod extras;
 pub mod json;
 pub mod lint;
 pub mod report;
+pub mod service;
 pub mod simharness;
 pub mod sweep;
 pub mod transform;
@@ -49,6 +51,10 @@ pub use error::AnalysisError;
 pub use json::JsonValue;
 pub use lint::{sarif_document, LintReport, VerifiedFix, LINT_RULES};
 pub use report::{AnalysisReport, HotLine, VictimArray};
+pub use service::{
+    KernelInput, KernelResult, Service, ServiceCache, ServiceOptions, ServiceRequest,
+    ServiceResponse, FSD_VERSION,
+};
 pub use simharness::{run_indexed, sim_workers};
 pub use sweep::{SweepEngine, SweepGridResult, SweepOutcome, SweepRunStats};
 pub use transform::{eliminate_false_sharing, pad_array, Candidate, MitigationReport};
@@ -59,8 +65,6 @@ use machine::MachineConfig;
 pub use cost_model::sweep::{
     kernel_at_chunk, point_key, EarlyExit, EvalMode, MemoCache, SweepGrid, SweepPointSpec,
 };
-#[allow(deprecated)]
-pub use cost_model::AnalyzeOptions;
 pub use cost_model::FsPath;
 /// Re-exported building blocks for users who need the full substrate.
 ///
@@ -100,28 +104,15 @@ pub mod simulation {
 /// and package the result with victim attribution and human-readable
 /// rendering. Returns a structured [`AnalysisError`] instead of panicking
 /// on invalid kernels, schedules, or machine descriptions.
+///
+/// Delegates to [`service::analyze`] — the service layer owns the guards
+/// and execution; this name is kept for API stability.
 pub fn try_analyze(
     kernel: &Kernel,
     machine: &MachineConfig,
     opts: &AnalysisOptions,
 ) -> Result<AnalysisReport, AnalysisError> {
-    error::check_machine(machine)?;
-    if opts.num_threads == 0 {
-        return Err(AnalysisError::UnsupportedSchedule {
-            reason: "team size (num_threads) must be >= 1".to_string(),
-        });
-    }
-    if opts.num_threads > cost_model::MAX_MODEL_THREADS {
-        return Err(AnalysisError::Validation(
-            loop_ir::ValidateError::TeamTooLarge {
-                requested: opts.num_threads,
-                max: cost_model::MAX_MODEL_THREADS,
-            },
-        ));
-    }
-    loop_ir::validate(kernel)?;
-    let cost = analyze_loop(kernel, machine, opts);
-    Ok(AnalysisReport::new(kernel, machine, opts.num_threads, cost))
+    service::analyze(kernel, machine, opts)
 }
 
 /// Lint a kernel symbolically: run the closed-form false-sharing analyzer
@@ -133,28 +124,14 @@ pub fn try_analyze(
 /// `tests/lint_differential.rs`): `FalseSharing` implies the reference FS
 /// model counts at least one case at this (threads, chunk) configuration,
 /// and `Clean` implies it counts none.
+///
+/// Delegates to [`service::lint`].
 pub fn try_lint(
     kernel: &Kernel,
     machine: &MachineConfig,
     num_threads: u32,
 ) -> Result<lint::LintReport, AnalysisError> {
-    error::check_machine(machine)?;
-    if num_threads == 0 {
-        return Err(AnalysisError::UnsupportedSchedule {
-            reason: "team size (num_threads) must be >= 1".to_string(),
-        });
-    }
-    if num_threads > cost_model::MAX_MODEL_THREADS {
-        return Err(AnalysisError::Validation(
-            loop_ir::ValidateError::TeamTooLarge {
-                requested: num_threads,
-                max: cost_model::MAX_MODEL_THREADS,
-            },
-        ));
-    }
-    loop_ir::validate(kernel)?;
-    let result = cost_model::lint::lint_kernel(kernel, machine.line_size(), num_threads);
-    Ok(lint::LintReport::new(kernel, result))
+    service::lint(kernel, machine, num_threads)
 }
 
 /// Parse a kernel from DSL source and lint it in one step.
@@ -163,8 +140,7 @@ pub fn try_lint_dsl(
     machine: &MachineConfig,
     num_threads: u32,
 ) -> Result<lint::LintReport, AnalysisError> {
-    let kernel = parse_kernel(source)?;
-    try_lint(&kernel, machine, num_threads)
+    service::lint_dsl(source, machine, num_threads)
 }
 
 /// Parse a kernel from DSL source and analyze it in one step.
@@ -173,18 +149,7 @@ pub fn try_analyze_dsl(
     machine: &MachineConfig,
     opts: &AnalysisOptions,
 ) -> Result<AnalysisReport, AnalysisError> {
-    let kernel = parse_kernel(source)?;
-    try_analyze(&kernel, machine, opts)
-}
-
-/// Panicking predecessor of [`try_analyze`], kept so pre-redesign callers
-/// keep compiling.
-#[deprecated(note = "use `try_analyze`, which reports errors instead of panicking")]
-pub fn analyze(kernel: &Kernel, machine: &MachineConfig, opts: &AnalysisOptions) -> AnalysisReport {
-    match try_analyze(kernel, machine, opts) {
-        Ok(r) => r,
-        Err(e) => panic!("analysis failed (validation/config): {e}"),
-    }
+    service::analyze_dsl(source, machine, opts)
 }
 
 #[cfg(test)]
@@ -275,15 +240,5 @@ mod tests {
             &AnalysisOptions::new(4),
         );
         assert!(ok.is_ok());
-    }
-
-    #[test]
-    #[should_panic(expected = "analysis failed")]
-    #[allow(deprecated)]
-    fn deprecated_analyze_wrapper_still_panics_on_bad_input() {
-        let m = machines::paper48();
-        let mut k = kernels::stencil1d(66, 1);
-        k.nest.parallel.schedule = loop_ir::Schedule::Static { chunk: 0 };
-        analyze(&k, &m, &AnalysisOptions::new(2));
     }
 }

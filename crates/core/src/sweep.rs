@@ -11,14 +11,15 @@
 
 use crate::error::{check_machine, AnalysisError};
 use crate::json::JsonValue;
+use crate::service::ServiceCache;
 use cost_model::sweep::{
-    compute_point, kernel_at_chunk, point_key, EvalMode, MemoCache, SweepGrid, SweepPointSpec,
+    compute_point, kernel_at_chunk, point_key, EvalMode, SweepGrid, SweepPointSpec,
 };
 use cost_model::LoopCost;
 use fs_runtime::pool::ThreadPool;
 use fs_runtime::shared::SharedSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One evaluated grid point, labeled with its axes.
@@ -96,6 +97,13 @@ pub struct SweepGridResult {
     /// Memo hits/misses accumulated by this run alone.
     pub memo_hits: u64,
     pub memo_misses: u64,
+    /// LRU evictions forced by the cache byte budget during this run.
+    /// Eviction order depends on worker interleaving, so this lives in
+    /// [`Self::stats_json`], never [`Self::to_json`].
+    pub memo_evictions: u64,
+    /// Cache resident / peak bytes after the run (aggregate over shards).
+    pub memo_bytes: u64,
+    pub memo_peak_bytes: u64,
     /// Wall-clock timing of this run (not part of [`Self::to_json`]).
     pub stats: SweepRunStats,
 }
@@ -141,13 +149,19 @@ impl SweepGridResult {
         JsonValue::obj()
             .field("wall_ms", self.stats.wall_ns as f64 / 1e6)
             .field("points_per_sec", self.stats.points_per_sec())
+            .field("memo_evictions", self.memo_evictions)
+            .field("memo_bytes", self.memo_bytes)
+            .field("memo_peak_bytes", self.memo_peak_bytes)
             .field("slowest_points", JsonValue::Arr(slowest))
     }
 }
 
-/// Sweep executor: owns the cross-call memo cache and the worker policy.
+/// Sweep executor: the worker policy plus a shared [`ServiceCache`] memo —
+/// its own by default, or one handed in via [`Self::with_cache`] (the
+/// daemon shares a single cache between the sweep engine and single-kernel
+/// analysis).
 pub struct SweepEngine {
-    memo: Mutex<MemoCache>,
+    memo: Arc<ServiceCache>,
     mode: EvalMode,
     workers: usize,
 }
@@ -159,13 +173,26 @@ impl Default for SweepEngine {
 }
 
 impl SweepEngine {
-    /// Full-model evaluation, one worker per available core.
+    /// Full-model evaluation, one worker per available core, a private
+    /// unbounded cache (one shard per worker).
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         SweepEngine {
-            memo: Mutex::new(MemoCache::new()),
+            memo: Arc::new(ServiceCache::new(workers, None)),
+            mode: EvalMode::Full,
+            workers,
+        }
+    }
+
+    /// An engine evaluating into an existing shared cache.
+    pub fn with_cache(cache: Arc<ServiceCache>) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepEngine {
+            memo: cache,
             mode: EvalMode::Full,
             workers,
         }
@@ -184,17 +211,29 @@ impl SweepEngine {
         self
     }
 
+    /// Bound the memo cache to `bytes` resident bytes (LRU eviction past
+    /// the budget; see [`cost_model::MemoCache`]).
+    pub fn memo_budget(self, bytes: u64) -> Self {
+        self.memo.set_budget(Some(bytes));
+        self
+    }
+
+    /// The cache this engine evaluates into.
+    pub fn cache(&self) -> &Arc<ServiceCache> {
+        &self.memo
+    }
+
     /// Lifetime memo statistics `(hits, misses)`.
     pub fn memo_stats(&self) -> (u64, u64) {
-        let m = self.memo.lock().expect("memo poisoned");
-        (m.hits(), m.misses())
+        let s = self.memo.stats();
+        (s.hits, s.misses)
     }
 
     /// Drop all cached results (e.g. after mutating machine descriptions in
     /// place — content fingerprints make this unnecessary for kernel edits,
     /// but explicit invalidation keeps memory bounded in long sessions).
     pub fn clear_memo(&self) {
-        self.memo.lock().expect("memo poisoned").clear();
+        self.memo.clear();
     }
 
     /// Evaluate every grid point. Fails fast — before evaluating anything —
@@ -227,13 +266,13 @@ impl SweepEngine {
         } else {
             self.workers.min(points.len()) as u64
         });
-        let (hits0, misses0) = self.memo_stats();
+        let before = self.memo.stats();
         let timed = if sequential {
             self.run_points_sequential(grid, &points)
         } else {
             self.run_points_parallel(grid, &points)
         };
-        let (hits1, misses1) = self.memo_stats();
+        let after = self.memo.stats();
         let mut outcomes = Vec::with_capacity(timed.len());
         let mut point_wall_ns = Vec::with_capacity(timed.len());
         for (o, ns) in timed {
@@ -242,8 +281,11 @@ impl SweepEngine {
         }
         Ok(SweepGridResult {
             outcomes,
-            memo_hits: hits1 - hits0,
-            memo_misses: misses1 - misses0,
+            memo_hits: after.hits - before.hits,
+            memo_misses: after.misses - before.misses,
+            memo_evictions: after.evictions - before.evictions,
+            memo_bytes: after.bytes,
+            memo_peak_bytes: after.peak_bytes,
             stats: SweepRunStats {
                 wall_ns: run_start.elapsed().as_nanos() as u64,
                 point_wall_ns,
@@ -260,28 +302,19 @@ impl SweepEngine {
         (outcome, start.elapsed().as_nanos() as u64)
     }
 
-    /// One point: memo lookup under the lock, computation outside it, so
-    /// workers only serialize on cache bookkeeping.
+    /// One point: shard-locked memo lookups, computation outside any lock,
+    /// so workers only serialize on same-shard cache bookkeeping.
     fn eval_one(&self, grid: &SweepGrid, spec: &SweepPointSpec) -> SweepOutcome {
         let (kname, kernel) = &grid.kernels[spec.kernel];
         let (mname, machine) = &grid.machines[spec.machine];
         let k = kernel_at_chunk(kernel, spec.chunk);
         let key = point_key(&k, machine, spec.threads, &self.mode);
-        let cached = {
-            let mut memo = self.memo.lock().expect("memo poisoned");
-            match memo.lookup_point(&key) {
-                Some(c) => Ok(c),
-                None => Err(memo.prepared_for(&k, machine)),
-            }
-        };
-        let cost = match cached {
-            Ok(c) => c,
-            Err(prep) => {
+        let cost = match self.memo.lookup_point(&key) {
+            Some(c) => c,
+            None => {
+                let prep = self.memo.prepared_for(&k, machine);
                 let c = compute_point(&k, machine, spec.threads, self.mode, &prep);
-                self.memo
-                    .lock()
-                    .expect("memo poisoned")
-                    .insert_point(key, c.clone());
+                self.memo.insert_point(key, c.clone());
                 c
             }
         };

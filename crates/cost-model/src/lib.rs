@@ -42,11 +42,9 @@ pub use sensitivity::{
     SweepPoint,
 };
 pub use sweep::{
-    compute_point, evaluate_point, kernel_at_chunk, point_key, EarlyExit, EvalMode, MemoCache,
-    SweepGrid, SweepPointSpec,
+    compute_point, evaluate_point, kernel_at_chunk, point_key, prepared_key, EarlyExit, EvalMode,
+    MemoCache, MemoStats, SweepGrid, SweepPointSpec,
 };
-#[allow(deprecated)]
-pub use total::AnalyzeOptions;
 pub use total::{
     analyze_loop, analyze_loop_prepared, modeled_fs_overhead, AnalysisOptions, LoopCost,
     ModeledFsComparison, PreparedKernel,

@@ -27,7 +27,7 @@ use crate::predict::predict_fs_prepared;
 use crate::total::{analyze_loop_prepared, AnalysisOptions, LoopCost, PreparedKernel};
 use loop_ir::{Kernel, Schedule};
 use machine::MachineConfig;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One point of a sweep grid, by index into the grid's axes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -209,6 +209,74 @@ fn schedule_normalized(kernel: &Kernel) -> Kernel {
     k
 }
 
+/// Lifetime statistics of one [`MemoCache`] (or an aggregate over shards).
+/// `hits`/`misses`/`evictions`/`peak_bytes` describe the cache's whole
+/// lifetime; `bytes` and `entries` describe its current contents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Approximate resident bytes currently held.
+    pub bytes: u64,
+    /// High-water mark of `bytes` over the cache's lifetime.
+    pub peak_bytes: u64,
+    /// Entries currently held (points + prepared kernels).
+    pub entries: u64,
+}
+
+impl MemoStats {
+    /// Accumulate another cache's stats (shard aggregation). Per-shard
+    /// peaks sum to an upper bound on the aggregate peak, which is the
+    /// conservative figure a byte budget cares about.
+    pub fn merge(&mut self, other: &MemoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.bytes += other.bytes;
+        self.peak_bytes += other.peak_bytes;
+        self.entries += other.entries;
+    }
+}
+
+/// Approximate resident bytes of a cached point result: the struct itself
+/// plus the heap the FS model result owns (per-line attribution, series,
+/// per-thread counts) and the cache-cost reference groups.
+fn cost_bytes(c: &LoopCost) -> u64 {
+    let fs = &c.fs;
+    (std::mem::size_of::<LoopCost>()
+        + fs.per_thread_cases.len() * std::mem::size_of::<u64>()
+        + fs.per_line_cases.len() * 48 // HashMap entry: key + value + bucket overhead
+        + (fs.series.len() + fs.events_series.len()) * std::mem::size_of::<(u64, u64)>()
+        + c.cache.groups.len() * std::mem::size_of::<crate::footprint::RefGroup>()) as u64
+}
+
+/// Approximate resident bytes of a prepared kernel: access plan + bases.
+fn prepared_bytes(p: &PreparedKernel) -> u64 {
+    let plan: usize = p
+        .plan
+        .accesses
+        .iter()
+        .map(|a| std::mem::size_of_val(a) + (a.indices.len() + a.dims.len()) * 32)
+        .sum();
+    (std::mem::size_of::<PreparedKernel>() + plan + p.bases.len() * std::mem::size_of::<u64>())
+        as u64
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    Prepared,
+    Point,
+}
+
+struct Entry<T> {
+    value: T,
+    bytes: u64,
+    /// Recency stamp: the cache clock at the entry's last touch. Used to
+    /// recognize stale recency-queue records.
+    stamp: u64,
+}
+
 /// Memoization cache for sweep evaluation. Two maps:
 ///
 /// * prepared-kernel entries keyed by (schedule-normalized kernel, machine)
@@ -218,17 +286,52 @@ fn schedule_normalized(kernel: &Kernel) -> Kernel {
 /// Keys are content fingerprints, so mutating a kernel (padding an array,
 /// changing the body) naturally misses the cache rather than returning
 /// stale costs.
+///
+/// An optional byte budget bounds resident size for long-lived caches (the
+/// daemon's cross-run cache): every entry is charged its approximate heap
+/// size, and inserting past the budget evicts least-recently-used entries
+/// first. Recency is tracked lazily — touches append `(stamp, key)` records
+/// to a queue, and eviction skips records whose stamp no longer matches the
+/// entry — so hits stay O(1) with no linked-list bookkeeping.
 #[derive(Default)]
 pub struct MemoCache {
-    prepared: HashMap<String, PreparedKernel>,
-    points: HashMap<String, LoopCost>,
+    prepared: HashMap<String, Entry<PreparedKernel>>,
+    points: HashMap<String, Entry<LoopCost>>,
+    /// Lazy LRU queue of `(stamp, kind, key)` touch records, oldest first.
+    recency: VecDeque<(u64, EntryKind, String)>,
+    clock: u64,
+    budget: Option<u64>,
+    bytes: u64,
+    peak_bytes: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl MemoCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache that evicts LRU entries to stay under `bytes` resident
+    /// bytes (`None` = unbounded, the default).
+    pub fn with_budget(budget: Option<u64>) -> Self {
+        MemoCache {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Change the byte budget, evicting immediately if the cache is over
+    /// the new limit.
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+        self.enforce_budget();
     }
 
     /// Cached point results + prepared kernels currently held.
@@ -248,20 +351,125 @@ impl MemoCache {
         self.misses
     }
 
+    /// LRU evictions over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate resident bytes currently held.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// High-water mark of [`Self::bytes`] over the cache's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Lifetime + occupancy statistics in one copyable struct.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            bytes: self.bytes,
+            peak_bytes: self.peak_bytes,
+            entries: self.len() as u64,
+        }
+    }
+
     /// Drop every cached entry (counters survive; they describe the
     /// cache's lifetime, not its contents).
     pub fn clear(&mut self) {
         self.prepared.clear();
         self.points.clear();
+        self.recency.clear();
+        self.bytes = 0;
+    }
+
+    /// Next recency stamp.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Record a touch of `key` so eviction sees it as recently used.
+    fn touch(&mut self, kind: EntryKind, key: &str, stamp: u64) {
+        self.recency.push_back((stamp, kind, key.to_string()));
+        // Stale records (touches superseded by later ones) accumulate in
+        // the queue; compact once they dominate so it stays O(entries).
+        if self.recency.len() > 4 * self.len().max(16) {
+            self.compact_recency();
+        }
+    }
+
+    fn compact_recency(&mut self) {
+        let mut live: Vec<(u64, EntryKind, String)> = self
+            .prepared
+            .iter()
+            .map(|(k, e)| (e.stamp, EntryKind::Prepared, k.clone()))
+            .chain(
+                self.points
+                    .iter()
+                    .map(|(k, e)| (e.stamp, EntryKind::Point, k.clone())),
+            )
+            .collect();
+        live.sort_by_key(|e| e.0);
+        self.recency = live.into();
+    }
+
+    /// Evict least-recently-used entries until the cache fits its budget.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        while self.bytes > budget {
+            let Some((stamp, kind, key)) = self.recency.pop_front() else {
+                break;
+            };
+            let freed = match kind {
+                EntryKind::Prepared => match self.prepared.get(&key) {
+                    Some(e) if e.stamp == stamp => {
+                        let b = e.bytes;
+                        self.prepared.remove(&key);
+                        Some(b)
+                    }
+                    _ => None, // stale record: entry gone or touched since
+                },
+                EntryKind::Point => match self.points.get(&key) {
+                    Some(e) if e.stamp == stamp => {
+                        let b = e.bytes;
+                        self.points.remove(&key);
+                        Some(b)
+                    }
+                    _ => None,
+                },
+            };
+            if let Some(b) = freed {
+                self.bytes -= b;
+                self.evictions += 1;
+                fs_obs::counters::SWEEP_MEMO_EVICTIONS.inc();
+            }
+        }
+    }
+
+    fn account_insert(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.enforce_budget();
     }
 
     /// Look up a point result by its [`point_key`], counting a hit or miss.
     pub fn lookup_point(&mut self, key: &str) -> Option<LoopCost> {
-        match self.points.get(key) {
-            Some(c) => {
+        let stamp = self.tick();
+        match self.points.get_mut(key) {
+            Some(e) => {
+                e.stamp = stamp;
+                let c = e.value.clone();
+                self.touch(EntryKind::Point, key, stamp);
                 self.hits += 1;
                 fs_obs::counters::SWEEP_MEMO_HITS.inc();
-                Some(c.clone())
+                Some(c)
             }
             None => {
                 self.misses += 1;
@@ -273,25 +481,70 @@ impl MemoCache {
 
     /// Store a computed point result under its [`point_key`].
     pub fn insert_point(&mut self, key: String, cost: LoopCost) {
-        self.points.insert(key, cost);
+        let stamp = self.tick();
+        let bytes = cost_bytes(&cost) + key.len() as u64;
+        self.touch(EntryKind::Point, &key, stamp);
+        if let Some(old) = self.points.insert(
+            key,
+            Entry {
+                value: cost,
+                bytes,
+                stamp,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.account_insert(bytes);
     }
 
     /// The prepared (schedule-independent) inputs for `kernel` on
     /// `machine`, computed on first request and shared by every chunk and
     /// team-size variant of the kernel afterwards.
     pub fn prepared_for(&mut self, kernel: &Kernel, machine: &MachineConfig) -> PreparedKernel {
-        let key = format!(
-            "{}|{}",
-            fingerprint(&schedule_normalized(kernel)),
-            fingerprint(machine)
-        );
-        if let Some(p) = self.prepared.get(&key) {
-            return p.clone();
+        let key = prepared_key(kernel, machine);
+        self.prepared_for_keyed(key, kernel, machine)
+    }
+
+    /// [`Self::prepared_for`] with the [`prepared_key`] already computed —
+    /// sharded caches route by the key and must not fingerprint twice.
+    pub fn prepared_for_keyed(
+        &mut self,
+        key: String,
+        kernel: &Kernel,
+        machine: &MachineConfig,
+    ) -> PreparedKernel {
+        let stamp = self.tick();
+        if let Some(e) = self.prepared.get_mut(&key) {
+            e.stamp = stamp;
+            let p = e.value.clone();
+            self.touch(EntryKind::Prepared, &key, stamp);
+            return p;
         }
         let p = PreparedKernel::new(kernel, machine);
-        self.prepared.insert(key, p.clone());
+        let bytes = prepared_bytes(&p) + key.len() as u64;
+        self.touch(EntryKind::Prepared, &key, stamp);
+        self.prepared.insert(
+            key,
+            Entry {
+                value: p.clone(),
+                bytes,
+                stamp,
+            },
+        );
+        self.account_insert(bytes);
         p
     }
+}
+
+/// The content fingerprint identifying a (kernel, machine) pair's prepared
+/// inputs — schedule-normalized, so every (threads, chunk) point of a
+/// kernel shares one entry. Public so sharded caches can route by it.
+pub fn prepared_key(kernel: &Kernel, machine: &MachineConfig) -> String {
+    format!(
+        "{}|{}",
+        fingerprint(&schedule_normalized(kernel)),
+        fingerprint(machine)
+    )
 }
 
 /// The content fingerprint identifying one grid point's full result.
@@ -465,6 +718,72 @@ mod tests {
         }
         // 4 point entries + exactly 1 prepared entry.
         assert_eq!(memo.len(), 5);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_entries() {
+        let m = presets::paper48();
+        let base = kernels::transpose(32, 32, 1);
+        // Learn the real footprint of a few points, then set a budget that
+        // holds roughly half of them.
+        let mut probe = MemoCache::new();
+        for chunk in [1u64, 2, 4, 8] {
+            let k = kernel_at_chunk(&base, chunk);
+            evaluate_point(&k, &m, 8, EvalMode::Full, &mut probe);
+        }
+        let full_bytes = probe.bytes();
+        assert!(full_bytes > 0);
+        assert_eq!(probe.peak_bytes(), full_bytes);
+        assert_eq!(probe.evictions(), 0);
+        assert_eq!(probe.stats().entries, 5);
+
+        let mut memo = MemoCache::with_budget(Some(full_bytes / 2));
+        for chunk in [1u64, 2, 4, 8] {
+            let k = kernel_at_chunk(&base, chunk);
+            evaluate_point(&k, &m, 8, EvalMode::Full, &mut memo);
+        }
+        assert!(memo.evictions() > 0, "budget forced evictions");
+        assert!(memo.bytes() <= full_bytes / 2, "stayed under budget");
+        assert!(memo.len() < 5, "some entries were dropped");
+        // Evicted points recompute correctly (values never change).
+        let k1 = kernel_at_chunk(&base, 1);
+        let again = evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        let reference = evaluate_point(&k1, &m, 8, EvalMode::Full, &mut probe);
+        assert_eq!(again.total_cycles, reference.total_cycles);
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched_entries() {
+        let m = presets::paper48();
+        let base = kernels::transpose(32, 32, 1);
+        let mut memo = MemoCache::new();
+        let k1 = kernel_at_chunk(&base, 1);
+        let k2 = kernel_at_chunk(&base, 2);
+        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        evaluate_point(&k2, &m, 8, EvalMode::Full, &mut memo);
+        // Touch k1's point so k2's becomes the LRU entry, then shrink the
+        // budget enough to force at least one eviction.
+        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        let hits_before = memo.hits();
+        memo.set_budget(Some(memo.bytes().saturating_sub(1)));
+        assert!(memo.evictions() > 0);
+        // k1 must still be resident.
+        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        assert_eq!(memo.hits(), hits_before + 1, "recently used entry kept");
+    }
+
+    #[test]
+    fn clear_resets_bytes_but_keeps_lifetime_counters() {
+        let m = presets::paper48();
+        let k = kernel_at_chunk(&kernels::transpose(32, 32, 1), 1);
+        let mut memo = MemoCache::with_budget(Some(64));
+        evaluate_point(&k, &m, 8, EvalMode::Full, &mut memo);
+        let ev = memo.evictions();
+        assert!(ev > 0, "tiny budget evicts immediately");
+        memo.clear();
+        assert_eq!(memo.bytes(), 0);
+        assert_eq!(memo.evictions(), ev, "lifetime counters survive clear");
+        assert!(memo.peak_bytes() > 0);
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct AnalysisOptions {
     pub predict_chunk_runs: Option<u64>,
     /// Override the default FS-model configuration.
     pub fs_config: Option<FsModelConfig>,
+    /// Byte budget of the sweep memo cache (`None` = unbounded). Only
+    /// consulted by callers that own a [`crate::sweep::MemoCache`]; it does
+    /// not participate in point identity, so changing it never invalidates
+    /// cached results.
+    pub memo_budget_bytes: Option<u64>,
 }
 
 impl AnalysisOptions {
@@ -77,6 +82,7 @@ impl AnalysisOptions {
             num_threads,
             predict_chunk_runs: None,
             fs_config: None,
+            memo_budget_bytes: None,
         }
     }
 
@@ -99,16 +105,18 @@ impl AnalysisOptions {
         self
     }
 
+    /// Cap the sweep memo cache at `bytes` resident bytes (LRU eviction).
+    pub fn memo_budget(mut self, bytes: u64) -> Self {
+        self.memo_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Finish the builder. A no-op — every intermediate value is already a
     /// complete options struct — provided so builder chains read naturally.
     pub fn build(self) -> Self {
         self
     }
 }
-
-/// The pre-unification name of [`AnalysisOptions`] in this crate.
-#[deprecated(note = "renamed to `AnalysisOptions`; the type is unchanged")]
-pub type AnalyzeOptions = AnalysisOptions;
 
 /// Schedule-independent inputs of one (kernel, machine) pair: the
 /// `Machine_c` term (per-iteration op latencies — unaffected by chunk size

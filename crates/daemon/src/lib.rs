@@ -1,0 +1,467 @@
+//! `fsd` server internals — the long-running analysis daemon over
+//! [`fs_core::service`].
+//!
+//! The daemon owns one [`Service`] (and therefore one shared, sharded,
+//! byte-budgeted [`fs_core::ServiceCache`]): every client that connects —
+//! over the Unix socket or the HTTP fallback — analyzes against the same
+//! memo, so a grid one editor sweeps warms the single-kernel queries the
+//! next client sends. The protocol is newline-delimited JSON: one request
+//! object per line in, one or more response objects per line out, every
+//! response stamped with `"fsd_version"`. See `docs/DAEMON.md`.
+//!
+//! The library half exists so the integration tests (`tests/daemon.rs`)
+//! can run a real server on an in-test socket without forking the binary;
+//! `src/main.rs` is flag parsing plus [`Daemon::serve_unix`] /
+//! [`Daemon::serve_http`].
+//!
+//! ## Protocol summary
+//!
+//! Requests are parsed by [`fs_core::service::parse_request`] (`cmd`:
+//! `analyze` | `lint` | `ping` | `stats` | `shutdown`). Responses:
+//!
+//! - `analyze`/`lint`, `"stream": false` — exactly the envelope that an
+//!   in-process [`Service::handle`] + [`ServiceResponse::envelope`] call
+//!   renders, compact, one line. Byte-identical by construction.
+//! - `"stream": true` — one `{"fsd_version":1,"event":"result","result":
+//!   {...}}` line per kernel as it completes, then the envelope minus the
+//!   `reports` array as a final `"event":"done"` line.
+//! - `ping` — `{"fsd_version":1,"event":"pong"}`.
+//! - `stats` — cache occupancy and lifetime hit/miss/eviction tallies.
+//! - `shutdown` — an acknowledgement line, then the accept loops stop.
+//! - anything malformed — `{"fsd_version":1,"error":"..."}`; the
+//!   connection survives and the next line is read.
+
+use fs_core::service::{parse_request, Command, ParsedRequest};
+use fs_core::{JsonValue, KernelResult, Service, ServiceResponse, FSD_VERSION};
+use fs_obs as obs;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Poll interval of the non-blocking accept loops (they wake this often to
+/// check the shutdown flag).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Largest HTTP request body the fallback endpoint accepts.
+const HTTP_BODY_LIMIT: u64 = 8 * 1024 * 1024;
+
+/// A running analysis daemon: one shared [`Service`] plus the shutdown
+/// latch both accept loops watch. Wrap it in an [`Arc`] and hand clones to
+/// [`Daemon::serve_unix`] / [`Daemon::serve_http`] on their own threads.
+pub struct Daemon {
+    service: Service,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// A daemon whose cache is bounded to `cache_budget` bytes (spread
+    /// across the shards); `None` leaves it unbounded.
+    pub fn new(cache_budget: Option<u64>) -> Self {
+        Daemon {
+            service: Service::with_budget(cache_budget),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared service — the tests call it in-process to produce the
+    /// reference bytes a socket round-trip must match.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Ask the accept loops to stop after their current poll.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Has a `shutdown` command (or [`Self::request_shutdown`]) been seen?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    // -- protocol ----------------------------------------------------------
+
+    /// Handle one protocol line, writing the response line(s) to `out`.
+    /// Never fails on bad input — malformed lines produce an `error`
+    /// response — only on I/O errors writing to `out`.
+    pub fn handle_line(&self, line: &str, out: &mut dyn Write) -> io::Result<()> {
+        let parsed = match fs_core::json::parse(line) {
+            Ok(v) => parse_request(&v),
+            Err(e) => Err(format!("parse error: {e}")),
+        };
+        let parsed = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                obs::counters::SVC_ERRORS.inc();
+                return writeln!(out, "{}", error_json(&e).render());
+            }
+        };
+        match parsed.command {
+            Command::Ping => writeln!(out, "{}", event_obj("pong").render()),
+            Command::Stats => writeln!(out, "{}", self.stats_json().render()),
+            Command::Shutdown => {
+                self.request_shutdown();
+                writeln!(out, "{}", event_obj("shutdown").render())
+            }
+            Command::Analyze | Command::Lint => self.run_request(&parsed, out),
+        }
+    }
+
+    /// Execute an analyze/lint request, streaming per-kernel events first
+    /// when the client asked for them.
+    fn run_request(&self, parsed: &ParsedRequest, out: &mut dyn Write) -> io::Result<()> {
+        if !parsed.stream {
+            let resp = self.service.handle(&parsed.request);
+            return writeln!(out, "{}", resp.envelope().render());
+        }
+        // Streaming: the callback fires inside `handle_with`, so write
+        // failures are stashed and re-raised once the borrow ends.
+        let mut io_err: Option<io::Error> = None;
+        let mut emit = |kr: &KernelResult| {
+            if io_err.is_some() {
+                return;
+            }
+            let ev = event_obj("result").field("result", kr.to_json());
+            if let Err(e) = writeln!(out, "{}", ev.render()).and_then(|_| out.flush()) {
+                io_err = Some(e);
+            }
+        };
+        let resp = self.service.handle_with(&parsed.request, Some(&mut emit));
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        writeln!(out, "{}", done_event(&resp).render())
+    }
+
+    /// The `stats` response: shard count, aggregated cache stats (lifetime
+    /// hits/misses/evictions plus resident and peak bytes), and the
+    /// process-wide request counter.
+    pub fn stats_json(&self) -> JsonValue {
+        let cache = self.service.cache();
+        let s = cache.stats();
+        event_obj("stats")
+            .field("shards", cache.num_shards() as u64)
+            .field(
+                "cache",
+                JsonValue::obj()
+                    .field("hits", s.hits)
+                    .field("misses", s.misses)
+                    .field("evictions", s.evictions)
+                    .field("bytes", s.bytes)
+                    .field("peak_bytes", s.peak_bytes)
+                    .field("entries", s.entries),
+            )
+            .field("requests", obs::counters::SVC_REQUESTS.get())
+    }
+
+    // -- Unix socket server ------------------------------------------------
+
+    /// Accept NDJSON clients until a `shutdown` command arrives. Each
+    /// connection gets a thread; all of them share `self` (and the cache).
+    pub fn serve_unix(self: &Arc<Self>, listener: UnixListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = Arc::clone(self);
+                    thread::spawn(move || daemon.unix_connection(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn unix_connection(&self, stream: UnixStream) {
+        // The listener is non-blocking and accepted sockets inherit that;
+        // reads here should block.
+        let _ = stream.set_nonblocking(false);
+        let Ok(writer) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = BufWriter::new(writer);
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // EOF: client hung up.
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.handle_line(&line, &mut writer).is_err() || writer.flush().is_err() {
+                return;
+            }
+            if self.shutdown_requested() {
+                return;
+            }
+        }
+    }
+
+    // -- HTTP/1.1 fallback -------------------------------------------------
+
+    /// The minimal HTTP fallback for clients that cannot speak Unix
+    /// sockets: `POST /` (or `/analyze`) with a protocol object as the
+    /// body, `GET /ping`, `GET /stats`. One request per connection.
+    pub fn serve_http(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = Arc::clone(self);
+                    thread::spawn(move || daemon.http_connection(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn http_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let Ok(writer) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = BufWriter::new(writer);
+        let mut reader = BufReader::new(stream);
+        match self.http_request(&mut reader) {
+            Ok((status, body)) => {
+                let _ = write_http_response(&mut writer, status, &body);
+            }
+            Err(_) => {
+                let _ = write_http_response(&mut writer, 400, "{\"error\": \"bad request\"}\n");
+            }
+        }
+        let _ = writer.flush();
+    }
+
+    /// Parse one HTTP request and produce `(status, body)`. Streamed
+    /// responses arrive as an NDJSON body — the event lines concatenated —
+    /// since the fallback does not do chunked transfer.
+    fn http_request(&self, reader: &mut impl BufRead) -> io::Result<(u16, String)> {
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_ascii_uppercase();
+        let path = parts.next().unwrap_or("/").to_string();
+
+        let mut content_length: u64 = 0;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                break;
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+
+        match (method.as_str(), path.as_str()) {
+            ("GET", "/ping") => Ok((200, format!("{}\n", event_obj("pong").render()))),
+            ("GET", "/stats") => Ok((200, format!("{}\n", self.stats_json().render()))),
+            ("POST", "/") | ("POST", "/analyze") => {
+                if content_length > HTTP_BODY_LIMIT {
+                    return Ok((413, "{\"error\": \"body too large\"}\n".to_string()));
+                }
+                let mut body = String::new();
+                reader.take(content_length).read_to_string(&mut body)?;
+                let mut out: Vec<u8> = Vec::new();
+                self.handle_line(&body, &mut out)?;
+                let ok = !out.starts_with(b"{\"fsd_version\":1,\"error\":");
+                Ok((
+                    if ok { 200 } else { 400 },
+                    String::from_utf8_lossy(&out).into_owned(),
+                ))
+            }
+            _ => Ok((404, "{\"error\": \"not found\"}\n".to_string())),
+        }
+    }
+}
+
+/// `{"fsd_version": 1, "event": <name>}`, ready for more fields.
+fn event_obj(event: &str) -> JsonValue {
+    JsonValue::obj()
+        .field("fsd_version", FSD_VERSION)
+        .field("event", event)
+}
+
+/// The protocol-error response line.
+fn error_json(message: &str) -> JsonValue {
+    JsonValue::obj()
+        .field("fsd_version", FSD_VERSION)
+        .field("error", message)
+}
+
+/// The final line of a streamed response: the envelope without its
+/// `reports` array (those already went out as `result` events), tagged
+/// `"event": "done"` right after the version stamp.
+fn done_event(resp: &ServiceResponse) -> JsonValue {
+    let mut tail = resp.envelope_tail();
+    if let JsonValue::Obj(fields) = &mut tail {
+        fields.insert(1, ("event".to_string(), JsonValue::Str("done".to_string())));
+    }
+    tail
+}
+
+fn write_http_response(out: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        _ => "Error",
+    };
+    write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Bind the daemon socket, reclaiming a stale file left by a dead server:
+/// if the path exists but nothing accepts connections on it, it is removed
+/// and rebound; if a live daemon answers, binding fails with `AddrInUse`.
+pub fn bind_unix(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already listening on {}", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_line(kernels: &[&str]) -> String {
+        let ks = kernels
+            .iter()
+            .map(|k| JsonValue::Str(k.to_string()))
+            .collect();
+        JsonValue::obj()
+            .field("kernels", JsonValue::Arr(ks))
+            .render()
+    }
+
+    #[test]
+    fn handle_line_answers_ping_and_stats() {
+        let d = Daemon::new(None);
+        let mut out = Vec::new();
+        d.handle_line("{\"cmd\": \"ping\"}", &mut out).unwrap();
+        let line = String::from_utf8(out).unwrap();
+        let v = fs_core::json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("fsd_version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(v.get("event").and_then(|v| v.as_str()), Some("pong"));
+
+        let mut out = Vec::new();
+        d.handle_line("{\"cmd\": \"stats\"}", &mut out).unwrap();
+        let v = fs_core::json::parse(String::from_utf8(out).unwrap().trim()).unwrap();
+        assert_eq!(v.get("event").and_then(|v| v.as_str()), Some("stats"));
+        assert!(v.get("cache").and_then(|c| c.get("bytes")).is_some());
+    }
+
+    #[test]
+    fn handle_line_matches_in_process_envelope() {
+        let d = Daemon::new(None);
+        let mut out = Vec::new();
+        d.handle_line(&analyze_line(&["@histogram"]), &mut out)
+            .unwrap();
+        let daemon_line = String::from_utf8(out).unwrap();
+
+        // The same request through a fresh in-process service: identical
+        // bytes (no grid => no per-run memo tallies in the envelope).
+        let parsed =
+            parse_request(&fs_core::json::parse(&analyze_line(&["@histogram"])).unwrap()).unwrap();
+        let reference = Service::new().handle(&parsed.request).envelope().render();
+        assert_eq!(daemon_line, format!("{reference}\n"));
+    }
+
+    #[test]
+    fn malformed_lines_error_without_killing_the_handler() {
+        let d = Daemon::new(None);
+        for bad in ["not json", "{\"cmd\": \"explode\"}", "{\"kernels\": []}"] {
+            let mut out = Vec::new();
+            d.handle_line(bad, &mut out).unwrap();
+            let v = fs_core::json::parse(String::from_utf8(out).unwrap().trim()).unwrap();
+            assert!(v.get("error").is_some(), "no error for {bad:?}");
+        }
+        // Still serves good requests afterwards.
+        let mut out = Vec::new();
+        d.handle_line("{\"cmd\": \"ping\"}", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("pong"));
+    }
+
+    #[test]
+    fn streaming_emits_result_events_then_done() {
+        let d = Daemon::new(None);
+        let req = JsonValue::obj()
+            .field(
+                "kernels",
+                JsonValue::Arr(vec![
+                    JsonValue::Str("@histogram".into()),
+                    JsonValue::Str("@stencil".into()),
+                ]),
+            )
+            .field("stream", true)
+            .render();
+        let mut out = Vec::new();
+        d.handle_line(&req, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "2 results + done, got: {text}");
+        for (line, file) in lines.iter().zip(["@histogram", "@stencil"]) {
+            let v = fs_core::json::parse(line).unwrap();
+            assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("result"));
+            assert_eq!(
+                v.get("result")
+                    .and_then(|r| r.get("file"))
+                    .and_then(|f| f.as_str()),
+                Some(file)
+            );
+        }
+        let done = fs_core::json::parse(lines[2]).unwrap();
+        assert_eq!(done.get("event").and_then(|e| e.as_str()), Some("done"));
+        assert!(done.get("reports").is_none(), "tail repeats no reports");
+        assert_eq!(done.get("findings").and_then(|f| f.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn shutdown_command_sets_the_latch() {
+        let d = Daemon::new(None);
+        assert!(!d.shutdown_requested());
+        let mut out = Vec::new();
+        d.handle_line("{\"cmd\": \"shutdown\"}", &mut out).unwrap();
+        assert!(d.shutdown_requested());
+        assert!(String::from_utf8(out).unwrap().contains("\"shutdown\""));
+    }
+}

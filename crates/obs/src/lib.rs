@@ -256,8 +256,18 @@ pub mod counters {
     pub static SIM_DENSE_FALLBACKS: Counter = Counter::new("sim.dense_limit_fallbacks");
     /// Experiment points evaluated by the parallel measured-side harness.
     pub static SIM_POINTS: Counter = Counter::new("sim.points_evaluated");
+    /// Memo-cache entries evicted to stay under the byte budget.
+    pub static SWEEP_MEMO_EVICTIONS: Counter = Counter::new("sweep.memo_evictions");
+    /// Service-layer requests handled (CLI one-shots and daemon submissions).
+    pub static SVC_REQUESTS: Counter = Counter::new("svc.requests");
+    /// Service-cache hits (prepared kernels and memoized points).
+    pub static SVC_CACHE_HITS: Counter = Counter::new("svc.cache_hits");
+    /// Service-cache misses.
+    pub static SVC_CACHE_MISSES: Counter = Counter::new("svc.cache_misses");
+    /// Service requests that returned an error envelope.
+    pub static SVC_ERRORS: Counter = Counter::new("svc.errors");
 
-    pub(super) static ALL: [&Counter; 24] = [
+    pub(super) static ALL: [&Counter; 29] = [
         &SWEEP_MEMO_HITS,
         &SWEEP_MEMO_MISSES,
         &SWEEP_POINTS,
@@ -282,6 +292,11 @@ pub mod counters {
         &SIM_DISPATCH_REFERENCE,
         &SIM_DENSE_FALLBACKS,
         &SIM_POINTS,
+        &SWEEP_MEMO_EVICTIONS,
+        &SVC_REQUESTS,
+        &SVC_CACHE_HITS,
+        &SVC_CACHE_MISSES,
+        &SVC_ERRORS,
     ];
 }
 
@@ -295,8 +310,15 @@ pub mod gauges {
     pub static SWEEP_GRID_POINTS: Gauge = Gauge::new("sweep.grid_points");
     /// Worker-thread count of the most recent measured-side harness run.
     pub static SIM_WORKERS: Gauge = Gauge::new("sim.workers");
+    /// Resident bytes of the shared service memo cache (post-request).
+    pub static SVC_CACHE_BYTES: Gauge = Gauge::new("svc.cache_bytes");
 
-    pub(super) static ALL: [&Gauge; 3] = [&SWEEP_WORKERS, &SWEEP_GRID_POINTS, &SIM_WORKERS];
+    pub(super) static ALL: [&Gauge; 4] = [
+        &SWEEP_WORKERS,
+        &SWEEP_GRID_POINTS,
+        &SIM_WORKERS,
+        &SVC_CACHE_BYTES,
+    ];
 }
 
 // ---------------------------------------------------------------------------

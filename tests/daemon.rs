@@ -1,0 +1,275 @@
+//! End-to-end tests of `fsd`, the analysis daemon: a real Unix-socket
+//! server per test, driven by real clients.
+//!
+//! The contracts under test are the ones `docs/DAEMON.md` promises:
+//!
+//! - **Differential**: the line a daemon writes for a request is
+//!   byte-identical to the envelope an in-process [`fs_core::Service`]
+//!   renders for the same request history (the daemon adds transport, not
+//!   semantics). Checked for every bundled corpus kernel and for sweep
+//!   grids.
+//! - **Determinism under concurrency**: after a warm-up request, N
+//!   concurrent clients issuing the same grid request all read identical
+//!   bytes, and the shared cache serves them without a single new miss.
+//! - Control plane: `ping`, `stats`, `shutdown`, malformed lines, and the
+//!   HTTP/1.1 fallback.
+
+use fs_core::json::{parse, JsonValue};
+use fs_core::service::parse_request;
+use fs_core::Service;
+use fs_daemon::{bind_unix, Daemon};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+static NEXT_SOCKET: AtomicU32 = AtomicU32::new(0);
+
+/// A live daemon on a unique temp socket.
+struct TestServer {
+    daemon: Arc<Daemon>,
+    path: PathBuf,
+    accept_loop: JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start() -> Self {
+        let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("fsd-test-{}-{n}.sock", std::process::id()));
+        let listener = bind_unix(&path).expect("bind test socket");
+        let daemon = Arc::new(Daemon::new(None));
+        let server = Arc::clone(&daemon);
+        let accept_loop = thread::spawn(move || server.serve_unix(listener));
+        TestServer {
+            daemon,
+            path,
+            accept_loop,
+        }
+    }
+
+    fn connect(&self) -> UnixStream {
+        UnixStream::connect(&self.path).expect("connect to test daemon")
+    }
+
+    /// Send one request line, read one response line.
+    fn round_trip(&self, line: &str) -> String {
+        let mut stream = self.connect();
+        writeln!(stream, "{line}").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response
+    }
+
+    fn stop(self) {
+        self.daemon.request_shutdown();
+        self.accept_loop.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn analyze_request(kernels: &[&str], grid: bool) -> String {
+    let mut req = JsonValue::obj().field(
+        "kernels",
+        JsonValue::Arr(
+            kernels
+                .iter()
+                .map(|k| JsonValue::Str(k.to_string()))
+                .collect(),
+        ),
+    );
+    if grid {
+        req = req.field(
+            "grid",
+            JsonValue::obj()
+                .field("threads", JsonValue::Arr(vec![2u64.into(), 4u64.into()]))
+                .field("chunks", JsonValue::Arr(vec![1u64.into(), 8u64.into()])),
+        );
+    }
+    req.render()
+}
+
+/// The in-process reference bytes for a protocol line, replayed against
+/// `svc` (so cache history can be made to match the daemon's).
+fn reference_line(svc: &Service, line: &str) -> String {
+    let parsed = parse_request(&parse(line).unwrap()).unwrap();
+    format!("{}\n", svc.handle(&parsed.request).envelope().render())
+}
+
+#[test]
+fn socket_responses_match_in_process_service_for_the_corpus() {
+    let server = TestServer::start();
+    // One fresh in-process service per request: without a grid the
+    // envelope carries no per-run memo tallies, so daemon cache state
+    // cannot (and must not) show through.
+    for entry in fs_core::CORPUS {
+        let line = analyze_request(&[&format!("@{}", entry.name)], false);
+        let from_daemon = server.round_trip(&line);
+        let reference = reference_line(&Service::new(), &line);
+        assert_eq!(
+            from_daemon, reference,
+            "daemon response for @{} diverges from in-process service",
+            entry.name
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn socket_grid_responses_match_in_process_history() {
+    let server = TestServer::start();
+    let svc = Service::new();
+    let line = analyze_request(&["@histogram", "@stencil"], true);
+    // Same request replayed against both sides: run 1 is all cold misses,
+    // run 2 all hits. The envelopes carry those tallies, so byte-identity
+    // here proves the daemon's cache behaves exactly like the library's.
+    for run in 1..=2 {
+        let from_daemon = server.round_trip(&line);
+        let reference = reference_line(&svc, &line);
+        assert_eq!(from_daemon, reference, "grid run {run} diverges");
+    }
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_get_identical_bytes_with_zero_new_misses() {
+    let server = TestServer::start();
+    let line = analyze_request(&["@histogram"], true);
+
+    // Warm the shared cache (the cold response carries all-miss memo
+    // tallies, so the reference bytes are the *second*, fully-warm run),
+    // then snapshot the lifetime miss count.
+    server.round_trip(&line);
+    let warm = server.round_trip(&line);
+    let stats = parse(server.round_trip("{\"cmd\": \"stats\"}").trim()).unwrap();
+    let misses_before = stats
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(|m| m.as_u64())
+        .expect("stats reports cache misses");
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let line = line.clone();
+            let path = server.path.clone();
+            thread::spawn(move || {
+                let mut stream = UnixStream::connect(&path).unwrap();
+                writeln!(stream, "{line}").unwrap();
+                let mut response = String::new();
+                BufReader::new(stream).read_line(&mut response).unwrap();
+                response
+            })
+        })
+        .collect();
+    for client in clients {
+        let response = client.join().unwrap();
+        assert_eq!(response, warm, "a concurrent client saw different bytes");
+    }
+
+    let stats = parse(server.round_trip("{\"cmd\": \"stats\"}").trim()).unwrap();
+    let misses_after = stats
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(|m| m.as_u64())
+        .unwrap();
+    assert_eq!(
+        misses_before, misses_after,
+        "warm concurrent requests must be pure cache hits"
+    );
+    server.stop();
+}
+
+#[test]
+fn one_connection_can_issue_many_requests_and_streams() {
+    let server = TestServer::start();
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+
+    // ping
+    writeln!(stream, "{{\"cmd\": \"ping\"}}").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"pong\""), "got: {line}");
+
+    // a malformed line keeps the connection alive
+    line.clear();
+    writeln!(stream, "this is not json").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"error\""), "got: {line}");
+
+    // a streamed lint: two result events, then done
+    line.clear();
+    writeln!(
+        stream,
+        "{{\"cmd\": \"lint\", \"kernels\": [\"@histogram\", \"@stencil\"], \"stream\": true}}"
+    )
+    .unwrap();
+    for expected_file in ["@histogram", "@stencil"] {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let v = parse(line.trim()).unwrap();
+        assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("result"));
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("file"))
+                .and_then(|f| f.as_str()),
+            Some(expected_file)
+        );
+    }
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let done = parse(line.trim()).unwrap();
+    assert_eq!(done.get("event").and_then(|e| e.as_str()), Some("done"));
+    server.stop();
+}
+
+#[test]
+fn shutdown_command_stops_the_accept_loop() {
+    let server = TestServer::start();
+    let ack = server.round_trip("{\"cmd\": \"shutdown\"}");
+    assert!(ack.contains("\"shutdown\""), "got: {ack}");
+    // The accept loop observes the latch and returns; join proves it.
+    server.accept_loop.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&server.path);
+}
+
+#[test]
+fn http_fallback_serves_ping_and_analyze() {
+    let daemon = Arc::new(Daemon::new(None));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::clone(&daemon);
+    let http_loop = thread::spawn(move || server.serve_http(listener));
+
+    let http = |request: String| -> (String, String) {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("http header/body split");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = http("GET /ping HTTP/1.1\r\nHost: fsd\r\n\r\n".to_string());
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    assert!(body.contains("\"pong\""), "got: {body}");
+
+    let payload = analyze_request(&["@histogram"], false);
+    let (head, body) = http(format!(
+        "POST /analyze HTTP/1.1\r\nHost: fsd\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    ));
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    // The body is the very same envelope line the socket path writes.
+    let reference = reference_line(&Service::new(), &payload);
+    assert_eq!(body, reference);
+
+    let (head, _) = http("GET /nope HTTP/1.1\r\nHost: fsd\r\n\r\n".to_string());
+    assert!(head.starts_with("HTTP/1.1 404"), "got: {head}");
+
+    daemon.request_shutdown();
+    http_loop.join().unwrap().unwrap();
+}
