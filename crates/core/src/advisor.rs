@@ -4,6 +4,7 @@
 //! model each, and recommend the cheapest schedule.
 
 use cost_model::sweep::{evaluate_point, kernel_at_chunk, EvalMode, MemoCache};
+use cost_model::FsPath;
 use loop_ir::Kernel;
 use machine::MachineConfig;
 
@@ -60,7 +61,7 @@ pub fn recommend_chunk(
     let mut points = Vec::with_capacity(candidates.len());
     for &chunk in &candidates {
         let k = kernel_at_chunk(kernel, chunk);
-        let cost = evaluate_point(&k, machine, num_threads, mode, &mut memo);
+        let cost = evaluate_point(&k, machine, num_threads, mode, FsPath::Symbolic, &mut memo);
         points.push(ChunkPoint {
             chunk,
             fs_cases: cost.fs.fs_cases,

@@ -87,6 +87,7 @@ struct Args {
     sweep_grid: Option<(Vec<u32>, Vec<u64>)>,
     workers: Option<usize>,
     early_exit: bool,
+    fs_path: fs_core::FsPath,
     format: Format,
     consts: Vec<(String, i64)>,
     profile: bool,
@@ -101,6 +102,7 @@ fn usage() -> ! {
          \x20              [--predict RUNS] [--format json|sarif|human] [--json] [--advise]\n\
          \x20              [--eliminate] [--sim] [--contention] [--sweep]\n\
          \x20              [--sweep-grid THREADS:CHUNKS] [--workers N] [--early-exit]\n\
+         \x20              [--path symbolic|optimized|reference]\n\
          \x20              [--const NAME=VALUE ...] [--list]\n\
          \x20              [--profile] [--trace-out FILE] [--quiet] [--verbose]"
     );
@@ -122,6 +124,7 @@ fn parse_args() -> Args {
         sweep_grid: None,
         workers: None,
         early_exit: false,
+        fs_path: fs_core::FsPath::Symbolic,
         format: Format::Human,
         consts: Vec::new(),
         profile: false,
@@ -164,6 +167,13 @@ fn parse_args() -> Args {
                 )
             }
             "--early-exit" => args.early_exit = true,
+            "--path" => {
+                args.fs_path = it
+                    .next()
+                    .as_deref()
+                    .and_then(fs_core::FsPath::parse)
+                    .unwrap_or_else(|| usage())
+            }
             "--json" => args.format = Format::Json,
             "--format" => match it.next().as_deref() {
                 Some("json") => args.format = Format::Json,
@@ -270,6 +280,7 @@ fn main() -> ExitCode {
             lint: true,
             timing: true,
             consts: args.consts.clone(),
+            path: args.fs_path,
         },
     };
     let svc = Service::new();

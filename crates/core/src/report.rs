@@ -84,8 +84,8 @@ impl AnalysisReport {
         let _ = writeln!(out, "== false-sharing analysis: {} ==", self.kernel_name);
         let _ = writeln!(
             out,
-            "machine: {} | threads: {}",
-            self.machine_name, self.num_threads
+            "machine: {} | threads: {} | fs path: {}",
+            self.machine_name, self.num_threads, c.fs_path
         );
         let _ = writeln!(
             out,
@@ -181,6 +181,7 @@ impl AnalysisReport {
             .field("kernel", self.kernel_name.as_str())
             .field("machine", self.machine_name.as_str())
             .field("threads", self.num_threads)
+            .field("fs_path", c.fs_path.as_str())
             .field("fs_cases", c.fs.fs_cases)
             .field("fs_events", c.fs.fs_events)
             .field("true_sharing_cases", c.fs.true_sharing_cases)

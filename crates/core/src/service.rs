@@ -25,7 +25,7 @@ use crate::sweep::{SweepEngine, SweepGridResult};
 use cost_model::sweep::{
     compute_point, point_key, prepared_key, EarlyExit, EvalMode, MemoCache, MemoStats, SweepGrid,
 };
-use cost_model::{AnalysisOptions, LoopCost, PreparedKernel};
+use cost_model::{AnalysisOptions, FsPath, LoopCost, PreparedKernel};
 use fs_obs as obs;
 use fs_runtime::Sharded;
 use loop_ir::Kernel;
@@ -190,9 +190,16 @@ impl ServiceCache {
     }
 
     /// The prepared (schedule-independent) inputs for `kernel` on
-    /// `machine`, cached on the shard owning its [`prepared_key`].
-    pub fn prepared_for(&self, kernel: &Kernel, machine: &MachineConfig) -> PreparedKernel {
-        let key = prepared_key(kernel, machine);
+    /// `machine`, cached on the shard owning its [`prepared_key`]. The
+    /// resolved FS path is part of the key (as for points), so toggling the
+    /// service's path between requests never aliases cached state.
+    pub fn prepared_for(
+        &self,
+        kernel: &Kernel,
+        machine: &MachineConfig,
+        path: FsPath,
+    ) -> PreparedKernel {
+        let key = prepared_key(kernel, machine, path);
         let p = self
             .shards
             .shard_for(key.as_str())
@@ -276,6 +283,12 @@ pub struct ServiceOptions {
     pub timing: bool,
     /// `NAME=VALUE` bindings applied when parsing every kernel.
     pub consts: Vec<(String, i64)>,
+    /// FS-model path for every analysis and grid point. The service
+    /// defaults to [`FsPath::Symbolic`]: in-fragment kernels get exact
+    /// closed-form counts in O(1) per point, and out-of-fragment kernels
+    /// fall back to the dense path with identical counts (see
+    /// `fs.symbolic_fallbacks`).
+    pub path: FsPath,
 }
 
 impl Default for ServiceOptions {
@@ -289,6 +302,7 @@ impl Default for ServiceOptions {
             lint: true,
             timing: false,
             consts: Vec::new(),
+            path: FsPath::Symbolic,
         }
     }
 }
@@ -568,8 +582,13 @@ impl Service {
                     Err(e) => kr.error = Some(e.with_source_name(&input.name).to_string()),
                     Ok(kernel) => {
                         if opts.analyze {
-                            match self.analyze_cached(&kernel, primary, opts.threads, opts.predict)
-                            {
+                            match self.analyze_cached(
+                                &kernel,
+                                primary,
+                                opts.threads,
+                                opts.predict,
+                                opts.path,
+                            ) {
                                 Ok(r) => kr.report = Some(r),
                                 Err(e) => kr.error = Some(format!("{}: {e}", input.name)),
                             }
@@ -617,7 +636,9 @@ impl Service {
                             None => EvalMode::Full,
                         }
                     };
-                    let mut engine = SweepEngine::with_cache(Arc::clone(&self.cache)).mode(mode);
+                    let mut engine = SweepEngine::with_cache(Arc::clone(&self.cache))
+                        .mode(mode)
+                        .path(opts.path);
                     if let Some(w) = opts.workers {
                         engine = engine.workers(w);
                     }
@@ -662,6 +683,7 @@ impl Service {
         machine: &MachineConfig,
         threads: u32,
         predict: Option<u64>,
+        path: FsPath,
     ) -> Result<AnalysisReport, AnalysisError> {
         check_team(machine, threads)?;
         loop_ir::validate(kernel)?;
@@ -669,7 +691,7 @@ impl Service {
             Some(runs) => EvalMode::Predict(runs),
             None => EvalMode::Full,
         };
-        let key = point_key(kernel, machine, threads, &mode);
+        let key = point_key(kernel, machine, threads, &mode, path);
         let cost = match self.cache.lookup_point(&key) {
             Some(c) => {
                 obs::counters::SVC_CACHE_HITS.inc();
@@ -677,8 +699,8 @@ impl Service {
             }
             None => {
                 obs::counters::SVC_CACHE_MISSES.inc();
-                let prep = self.cache.prepared_for(kernel, machine);
-                let c = compute_point(kernel, machine, threads, mode, &prep);
+                let prep = self.cache.prepared_for(kernel, machine, path);
+                let c = compute_point(kernel, machine, threads, mode, path, &prep);
                 self.cache.insert_point(key, c.clone());
                 c
             }
@@ -729,8 +751,10 @@ pub struct ParsedRequest {
 /// ```
 ///
 /// `cmd` defaults to `analyze`; `machine` (singular, a string) is accepted
-/// as shorthand for a one-entry `machines`. Unknown commands and malformed
-/// fields are errors — the daemon reports them without dying.
+/// as shorthand for a one-entry `machines`. `path` selects the FS-model
+/// path (`"symbolic"` — the default — `"optimized"`, or `"reference"`).
+/// Unknown commands and malformed fields are errors — the daemon reports
+/// them without dying.
 pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
     let cmd = match v.get("cmd") {
         None => "analyze",
@@ -824,6 +848,11 @@ pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
     }
     if let Some(t) = v.get("timing") {
         opts.timing = t.as_bool().ok_or("'timing' must be a boolean")?;
+    }
+    if let Some(p) = v.get("path") {
+        let s = p.as_str().ok_or("'path' must be a string")?;
+        opts.path = FsPath::parse(s)
+            .ok_or_else(|| format!("unknown path '{s}' (symbolic | optimized | reference)"))?;
     }
     if let Some(c) = v.get("consts") {
         let JsonValue::Obj(fields) = c else {
@@ -972,6 +1001,42 @@ mod tests {
         // @histogram's schedule is (static, 1), threads default 8 — the
         // same point identity the first request cached.
         assert!(sweep.memo_hits > 0, "grid reuses the analyze point");
+    }
+
+    #[test]
+    fn path_toggle_never_serves_stale_cache() {
+        let svc = Service::new();
+        let mut req = histogram_request();
+        let a = svc.handle(&req);
+        let s0 = svc.cache().stats();
+        req.options.path = FsPath::Reference;
+        let b = svc.handle(&req);
+        let s1 = svc.cache().stats();
+        assert_eq!(s1.hits, s0.hits, "different path must miss the memo");
+        assert!(s1.misses > s0.misses);
+        // Counts agree (the equivalence property) but each report names the
+        // path it was dispatched on.
+        let ra = a.results[0].report.as_ref().unwrap();
+        let rb = b.results[0].report.as_ref().unwrap();
+        assert_eq!(ra.cost.fs.fs_cases, rb.cost.fs.fs_cases);
+        assert_eq!(ra.cost.fs_path, FsPath::Symbolic);
+        assert_eq!(rb.cost.fs_path, FsPath::Reference);
+        assert_eq!(
+            ra.to_json().get("fs_path").and_then(|v| v.as_str()),
+            Some("symbolic")
+        );
+    }
+
+    #[test]
+    fn parse_request_accepts_and_validates_path() {
+        let v = json::parse(r#"{"kernels":["@histogram"],"path":"reference"}"#).unwrap();
+        let p = parse_request(&v).unwrap();
+        assert_eq!(p.request.options.path, FsPath::Reference);
+        let v = json::parse(r#"{"kernels":["@histogram"]}"#).unwrap();
+        let p = parse_request(&v).unwrap();
+        assert_eq!(p.request.options.path, FsPath::Symbolic, "daemon default");
+        let v = json::parse(r#"{"kernels":["@histogram"],"path":"quantum"}"#).unwrap();
+        assert!(parse_request(&v).is_err());
     }
 
     #[test]

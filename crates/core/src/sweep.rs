@@ -15,7 +15,7 @@ use crate::service::ServiceCache;
 use cost_model::sweep::{
     compute_point, kernel_at_chunk, point_key, EvalMode, SweepGrid, SweepPointSpec,
 };
-use cost_model::LoopCost;
+use cost_model::{FsPath, LoopCost};
 use fs_runtime::pool::ThreadPool;
 use fs_runtime::shared::SharedSlice;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,6 +41,7 @@ impl SweepOutcome {
             .field("machine", self.machine.as_str())
             .field("threads", self.threads)
             .field("chunk", self.chunk)
+            .field("fs_path", self.cost.fs_path.as_str())
             .field("fs_cases", self.cost.fs.fs_cases)
             .field("fs_events", self.cost.fs.fs_events)
             .field("fs_cycles", self.cost.fs_cycles)
@@ -163,6 +164,7 @@ impl SweepGridResult {
 pub struct SweepEngine {
     memo: Arc<ServiceCache>,
     mode: EvalMode,
+    path: FsPath,
     workers: usize,
 }
 
@@ -182,6 +184,7 @@ impl SweepEngine {
         SweepEngine {
             memo: Arc::new(ServiceCache::new(workers, None)),
             mode: EvalMode::Full,
+            path: FsPath::default(),
             workers,
         }
     }
@@ -194,6 +197,7 @@ impl SweepEngine {
         SweepEngine {
             memo: cache,
             mode: EvalMode::Full,
+            path: FsPath::default(),
             workers,
         }
     }
@@ -202,6 +206,14 @@ impl SweepEngine {
     /// sample / adaptive early exit).
     pub fn mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Set the FS-model path every grid point dispatches on. The path is
+    /// part of each point's cache identity, so engines with different paths
+    /// sharing one cache never serve each other's entries.
+    pub fn path(mut self, path: FsPath) -> Self {
+        self.path = path;
         self
     }
 
@@ -308,12 +320,12 @@ impl SweepEngine {
         let (kname, kernel) = &grid.kernels[spec.kernel];
         let (mname, machine) = &grid.machines[spec.machine];
         let k = kernel_at_chunk(kernel, spec.chunk);
-        let key = point_key(&k, machine, spec.threads, &self.mode);
+        let key = point_key(&k, machine, spec.threads, &self.mode, self.path);
         let cost = match self.memo.lookup_point(&key) {
             Some(c) => c,
             None => {
-                let prep = self.memo.prepared_for(&k, machine);
-                let c = compute_point(&k, machine, spec.threads, self.mode, &prep);
+                let prep = self.memo.prepared_for(&k, machine, self.path);
+                let c = compute_point(&k, machine, spec.threads, self.mode, self.path, &prep);
                 self.memo.insert_point(key, c.clone());
                 c
             }

@@ -62,9 +62,9 @@ pub const MAX_MODEL_THREADS: u32 = 64;
 /// to the reference path rather than allocating per-thread flat tables.
 const DENSE_LINE_LIMIT: u64 = 1 << 22;
 
-/// Which implementation of the FS-model hot loop to run. Both produce
+/// Which implementation of the FS-model hot loop to run. All produce
 /// identical counts; they differ only in speed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FsPath {
     /// Strength-reduced address streams + dense line tables (default).
     #[default]
@@ -72,6 +72,39 @@ pub enum FsPath {
     /// The hash-map transcription of the paper's algorithm, kept as the
     /// executable specification for equivalence testing.
     Reference,
+    /// Closed-form chunk-boundary reasoning: inside the decidable affine
+    /// fragment the per-period FS deltas are derived once and extrapolated
+    /// (see [`crate::symbolic`]); outside it, dispatch falls back to
+    /// [`FsPath::Optimized`] exactly as `fslint` falls back to Unknown.
+    Symbolic,
+}
+
+impl FsPath {
+    /// Stable lowercase name, used in cache keys, reports and the wire
+    /// protocol.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FsPath::Optimized => "optimized",
+            FsPath::Reference => "reference",
+            FsPath::Symbolic => "symbolic",
+        }
+    }
+
+    /// Inverse of [`FsPath::as_str`].
+    pub fn parse(s: &str) -> Option<FsPath> {
+        match s {
+            "optimized" | "dense" => Some(FsPath::Optimized),
+            "reference" => Some(FsPath::Reference),
+            "symbolic" => Some(FsPath::Symbolic),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Configuration of one FS-model evaluation.
@@ -137,27 +170,28 @@ impl FsModelConfig {
 
 /// Per-line info held in a thread's cache state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct LineInfo {
+pub(crate) struct LineInfo {
     /// Line has been written by this thread while resident.
-    written: bool,
+    pub(crate) written: bool,
     /// Byte mask (64-slot granularity) of written bytes.
-    written_bytes: u64,
+    pub(crate) written_bytes: u64,
 }
 
 /// One thread's cache state: a fully-associative LRU stack (`sets == 1`,
 /// the paper's model) or a set-associative split of the same capacity.
-/// Used by the reference path; the optimized path holds the same geometry
-/// in a [`DenseSetLru`].
-struct CacheState {
-    sets: Vec<LruCache<u64, LineInfo>>,
+/// Used by the reference and symbolic paths; the optimized path holds the
+/// same geometry in a [`DenseSetLru`].
+#[derive(Clone)]
+pub(crate) struct CacheState {
+    pub(crate) sets: Vec<LruCache<u64, LineInfo>>,
     /// `sets.len() - 1` when the set count is a power of two, so the hot
     /// `set_of` is a mask instead of a division.
     set_mask: Option<u64>,
 }
 
-/// The set geometry shared by both paths: `stack_lines` split into
+/// The set geometry shared by all paths: `stack_lines` split into
 /// `(num_sets, ways)`, clamped exactly as [`CacheState`] has always done.
-fn set_geometry(stack_lines: usize, stack_sets: u32) -> (usize, usize) {
+pub(crate) fn set_geometry(stack_lines: usize, stack_sets: u32) -> (usize, usize) {
     let total_lines = stack_lines.max(1);
     let num_sets = (stack_sets.max(1) as usize).min(total_lines);
     let ways = (total_lines / num_sets).max(1);
@@ -165,7 +199,7 @@ fn set_geometry(stack_lines: usize, stack_sets: u32) -> (usize, usize) {
 }
 
 impl CacheState {
-    fn new(total_lines: usize, num_sets: u32) -> Self {
+    pub(crate) fn new(total_lines: usize, num_sets: u32) -> Self {
         let (num_sets, ways) = set_geometry(total_lines, num_sets);
         CacheState {
             sets: (0..num_sets).map(|_| LruCache::new(ways)).collect(),
@@ -196,6 +230,197 @@ impl CacheState {
     fn insert(&mut self, line: u64, info: LineInfo) -> Option<(u64, LineInfo)> {
         let s = self.set_of(line);
         self.sets[s].insert(line, info)
+    }
+}
+
+/// The paper's per-access state machine over hash maps — the exact
+/// semantics both the reference walk and the symbolic driver execute. One
+/// [`RefMachine::access`] performs steps 3 + 4 of the model for a single
+/// CLOL element: the 1-to-All comparison, physical event counting, and the
+/// LRU cache-state insertion.
+#[derive(Clone)]
+pub(crate) struct RefMachine {
+    pub(crate) num_threads: usize,
+    line_size: u64,
+    count_true_sharing: bool,
+    invalidate_on_detect: bool,
+    /// Per-thread cache states (step 3's LRU stacks).
+    pub(crate) states: Vec<CacheState>,
+    /// Global writer index: line -> bitmask of threads whose cache state
+    /// currently holds the line with `written == true`. This is an O(1)
+    /// implementation of the paper's 1-to-All comparison (Eq. 4): popcount
+    /// of the mask minus the inserting thread's own bit.
+    pub(crate) writers: HashMap<u64, u64>,
+    /// Physical writer index for *event* counting: same key, but a detected
+    /// conflict clears the remote bits (the conflicting access invalidates /
+    /// downgrades remote copies in a real protocol), so one burst of
+    /// accesses to a contended line costs one event, like one coherence
+    /// miss.
+    pub(crate) phys_writers: HashMap<u64, u64>,
+    pub(crate) evictions: u64,
+}
+
+impl RefMachine {
+    pub(crate) fn new(cfg: &FsModelConfig) -> Self {
+        let num_threads = cfg.num_threads.max(1) as usize;
+        RefMachine {
+            num_threads,
+            line_size: cfg.line_size,
+            count_true_sharing: cfg.count_true_sharing,
+            invalidate_on_detect: cfg.invalidate_on_detect,
+            states: (0..num_threads)
+                .map(|_| CacheState::new(cfg.stack_lines.max(1), cfg.stack_sets))
+                .collect(),
+            writers: HashMap::new(),
+            phys_writers: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Process one access by thread `t` at byte address `addr`, accumulating
+    /// counts into `res`.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn access(
+        &mut self,
+        t: usize,
+        addr: u64,
+        size: u64,
+        is_write: bool,
+        res: &mut FsModelResult,
+    ) {
+        let num_threads = self.num_threads;
+        let count_true_sharing = self.count_true_sharing;
+        let invalidate_on_detect = self.invalidate_on_detect;
+        let states = &mut self.states;
+        let writers = &mut self.writers;
+        let phys_writers = &mut self.phys_writers;
+
+        let line = addr / self.line_size;
+        let off = addr % self.line_size;
+        // Byte mask at up-to-64-slot granularity.
+        let granules = self.line_size / 64;
+        let (moff, msz) = if granules <= 1 {
+            (off.min(63), size.min(64 - off.min(63)))
+        } else {
+            ((off / granules).min(63), 1)
+        };
+        let mask: u64 = if msz >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << msz) - 1) << moff
+        };
+
+        // Step 4: 1-to-All comparison against other cache states.
+        let self_bit = 1u64 << t;
+        if let Some(&wmask) = writers.get(&line) {
+            let others = wmask & !self_bit;
+            if others != 0 {
+                // Split conflicts into false (disjoint bytes) and true
+                // (overlapping bytes) sharing per remote state.
+                let mut fs = 0u64;
+                let mut ts = 0u64;
+                for k in 0..num_threads {
+                    if others & (1u64 << k) == 0 {
+                        continue;
+                    }
+                    let remote = states[k].peek(&line).copied().unwrap_or_default();
+                    if remote.written_bytes & mask != 0 {
+                        ts += 1;
+                    } else {
+                        fs += 1;
+                    }
+                    if invalidate_on_detect {
+                        if let Some(info) = states[k].touch(&line) {
+                            info.written = false;
+                            info.written_bytes = 0;
+                        }
+                    }
+                }
+                if invalidate_on_detect {
+                    writers.insert(line, wmask & self_bit);
+                }
+                let counted_fs = if count_true_sharing { fs + ts } else { fs };
+                res.fs_cases += counted_fs;
+                res.true_sharing_cases += ts;
+                if counted_fs > 0 {
+                    res.per_thread_cases[t] += counted_fs;
+                    *res.per_line_cases.entry(line).or_insert(0) += counted_fs;
+                }
+            }
+        }
+
+        // Physical event counting (invalidation semantics).
+        if let Some(w) = phys_writers.get_mut(&line) {
+            let others = *w & !self_bit;
+            if others != 0 {
+                // Classify by byte overlap with the conflicting remote
+                // states.
+                let mut overlap = false;
+                for k in 0..num_threads {
+                    if others & (1u64 << k) != 0 {
+                        if let Some(info) = states[k].peek(&line) {
+                            if info.written_bytes & mask != 0 {
+                                overlap = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if overlap {
+                    res.ts_events += 1;
+                } else if is_write {
+                    res.fs_write_events += 1;
+                    res.fs_events += 1;
+                } else {
+                    res.fs_read_events += 1;
+                    res.fs_events += 1;
+                }
+                // The access invalidates (write) or downgrades (read) the
+                // remote dirty copies.
+                *w &= self_bit;
+            }
+        }
+        if is_write {
+            *phys_writers.entry(line).or_insert(0) |= self_bit;
+        }
+
+        // Step 3: insert into this thread's cache state (LRU).
+        let st = &mut states[t];
+        if let Some(info) = st.touch(&line) {
+            if is_write {
+                if !info.written {
+                    *writers.entry(line).or_insert(0) |= self_bit;
+                }
+                info.written = true;
+                info.written_bytes |= mask;
+            }
+        } else {
+            let info = LineInfo {
+                written: is_write,
+                written_bytes: if is_write { mask } else { 0 },
+            };
+            if is_write {
+                *writers.entry(line).or_insert(0) |= self_bit;
+            }
+            if let Some((evicted, einfo)) = st.insert(line, info) {
+                self.evictions += 1;
+                if einfo.written {
+                    // Evicted line leaves this thread's state.
+                    if let Some(w) = writers.get_mut(&evicted) {
+                        *w &= !self_bit;
+                        if *w == 0 {
+                            writers.remove(&evicted);
+                        }
+                    }
+                    if let Some(w) = phys_writers.get_mut(&evicted) {
+                        *w &= !self_bit;
+                        if *w == 0 {
+                            phys_writers.remove(&evicted);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -311,7 +536,7 @@ impl FsModelResult {
         v
     }
 
-    fn empty(num_threads: usize) -> FsModelResult {
+    pub(crate) fn empty(num_threads: usize) -> FsModelResult {
         FsModelResult {
             fs_cases: 0,
             true_sharing_cases: 0,
@@ -331,8 +556,8 @@ impl FsModelResult {
     }
 
     /// Close the cumulative series with a final partial point if needed and
-    /// derive `evaluated_chunk_runs` (shared tail of both paths).
-    fn finish_series(&mut self, steps_per_run: u64) {
+    /// derive `evaluated_chunk_runs` (shared tail of every path).
+    pub(crate) fn finish_series(&mut self, steps_per_run: u64) {
         if self
             .series
             .last()
@@ -385,17 +610,17 @@ pub fn run_fs_model_prepared(
             fs_obs::counters::FS_DISPATCH_REFERENCE.inc();
             run_fs_model_reference(kernel, cfg, plan, bases)
         }
-        FsPath::Optimized => {
-            let footprint_lines = crate::footprint::line_footprint(kernel, cfg.line_size);
-            if footprint_lines > DENSE_LINE_LIMIT {
-                fs_obs::counters::FS_DENSE_FALLBACKS.inc();
-                fs_obs::counters::FS_DISPATCH_REFERENCE.inc();
-                run_fs_model_reference(kernel, cfg, plan, bases)
-            } else {
-                fs_obs::counters::FS_DISPATCH_DENSE.inc();
-                run_fs_model_optimized(kernel, cfg, plan, bases, footprint_lines)
+        FsPath::Symbolic => match crate::symbolic::run_symbolic(kernel, cfg, plan, bases) {
+            Some(r) => {
+                fs_obs::counters::FS_DISPATCH_SYMBOLIC.inc();
+                r
             }
-        }
+            None => {
+                fs_obs::counters::FS_SYMBOLIC_FALLBACKS.inc();
+                run_dense_or_reference(kernel, cfg, plan, bases)
+            }
+        },
+        FsPath::Optimized => run_dense_or_reference(kernel, cfg, plan, bases),
     };
     // One flush per model run: the hot loop never touches the registry.
     if fs_obs::counters_enabled() {
@@ -407,10 +632,29 @@ pub fn run_fs_model_prepared(
     result
 }
 
+/// The [`FsPath::Optimized`] dispatch: dense tables when the footprint
+/// fits, reference otherwise. Also the landing site of symbolic fallbacks.
+fn run_dense_or_reference(
+    kernel: &Kernel,
+    cfg: &FsModelConfig,
+    plan: &AccessPlan,
+    bases: &[u64],
+) -> FsModelResult {
+    let footprint_lines = crate::footprint::line_footprint(kernel, cfg.line_size);
+    if footprint_lines > DENSE_LINE_LIMIT {
+        fs_obs::counters::FS_DENSE_FALLBACKS.inc();
+        fs_obs::counters::FS_DISPATCH_REFERENCE.inc();
+        run_fs_model_reference(kernel, cfg, plan, bases)
+    } else {
+        fs_obs::counters::FS_DISPATCH_DENSE.inc();
+        run_fs_model_optimized(kernel, cfg, plan, bases, footprint_lines)
+    }
+}
+
 /// The paper's algorithm, transcribed directly: per-access affine address
-/// evaluation, `HashMap` writer/event indexes, hash-mapped LRU states. Kept
-/// as the executable specification the optimized path is tested against.
-#[allow(clippy::needless_range_loop)]
+/// evaluation through the walker, with steps 3 + 4 executed by
+/// [`RefMachine`]. Kept as the executable specification the optimized and
+/// symbolic paths are tested against.
 fn run_fs_model_reference(
     kernel: &Kernel,
     cfg: &FsModelConfig,
@@ -420,23 +664,7 @@ fn run_fs_model_reference(
     let _span = fs_obs::span("fs.reference");
     let num_threads = cfg.num_threads.max(1) as usize;
 
-    // Per-thread cache states (step 3's LRU stacks).
-    let mut states: Vec<CacheState> = (0..num_threads)
-        .map(|_| CacheState::new(cfg.stack_lines.max(1), cfg.stack_sets))
-        .collect();
-    // Global writer index: line -> bitmask of threads whose cache state
-    // currently holds the line with `written == true`. This is an O(1)
-    // implementation of the paper's 1-to-All comparison (Eq. 4): popcount of
-    // the mask minus the inserting thread's own bit.
-    let mut writers: HashMap<u64, u64> = HashMap::new();
-    // Physical writer index for *event* counting: same key, but a detected
-    // conflict clears the remote bits (the conflicting access invalidates /
-    // downgrades remote copies in a real protocol), so one burst of accesses
-    // to a contended line costs one event, like one coherence miss.
-    let mut phys_writers: HashMap<u64, u64> = HashMap::new();
-    // Byte masks written by each thread for true/false separation:
-    // (line -> per-thread written byte masks) kept inside LineInfo.
-
+    let mut machine = RefMachine::new(cfg);
     let mut result = FsModelResult::empty(num_threads);
 
     let mut walker = LockstepWalker::new(kernel, num_threads as u64);
@@ -457,8 +685,6 @@ fn run_fs_model_reference(
     let max_steps = cfg.max_chunk_runs.map(|r| r * steps_per_run);
 
     let mut idx_buf = vec![0i64; plan.max_rank.max(1)];
-    let line_size = cfg.line_size;
-    let mut evictions = 0u64;
 
     let walk_span = fs_obs::span("fs.walk");
     loop {
@@ -470,10 +696,7 @@ fn run_fs_model_reference(
         let plan_ref = plan;
         let bases_ref = bases;
         let mut iter_count = 0u64;
-        let states_ref = &mut states;
-        let writers_ref = &mut writers;
-        let phys_ref = &mut phys_writers;
-        let evict_ref = &mut evictions;
+        let machine_ref = &mut machine;
         let res = &mut result;
         let more = walker.step(|t, env| {
             iter_count += 1;
@@ -481,132 +704,7 @@ fn run_fs_model_reference(
             // process each element (steps 3 + 4 fused).
             for a in &plan_ref.accesses {
                 let addr = a.address(env, bases_ref, &mut idx_buf);
-                let line = addr / line_size;
-                let off = addr % line_size;
-                // Byte mask at up-to-64-slot granularity.
-                let granules = line_size / 64;
-                let (moff, msz) = if granules <= 1 {
-                    (off.min(63), (a.size as u64).min(64 - off.min(63)))
-                } else {
-                    ((off / granules).min(63), 1)
-                };
-                let mask: u64 = if msz >= 64 {
-                    u64::MAX
-                } else {
-                    ((1u64 << msz) - 1) << moff
-                };
-
-                // Step 4: 1-to-All comparison against other cache states.
-                let self_bit = 1u64 << t;
-                if let Some(&wmask) = writers_ref.get(&line) {
-                    let others = wmask & !self_bit;
-                    if others != 0 {
-                        // Split conflicts into false (disjoint bytes) and
-                        // true (overlapping bytes) sharing per remote state.
-                        let mut fs = 0u64;
-                        let mut ts = 0u64;
-                        for k in 0..num_threads {
-                            if others & (1u64 << k) == 0 {
-                                continue;
-                            }
-                            let remote = states_ref[k].peek(&line).copied().unwrap_or_default();
-                            if remote.written_bytes & mask != 0 {
-                                ts += 1;
-                            } else {
-                                fs += 1;
-                            }
-                            if cfg.invalidate_on_detect {
-                                if let Some(info) = states_ref[k].touch(&line) {
-                                    info.written = false;
-                                    info.written_bytes = 0;
-                                }
-                            }
-                        }
-                        if cfg.invalidate_on_detect {
-                            writers_ref.insert(line, wmask & self_bit);
-                        }
-                        let counted_fs = if cfg.count_true_sharing { fs + ts } else { fs };
-                        res.fs_cases += counted_fs;
-                        res.true_sharing_cases += ts;
-                        if counted_fs > 0 {
-                            res.per_thread_cases[t] += counted_fs;
-                            *res.per_line_cases.entry(line).or_insert(0) += counted_fs;
-                        }
-                    }
-                }
-
-                // Physical event counting (invalidation semantics).
-                if let Some(w) = phys_ref.get_mut(&line) {
-                    let others = *w & !self_bit;
-                    if others != 0 {
-                        // Classify by byte overlap with the conflicting
-                        // remote states.
-                        let mut overlap = false;
-                        for k in 0..num_threads {
-                            if others & (1u64 << k) != 0 {
-                                if let Some(info) = states_ref[k].peek(&line) {
-                                    if info.written_bytes & mask != 0 {
-                                        overlap = true;
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                        if overlap {
-                            res.ts_events += 1;
-                        } else if a.is_write {
-                            res.fs_write_events += 1;
-                            res.fs_events += 1;
-                        } else {
-                            res.fs_read_events += 1;
-                            res.fs_events += 1;
-                        }
-                        // The access invalidates (write) or downgrades
-                        // (read) the remote dirty copies.
-                        *w &= self_bit;
-                    }
-                }
-                if a.is_write {
-                    *phys_ref.entry(line).or_insert(0) |= self_bit;
-                }
-
-                // Step 3: insert into this thread's cache state (LRU).
-                let st = &mut states_ref[t];
-                if let Some(info) = st.touch(&line) {
-                    if a.is_write {
-                        if !info.written {
-                            *writers_ref.entry(line).or_insert(0) |= self_bit;
-                        }
-                        info.written = true;
-                        info.written_bytes |= mask;
-                    }
-                } else {
-                    let info = LineInfo {
-                        written: a.is_write,
-                        written_bytes: if a.is_write { mask } else { 0 },
-                    };
-                    if a.is_write {
-                        *writers_ref.entry(line).or_insert(0) |= self_bit;
-                    }
-                    if let Some((evicted, einfo)) = st.insert(line, info) {
-                        *evict_ref += 1;
-                        if einfo.written {
-                            // Evicted line leaves this thread's state.
-                            if let Some(w) = writers_ref.get_mut(&evicted) {
-                                *w &= !self_bit;
-                                if *w == 0 {
-                                    writers_ref.remove(&evicted);
-                                }
-                            }
-                            if let Some(w) = phys_ref.get_mut(&evicted) {
-                                *w &= !self_bit;
-                                if *w == 0 {
-                                    phys_ref.remove(&evicted);
-                                }
-                            }
-                        }
-                    }
-                }
+                machine_ref.access(t, addr, a.size as u64, a.is_write, res);
             }
         });
         if !more {
@@ -621,7 +719,7 @@ fn run_fs_model_reference(
         }
     }
     drop(walk_span);
-    fs_obs::counters::FS_LRU_EVICTIONS.add(evictions);
+    fs_obs::counters::FS_LRU_EVICTIONS.add(machine.evictions);
     result.finish_series(steps_per_run);
     result
 }
@@ -873,7 +971,7 @@ mod tests {
     use loop_ir::kernels;
     use machine::presets;
 
-    const PATHS: [FsPath; 2] = [FsPath::Optimized, FsPath::Reference];
+    const PATHS: [FsPath; 3] = [FsPath::Optimized, FsPath::Reference, FsPath::Symbolic];
 
     fn cfg(threads: u32) -> FsModelConfig {
         FsModelConfig::for_machine(&presets::paper48(), threads)
@@ -1074,11 +1172,11 @@ mod tests {
         }
     }
 
-    /// Field-by-field equivalence of the two paths over a spread of kernel
+    /// Field-by-field equivalence of all paths over a spread of kernel
     /// shapes and config knobs (the property test in
     /// `tests/fs_path_equivalence.rs` randomizes much wider).
     #[test]
-    fn optimized_path_is_count_identical_to_reference() {
+    fn optimized_and_symbolic_paths_are_count_identical_to_reference() {
         let kernels: Vec<loop_ir::Kernel> = vec![
             kernels::heat_diffusion(10, 34, 1),
             kernels::dft(16, 96, 3),
@@ -1090,17 +1188,19 @@ mod tests {
         for k in &kernels {
             for threads in [1u32, 3, 8] {
                 for stack_sets in [1u32, 3, 64] {
-                    let mut opt = cfg_path(threads, FsPath::Optimized);
-                    opt.stack_sets = stack_sets;
                     let mut reference = cfg_path(threads, FsPath::Reference);
                     reference.stack_sets = stack_sets;
-                    let a = run_fs_model(k, &opt);
                     let b = run_fs_model(k, &reference);
-                    assert_eq!(
-                        a, b,
-                        "kernel {} threads {threads} sets {stack_sets}",
-                        k.name
-                    );
+                    for path in [FsPath::Optimized, FsPath::Symbolic] {
+                        let mut c = cfg_path(threads, path);
+                        c.stack_sets = stack_sets;
+                        let a = run_fs_model(k, &c);
+                        assert_eq!(
+                            a, b,
+                            "kernel {} path {path} threads {threads} sets {stack_sets}",
+                            k.name
+                        );
+                    }
                 }
             }
         }

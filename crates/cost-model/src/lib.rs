@@ -24,6 +24,7 @@ pub mod predict;
 pub mod processor;
 pub mod sensitivity;
 pub mod sweep;
+pub mod symbolic;
 pub mod total;
 
 pub use contention::{

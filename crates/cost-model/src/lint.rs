@@ -204,7 +204,9 @@ fn sim_mask(off: u64, size: u64, line_size: u64) -> u64 {
     }
 }
 
-fn gcd(mut a: u64, mut b: u64) -> u64 {
+/// Clamped-to-1 gcd shared by the lint's stride reasoning and the symbolic
+/// FS path's period derivation ([`crate::symbolic`]).
+pub(crate) fn gcd(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {
         let t = a % b;
         a = b;

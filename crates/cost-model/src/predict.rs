@@ -3,7 +3,7 @@
 //! extrapolate to the whole loop, avoiding the full
 //! `All_num_of_iters / num_threads` evaluation.
 
-use crate::fs::{run_fs_model_prepared, FsModelConfig, FsModelResult};
+use crate::fs::{run_fs_model_prepared, FsModelConfig, FsModelResult, FsPath};
 use loop_ir::{AccessPlan, Kernel};
 
 /// Least-squares fit `y = a*x + b`.
@@ -65,6 +65,10 @@ pub struct FsPrediction {
     pub chunk_runs_evaluated: u64,
     /// x_max used for the extrapolation.
     pub total_chunk_runs: u64,
+    /// `true` when the counts are *exact* — the symbolic path evaluated the
+    /// whole loop in closed form, so no regression was fitted and
+    /// `predicted_cases`/`predicted_events` carry zero extrapolation error.
+    pub exact: bool,
 }
 
 impl FsPrediction {
@@ -108,8 +112,49 @@ pub fn predict_fs_prepared(
     bases: &[u64],
 ) -> Option<FsPrediction> {
     let _span = fs_obs::span("predict.fit");
+    // On the symbolic path the full closed-form evaluation is as cheap as a
+    // truncated sample, so regression buys nothing: return the exact counts
+    // in place of a fit. Falls through to the sampled regression when the
+    // kernel sits outside the decidable fragment.
+    if cfg.path == FsPath::Symbolic {
+        if let Some(full) = crate::symbolic::run_symbolic(kernel, cfg, plan, bases) {
+            // A full model run in its own right: mirror the dispatcher's
+            // accounting so `fs.dispatch_* = fs.model_runs` stays true.
+            fs_obs::counters::FS_MODEL_RUNS.inc();
+            fs_obs::counters::FS_DISPATCH_SYMBOLIC.inc();
+            if fs_obs::counters_enabled() {
+                fs_obs::counters::FS_CASES.add(full.fs_cases);
+                fs_obs::counters::FS_EVENTS.add(full.fs_events);
+                fs_obs::counters::FS_STEPS.add(full.steps);
+                fs_obs::counters::FS_ITERATIONS.add(full.iterations);
+            }
+            let cases = full.fs_cases as f64;
+            let x_max = full.total_chunk_runs;
+            return Some(FsPrediction {
+                chunk_runs_evaluated: full.evaluated_chunk_runs,
+                total_chunk_runs: x_max,
+                predicted_cases: cases,
+                predicted_events: full.fs_events as f64,
+                // The exact line through the origin at the loop's mean
+                // per-run rate; predict(x_max) reproduces the exact count.
+                fit: LinearFit {
+                    a: cases / x_max.max(1) as f64,
+                    b: 0.0,
+                    r2: 1.0,
+                },
+                exact: true,
+                sample: full,
+            });
+        }
+        fs_obs::counters::FS_SYMBOLIC_FALLBACKS.inc();
+    }
     fs_obs::counters::PREDICT_FITS.inc();
     let mut sample_cfg = cfg.clone();
+    if sample_cfg.path == FsPath::Symbolic {
+        // Already fell off the symbolic fragment above; sample densely
+        // rather than re-attempting (and re-counting) the symbolic gate.
+        sample_cfg.path = FsPath::Optimized;
+    }
     sample_cfg.max_chunk_runs = Some(chunk_runs.max(2));
     let sample = run_fs_model_prepared(kernel, &sample_cfg, plan, bases);
     let all: Vec<(f64, f64)> = sample
@@ -137,6 +182,7 @@ pub fn predict_fs_prepared(
         predicted_cases: predicted,
         predicted_events,
         fit,
+        exact: false,
         sample,
     })
 }
@@ -205,6 +251,28 @@ mod tests {
             full.fs_cases,
             err * 100.0
         );
+    }
+
+    #[test]
+    fn symbolic_path_prediction_is_exact() {
+        let k = kernels::dft(128, 256, 1);
+        let mut c = cfg(8);
+        c.path = FsPath::Symbolic;
+        let pred = predict_fs(&k, &c, 4).expect("symbolic prediction");
+        assert!(pred.exact);
+        let full = crate::fs::run_fs_model(&k, &c);
+        assert_eq!(pred.predicted_cases, full.fs_cases as f64);
+        assert_eq!(pred.predicted_events, full.fs_events as f64);
+        assert_eq!(pred.sample, full);
+        let at_xmax = pred.fit.predict(pred.total_chunk_runs as f64);
+        assert!((at_xmax - pred.predicted_cases).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regression_path_is_not_exact() {
+        let k = kernels::dft(128, 256, 1);
+        let pred = predict_fs(&k, &cfg(8), 96).unwrap();
+        assert!(!pred.exact);
     }
 
     #[test]

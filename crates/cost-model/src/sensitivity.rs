@@ -84,7 +84,14 @@ fn point(
             Some(runs) => EvalMode::Predict(runs),
             None => EvalMode::Full,
         };
-        evaluate_point(kernel, machine, opts.num_threads, mode, memo)
+        evaluate_point(
+            kernel,
+            machine,
+            opts.num_threads,
+            mode,
+            opts.resolved_fs_path(),
+            memo,
+        )
     } else {
         analyze_loop(kernel, machine, opts)
     };

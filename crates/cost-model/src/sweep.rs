@@ -22,7 +22,7 @@
 //!    growing the sample once consecutive predictions agree to a relative
 //!    tolerance.
 
-use crate::fs::FsModelConfig;
+use crate::fs::{FsModelConfig, FsPath};
 use crate::predict::predict_fs_prepared;
 use crate::total::{analyze_loop_prepared, AnalysisOptions, LoopCost, PreparedKernel};
 use loop_ir::{Kernel, Schedule};
@@ -500,8 +500,13 @@ impl MemoCache {
     /// The prepared (schedule-independent) inputs for `kernel` on
     /// `machine`, computed on first request and shared by every chunk and
     /// team-size variant of the kernel afterwards.
-    pub fn prepared_for(&mut self, kernel: &Kernel, machine: &MachineConfig) -> PreparedKernel {
-        let key = prepared_key(kernel, machine);
+    pub fn prepared_for(
+        &mut self,
+        kernel: &Kernel,
+        machine: &MachineConfig,
+        path: FsPath,
+    ) -> PreparedKernel {
+        let key = prepared_key(kernel, machine, path);
         self.prepared_for_keyed(key, kernel, machine)
     }
 
@@ -539,27 +544,38 @@ impl MemoCache {
 /// The content fingerprint identifying a (kernel, machine) pair's prepared
 /// inputs — schedule-normalized, so every (threads, chunk) point of a
 /// kernel shares one entry. Public so sharded caches can route by it.
-pub fn prepared_key(kernel: &Kernel, machine: &MachineConfig) -> String {
+///
+/// The prepared inputs themselves (access plan, array bases, `Machine_c`)
+/// do not depend on the FS-model path, but the resolved path is part of the
+/// key anyway so point and prepared identity stay uniform: toggling the
+/// path between runs can never alias *any* cached state.
+pub fn prepared_key(kernel: &Kernel, machine: &MachineConfig, path: FsPath) -> String {
     format!(
-        "{}|{}",
+        "{}|{}|p{}",
         fingerprint(&schedule_normalized(kernel)),
-        fingerprint(machine)
+        fingerprint(machine),
+        path
     )
 }
 
-/// The content fingerprint identifying one grid point's full result.
+/// The content fingerprint identifying one grid point's full result. The
+/// resolved FS-model path is part of the identity — a symbolic and a dense
+/// evaluation of the same point are distinct entries, so switching the
+/// service's path never serves a result computed on another path.
 pub fn point_key(
     kernel: &Kernel,
     machine: &MachineConfig,
     threads: u32,
     mode: &EvalMode,
+    path: FsPath,
 ) -> String {
     format!(
-        "{}|{}|t{}|{}",
+        "{}|{}|t{}|{}|p{}",
         fingerprint(kernel),
         fingerprint(machine),
         threads,
-        fingerprint(mode)
+        fingerprint(mode),
+        path
     )
 }
 
@@ -570,15 +586,18 @@ pub fn compute_point(
     machine: &MachineConfig,
     threads: u32,
     mode: EvalMode,
+    path: FsPath,
     prep: &PreparedKernel,
 ) -> LoopCost {
     let t = threads.max(1);
     let mut opts = AnalysisOptions::new(t);
+    opts.fs_path = Some(path);
     opts.predict_chunk_runs = match mode {
         EvalMode::Full => None,
         EvalMode::Predict(runs) => Some(runs),
         EvalMode::EarlyExit(ee) => {
-            let cfg = FsModelConfig::for_machine(machine, t);
+            let mut cfg = FsModelConfig::for_machine(machine, t);
+            cfg.path = path;
             ee.resolve_runs(kernel, &cfg, prep)
         }
     };
@@ -596,14 +615,15 @@ pub fn evaluate_point(
     machine: &MachineConfig,
     threads: u32,
     mode: EvalMode,
+    path: FsPath,
     memo: &mut MemoCache,
 ) -> LoopCost {
-    let key = point_key(kernel, machine, threads, &mode);
+    let key = point_key(kernel, machine, threads, &mode, path);
     if let Some(c) = memo.lookup_point(&key) {
         return c;
     }
-    let prep = memo.prepared_for(kernel, machine);
-    let cost = compute_point(kernel, machine, threads, mode, &prep);
+    let prep = memo.prepared_for(kernel, machine, path);
+    let cost = compute_point(kernel, machine, threads, mode, path, &prep);
     memo.insert_point(key, cost.clone());
     cost
 }
@@ -662,7 +682,14 @@ mod tests {
         for p in g.points() {
             let k = kernel_at_chunk(&g.kernels[p.kernel].1, p.chunk);
             let m = &g.machines[p.machine].1;
-            let via_memo = evaluate_point(&k, m, p.threads, EvalMode::Full, &mut memo);
+            let via_memo = evaluate_point(
+                &k,
+                m,
+                p.threads,
+                EvalMode::Full,
+                FsPath::default(),
+                &mut memo,
+            );
             let direct = analyze_loop(&k, m, &AnalysisOptions::new(p.threads));
             assert_eq!(via_memo.total_cycles, direct.total_cycles);
             assert_eq!(via_memo.fs.fs_cases, direct.fs.fs_cases);
@@ -675,12 +702,28 @@ mod tests {
         let mut memo = MemoCache::new();
         let k = kernel_at_chunk(&kernels::transpose(32, 32, 1), 4);
         let m = presets::paper48();
-        let a = evaluate_point(&k, &m, 4, EvalMode::Full, &mut memo);
+        let a = evaluate_point(&k, &m, 4, EvalMode::Full, FsPath::default(), &mut memo);
         assert_eq!(memo.hits(), 0);
         assert_eq!(memo.misses(), 1);
-        let b = evaluate_point(&k, &m, 4, EvalMode::Full, &mut memo);
+        let b = evaluate_point(&k, &m, 4, EvalMode::Full, FsPath::default(), &mut memo);
         assert_eq!(memo.hits(), 1);
         assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn fs_path_participates_in_point_identity() {
+        let mut memo = MemoCache::new();
+        let k = kernel_at_chunk(&kernels::transpose(32, 32, 1), 1);
+        let m = presets::paper48();
+        let dense = evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::Optimized, &mut memo);
+        let symbolic = evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::Symbolic, &mut memo);
+        assert_eq!(memo.hits(), 0, "different path must never share an entry");
+        assert_eq!(dense.fs.fs_cases, symbolic.fs.fs_cases);
+        assert_eq!(dense.fs_path, FsPath::Optimized);
+        assert_eq!(symbolic.fs_path, FsPath::Symbolic);
+        // Same path again is a hit.
+        evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::Symbolic, &mut memo);
+        assert_eq!(memo.hits(), 1);
     }
 
     #[test]
@@ -688,22 +731,22 @@ mod tests {
         let mut memo = MemoCache::new();
         let m = presets::paper48();
         let k1 = kernel_at_chunk(&kernels::transpose(32, 32, 1), 1);
-        let c1 = evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        let c1 = evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         // Same name, different body size: must NOT reuse k1's entry.
         let k2 = kernel_at_chunk(&kernels::transpose(64, 64, 1), 1);
-        let c2 = evaluate_point(&k2, &m, 8, EvalMode::Full, &mut memo);
+        let c2 = evaluate_point(&k2, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         assert_eq!(memo.hits(), 0, "different content must miss");
         assert_ne!(c1.fs.fs_cases, c2.fs.fs_cases);
         // And a different machine also misses.
         let tiny = presets::tiny_test();
-        let c3 = evaluate_point(&k1, &tiny, 8, EvalMode::Full, &mut memo);
+        let c3 = evaluate_point(&k1, &tiny, 8, EvalMode::Full, FsPath::default(), &mut memo);
         assert_eq!(memo.hits(), 0);
         assert_ne!(c1.total_cycles, c3.total_cycles);
         // clear() really empties the cache.
         assert!(!memo.is_empty());
         memo.clear();
         assert!(memo.is_empty());
-        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         assert_eq!(memo.hits(), 0, "cleared cache cannot hit");
     }
 
@@ -714,7 +757,7 @@ mod tests {
         let base = kernels::transpose(32, 32, 1);
         for chunk in [1u64, 2, 4, 8] {
             let k = kernel_at_chunk(&base, chunk);
-            evaluate_point(&k, &m, 8, EvalMode::Full, &mut memo);
+            evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         }
         // 4 point entries + exactly 1 prepared entry.
         assert_eq!(memo.len(), 5);
@@ -729,7 +772,7 @@ mod tests {
         let mut probe = MemoCache::new();
         for chunk in [1u64, 2, 4, 8] {
             let k = kernel_at_chunk(&base, chunk);
-            evaluate_point(&k, &m, 8, EvalMode::Full, &mut probe);
+            evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::default(), &mut probe);
         }
         let full_bytes = probe.bytes();
         assert!(full_bytes > 0);
@@ -740,15 +783,15 @@ mod tests {
         let mut memo = MemoCache::with_budget(Some(full_bytes / 2));
         for chunk in [1u64, 2, 4, 8] {
             let k = kernel_at_chunk(&base, chunk);
-            evaluate_point(&k, &m, 8, EvalMode::Full, &mut memo);
+            evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         }
         assert!(memo.evictions() > 0, "budget forced evictions");
         assert!(memo.bytes() <= full_bytes / 2, "stayed under budget");
         assert!(memo.len() < 5, "some entries were dropped");
         // Evicted points recompute correctly (values never change).
         let k1 = kernel_at_chunk(&base, 1);
-        let again = evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
-        let reference = evaluate_point(&k1, &m, 8, EvalMode::Full, &mut probe);
+        let again = evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
+        let reference = evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut probe);
         assert_eq!(again.total_cycles, reference.total_cycles);
     }
 
@@ -759,16 +802,16 @@ mod tests {
         let mut memo = MemoCache::new();
         let k1 = kernel_at_chunk(&base, 1);
         let k2 = kernel_at_chunk(&base, 2);
-        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
-        evaluate_point(&k2, &m, 8, EvalMode::Full, &mut memo);
+        evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
+        evaluate_point(&k2, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         // Touch k1's point so k2's becomes the LRU entry, then shrink the
         // budget enough to force at least one eviction.
-        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         let hits_before = memo.hits();
         memo.set_budget(Some(memo.bytes().saturating_sub(1)));
         assert!(memo.evictions() > 0);
         // k1 must still be resident.
-        evaluate_point(&k1, &m, 8, EvalMode::Full, &mut memo);
+        evaluate_point(&k1, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         assert_eq!(memo.hits(), hits_before + 1, "recently used entry kept");
     }
 
@@ -777,7 +820,7 @@ mod tests {
         let m = presets::paper48();
         let k = kernel_at_chunk(&kernels::transpose(32, 32, 1), 1);
         let mut memo = MemoCache::with_budget(Some(64));
-        evaluate_point(&k, &m, 8, EvalMode::Full, &mut memo);
+        evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         let ev = memo.evictions();
         assert!(ev > 0, "tiny budget evicts immediately");
         memo.clear();
@@ -791,12 +834,13 @@ mod tests {
         let k = kernels::dft(128, 256, 1);
         let m = presets::paper48();
         let mut memo = MemoCache::new();
-        let full = evaluate_point(&k, &m, 8, EvalMode::Full, &mut memo);
+        let full = evaluate_point(&k, &m, 8, EvalMode::Full, FsPath::default(), &mut memo);
         let ee = evaluate_point(
             &k,
             &m,
             8,
             EvalMode::EarlyExit(EarlyExit::default()),
+            FsPath::default(),
             &mut memo,
         );
         let err = (ee.fs_cycles - full.fs_cycles).abs() / full.fs_cycles.max(1.0);

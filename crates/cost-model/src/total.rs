@@ -12,7 +12,7 @@
 //! the detected events).
 
 use crate::footprint::{cache_cost, tlb_cost, CacheCost, TlbCost};
-use crate::fs::{run_fs_model_prepared, FsModelConfig, FsModelResult};
+use crate::fs::{run_fs_model_prepared, FsModelConfig, FsModelResult, FsPath};
 use crate::overhead::{overhead_cost, OverheadCost};
 use crate::processor::{machine_cost, MachineCost};
 use loop_ir::{AccessPlan, Kernel};
@@ -26,6 +26,13 @@ pub struct LoopCost {
     pub tlb: TlbCost,
     pub overhead: OverheadCost,
     pub fs: FsModelResult,
+    /// The FS-model path this analysis was dispatched on (the resolved
+    /// [`AnalysisOptions::fs_path`] / [`FsModelConfig::path`]). A symbolic
+    /// dispatch that fell outside the decidable fragment still reports
+    /// `Symbolic` here — the fallback is visible in the
+    /// `fs.symbolic_fallbacks` observability counter, and the counts are
+    /// identical either way.
+    pub fs_path: FsPath,
     /// Innermost iterations on the critical path (per thread).
     pub iters_per_thread: f64,
     /// `False_Sharing_c`: FS cycles on one thread's critical path.
@@ -69,6 +76,9 @@ pub struct AnalysisOptions {
     pub predict_chunk_runs: Option<u64>,
     /// Override the default FS-model configuration.
     pub fs_config: Option<FsModelConfig>,
+    /// Force a specific FS-model path, overriding both the default and any
+    /// [`Self::fs_config`] override. `None` keeps the config's path.
+    pub fs_path: Option<FsPath>,
     /// Byte budget of the sweep memo cache (`None` = unbounded). Only
     /// consulted by callers that own a [`crate::sweep::MemoCache`]; it does
     /// not participate in point identity, so changing it never invalidates
@@ -82,6 +92,7 @@ impl AnalysisOptions {
             num_threads,
             predict_chunk_runs: None,
             fs_config: None,
+            fs_path: None,
             memo_budget_bytes: None,
         }
     }
@@ -103,6 +114,22 @@ impl AnalysisOptions {
     pub fn fs_config(mut self, cfg: FsModelConfig) -> Self {
         self.fs_config = Some(cfg);
         self
+    }
+
+    /// Dispatch the FS model on `path` (symbolic / optimized / reference),
+    /// overriding the config default.
+    pub fn path(mut self, path: FsPath) -> Self {
+        self.fs_path = Some(path);
+        self
+    }
+
+    /// The FS-model path these options resolve to: the explicit
+    /// [`Self::fs_path`] override if set, else the [`Self::fs_config`]
+    /// override's path, else the workspace default. This is the value that
+    /// participates in sweep/service point identity.
+    pub fn resolved_fs_path(&self) -> FsPath {
+        self.fs_path
+            .unwrap_or_else(|| self.fs_config.as_ref().map(|c| c.path).unwrap_or_default())
     }
 
     /// Cap the sweep memo cache at `bytes` resident bytes (LRU eviction).
@@ -170,6 +197,9 @@ pub fn analyze_loop_prepared(
         .clone()
         .unwrap_or_else(|| FsModelConfig::for_machine(machine, t));
     fs_cfg.num_threads = t;
+    if let Some(path) = opts.fs_path {
+        fs_cfg.path = path;
+    }
 
     // An fs_config override may model a different line size than the one
     // the prepared bases were aligned for; realign in that case.
@@ -246,6 +276,7 @@ pub fn analyze_loop_prepared(
         tlb,
         overhead: ovh,
         fs,
+        fs_path: fs_cfg.path,
         iters_per_thread,
         fs_cycles,
         total_cycles,

@@ -139,7 +139,8 @@ impl Daemon {
     }
 
     /// The `stats` response: shard count, aggregated cache stats (lifetime
-    /// hits/misses/evictions plus resident and peak bytes), and the
+    /// hits/misses/evictions plus resident and peak bytes), the default
+    /// FS-model path with its lifetime dispatch/fallback tallies, and the
     /// process-wide request counter.
     pub fn stats_json(&self) -> JsonValue {
         let cache = self.service.cache();
@@ -155,6 +156,22 @@ impl Daemon {
                     .field("bytes", s.bytes)
                     .field("peak_bytes", s.peak_bytes)
                     .field("entries", s.entries),
+            )
+            .field(
+                "fs_path",
+                JsonValue::obj()
+                    .field(
+                        "default",
+                        fs_core::service::ServiceOptions::default().path.as_str(),
+                    )
+                    .field(
+                        "symbolic_dispatches",
+                        obs::counters::FS_DISPATCH_SYMBOLIC.get(),
+                    )
+                    .field(
+                        "symbolic_fallbacks",
+                        obs::counters::FS_SYMBOLIC_FALLBACKS.get(),
+                    ),
             )
             .field("requests", obs::counters::SVC_REQUESTS.get())
     }

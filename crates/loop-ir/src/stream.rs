@@ -81,6 +81,17 @@ impl CompiledPlan {
         self.n_vars
     }
 
+    /// Byte delta of access `a` per unit step of loop variable `v` — the
+    /// folded affine coefficient the symbolic FS path reasons over.
+    pub fn coeff(&self, a: usize, v: usize) -> i64 {
+        self.coeffs[a * self.n_vars + v]
+    }
+
+    /// Byte address of access `a` at the all-zero environment.
+    pub fn const_of(&self, a: usize) -> i64 {
+        self.consts[a]
+    }
+
     /// Evaluate every access address at `env` from scratch into `out`
     /// (length [`Self::num_accesses`]). Cast each element `as u64` to get
     /// the absolute byte address.

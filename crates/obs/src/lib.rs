@@ -233,6 +233,11 @@ pub mod counters {
     /// Optimized-path requests that fell back to the reference path because
     /// the kernel footprint exceeded `DENSE_LINE_LIMIT`.
     pub static FS_DENSE_FALLBACKS: Counter = Counter::new("fs.dense_limit_fallbacks");
+    /// Runs answered by the symbolic (closed-form) path.
+    pub static FS_DISPATCH_SYMBOLIC: Counter = Counter::new("fs.dispatch_symbolic");
+    /// Symbolic-path requests that fell outside the decidable fragment (or
+    /// its work budget) and fell back to the dense/reference dispatch.
+    pub static FS_SYMBOLIC_FALLBACKS: Counter = Counter::new("fs.symbolic_fallbacks");
     /// Strength-reduced address-stream plans compiled (`CompiledPlan::new`).
     pub static STREAM_PLANS_COMPILED: Counter = Counter::new("stream.plans_compiled");
     /// §III-E linear-regression predictor fits.
@@ -267,7 +272,7 @@ pub mod counters {
     /// Service requests that returned an error envelope.
     pub static SVC_ERRORS: Counter = Counter::new("svc.errors");
 
-    pub(super) static ALL: [&Counter; 29] = [
+    pub(super) static ALL: [&Counter; 31] = [
         &SWEEP_MEMO_HITS,
         &SWEEP_MEMO_MISSES,
         &SWEEP_POINTS,
@@ -281,6 +286,8 @@ pub mod counters {
         &FS_DISPATCH_DENSE,
         &FS_DISPATCH_REFERENCE,
         &FS_DENSE_FALLBACKS,
+        &FS_DISPATCH_SYMBOLIC,
+        &FS_SYMBOLIC_FALLBACKS,
         &STREAM_PLANS_COMPILED,
         &PREDICT_FITS,
         &SIM_REPLAYS,

@@ -1,20 +1,42 @@
-//! Property test: the optimized FS-model path (strength-reduced address
-//! streams + dense line tables) is count-identical to the reference
-//! transcription of the paper's algorithm, over randomized DSL-corpus
-//! kernels × team sizes × schedules × cache-state geometries.
+//! Property test: all three FS-model paths — the optimized dense-table
+//! walk, the symbolic closed-form path, and the reference transcription of
+//! the paper's algorithm — are exact count-identical, over randomized
+//! DSL-corpus kernels × team sizes × schedules × cache-state geometries.
+//!
+//! On divergence the failing configuration is minimized (shrink the scale,
+//! then threads, then chunk, then the config knobs) and the smallest
+//! diverging kernel is dumped as a `.loop` reproducer, as in
+//! `tests/lint_differential.rs`.
 
 use cost_model::{run_fs_model, FsPath};
-use fs_core::corpus_kernel_with_consts;
+use fs_core::{corpus_kernel_with_consts, kernel_to_dsl};
 use fs_core::{FsModelConfig, FsModelResult};
 use loop_ir::Kernel;
 use machine::presets;
 use proptest::prelude::*;
 
+const CORPUS: [&str; 6] = ["dft", "heat", "histogram", "linreg", "matmul", "stencil"];
+
+/// One point in the differential space.
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    template: usize,
+    /// Problem-size multiplier, 1..=3.
+    scale: u64,
+    threads: u32,
+    chunk: u64,
+    stack_sets: u32,
+    invalidate: bool,
+    count_ts: bool,
+    max_runs: Option<u64>,
+}
+
 /// Build a corpus kernel at a randomized (small) problem size. The const
 /// names per kernel match `crates/core/src/corpus.rs`; sizes are scaled
 /// down so a proptest case stays fast.
-fn sized_corpus_kernel(name: &str, scale: u64) -> Kernel {
-    let s = scale as i64; // 1..=3
+fn kernel_at(p: Params) -> Kernel {
+    let s = p.scale as i64; // 1..=3
+    let name = CORPUS[p.template];
     let consts: Vec<(&str, i64)> = match name {
         "dft" => vec![("N", 8 * s), ("K", 32 * s)],
         "heat" => vec![("N", 6 * s), ("M", 32 * s + 2)],
@@ -24,45 +46,133 @@ fn sized_corpus_kernel(name: &str, scale: u64) -> Kernel {
         "stencil" => vec![("N", 64 * s + 2)],
         other => panic!("unknown corpus kernel {other}"),
     };
-    corpus_kernel_with_consts(name, &consts).expect("corpus kernel builds")
+    let mut kernel = corpus_kernel_with_consts(name, &consts).expect("corpus kernel builds");
+    kernel.nest.parallel.schedule = loop_ir::Schedule::Static { chunk: p.chunk };
+    kernel
 }
 
-fn cfg(
-    threads: u32,
-    stack_sets: u32,
-    invalidate: bool,
-    count_ts: bool,
-    max_runs: Option<u64>,
-    path: FsPath,
-) -> FsModelConfig {
-    let mut c = FsModelConfig::for_machine(&presets::paper48(), threads);
-    c.stack_sets = stack_sets;
-    c.invalidate_on_detect = invalidate;
-    c.count_true_sharing = count_ts;
-    c.max_chunk_runs = max_runs;
+fn cfg(p: Params, path: FsPath) -> FsModelConfig {
+    let mut c = FsModelConfig::for_machine(&presets::paper48(), p.threads);
+    c.stack_sets = p.stack_sets;
+    c.invalidate_on_detect = p.invalidate;
+    c.count_true_sharing = p.count_ts;
+    c.max_chunk_runs = p.max_runs;
     c.path = path;
     c
 }
 
-/// Assert every counting field matches between the two results.
-fn assert_paths_agree(opt: &FsModelResult, reference: &FsModelResult, ctx: &str) {
-    assert_eq!(opt, reference, "paths diverge for {ctx}");
+fn run(p: Params, path: FsPath) -> FsModelResult {
+    run_fs_model(&kernel_at(p), &cfg(p, path))
+}
+
+/// Compare every counting field of both non-reference paths against the
+/// reference; Some(description) on any mismatch.
+fn divergence(p: Params) -> Option<String> {
+    let reference = run(p, FsPath::Reference);
+    for path in [FsPath::Optimized, FsPath::Symbolic] {
+        let candidate = run(p, path);
+        if candidate != reference {
+            return Some(format!("{path} path diverges from reference ({p:?})"));
+        }
+    }
+    None
+}
+
+/// Shrink a diverging point — smaller problem, then fewer threads, smaller
+/// chunk, simpler config — keeping the divergence alive at every step.
+fn minimize(mut p: Params) -> Params {
+    loop {
+        let mut candidates = vec![
+            Params {
+                scale: p.scale.saturating_sub(1),
+                ..p
+            },
+            Params {
+                threads: p.threads.saturating_sub(1),
+                ..p
+            },
+            Params {
+                chunk: p.chunk / 2,
+                ..p
+            },
+            Params { stack_sets: 1, ..p },
+            Params {
+                invalidate: false,
+                ..p
+            },
+            Params {
+                count_ts: false,
+                ..p
+            },
+            Params {
+                max_runs: None,
+                ..p
+            },
+        ];
+        candidates.retain(|c| {
+            c.scale >= 1
+                && c.threads >= 1
+                && c.chunk >= 1
+                && (
+                    c.scale,
+                    c.threads,
+                    c.chunk,
+                    c.stack_sets,
+                    c.invalidate,
+                    c.count_ts,
+                    c.max_runs,
+                ) != (
+                    p.scale,
+                    p.threads,
+                    p.chunk,
+                    p.stack_sets,
+                    p.invalidate,
+                    p.count_ts,
+                    p.max_runs,
+                )
+        });
+        match candidates.into_iter().find(|&c| divergence(c).is_some()) {
+            Some(c) => p = c,
+            None => return p,
+        }
+    }
+}
+
+/// Dump a `.loop` reproducer for a diverging point and return its path.
+fn dump_reproducer(p: Params) -> std::path::PathBuf {
+    let dir = option_env!("CARGO_TARGET_TMPDIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let path = dir.join(format!(
+        "fs_path_divergence_{}_s{}_t{}_c{}.loop",
+        CORPUS[p.template], p.scale, p.threads, p.chunk
+    ));
+    std::fs::write(&path, kernel_to_dsl(&kernel_at(p))).expect("write reproducer");
+    path
+}
+
+fn check_point(p: Params) {
+    if let Some(msg) = divergence(p) {
+        let small = minimize(p);
+        let path = dump_reproducer(small);
+        panic!(
+            "FS-path divergence: {msg}\nminimized to {small:?}\n\
+             reproducer: {} (run `fsdetect {}` per path)",
+            path.display(),
+            path.display()
+        );
+    }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Full equivalence across the bundled corpus and the model's knobs.
+    /// The headline differential property: >= 256 random (corpus template,
+    /// scale, threads, chunk, cache geometry, model knobs) points, all
+    /// three paths exact count-identical.
     #[test]
-    fn optimized_path_matches_reference(
-        name in prop::sample::select(vec![
-            "dft",
-            "heat",
-            "histogram",
-            "linreg",
-            "matmul",
-            "stencil",
-        ]),
+    fn all_paths_match_reference(
+        template in 0usize..CORPUS.len(),
         scale in 1u64..4,
         threads in 1u32..9,
         chunk in prop::sample::select(vec![1u64, 2, 4, 16]),
@@ -71,29 +181,21 @@ proptest! {
         count_ts in any::<bool>(),
         max_runs in prop::sample::select(vec![None, Some(1u64), Some(2), Some(5)]),
     ) {
-        let mut kernel = sized_corpus_kernel(name, scale);
-        kernel.nest.parallel.schedule = loop_ir::Schedule::Static { chunk };
-        let opt = run_fs_model(
-            &kernel,
-            &cfg(threads, stack_sets, invalidate, count_ts, max_runs, FsPath::Optimized),
-        );
-        let reference = run_fs_model(
-            &kernel,
-            &cfg(threads, stack_sets, invalidate, count_ts, max_runs, FsPath::Reference),
-        );
-        assert_paths_agree(
-            &opt,
-            &reference,
-            &format!(
-                "{name} scale={scale} threads={threads} chunk={chunk} \
-                 sets={stack_sets} invalidate={invalidate} count_ts={count_ts} \
-                 max_runs={max_runs:?}"
-            ),
-        );
+        check_point(Params {
+            template,
+            scale,
+            threads,
+            chunk,
+            stack_sets,
+            invalidate,
+            count_ts,
+            max_runs,
+        });
     }
 
     /// Tiny cache states force constant eviction traffic — the hardest case
-    /// for the dense tables' writer-mask bookkeeping.
+    /// for the dense tables' writer-mask bookkeeping and the symbolic
+    /// path's steady-state verification.
     #[test]
     fn equivalence_under_heavy_eviction(
         name in prop::sample::select(vec!["dft", "transpose_like", "stencil"]),
@@ -103,19 +205,60 @@ proptest! {
     ) {
         let kernel = match name {
             "transpose_like" => loop_ir::kernels::transpose(24, 24, 1),
-            other => sized_corpus_kernel(other, 1),
+            "dft" => {
+                let p = Params {
+                    template: 0, scale: 1, threads, chunk: 1,
+                    stack_sets, invalidate: false, count_ts: false, max_runs: None,
+                };
+                kernel_at(p)
+            }
+            _ => {
+                let p = Params {
+                    template: 5, scale: 1, threads, chunk: 1,
+                    stack_sets, invalidate: false, count_ts: false, max_runs: None,
+                };
+                kernel_at(p)
+            }
         };
         let mk = |path| {
-            let mut c = cfg(threads, stack_sets, false, false, None, path);
+            let mut c = FsModelConfig::for_machine(&presets::paper48(), threads);
+            c.stack_sets = stack_sets;
             c.stack_lines = stack_lines;
+            c.path = path;
             run_fs_model(&kernel, &c)
         };
-        let opt = mk(FsPath::Optimized);
         let reference = mk(FsPath::Reference);
-        assert_paths_agree(
-            &opt,
-            &reference,
-            &format!("{name} threads={threads} lines={stack_lines} sets={stack_sets}"),
+        for path in [FsPath::Optimized, FsPath::Symbolic] {
+            let candidate = mk(path);
+            assert_eq!(
+                candidate, reference,
+                "{path} diverges: {name} threads={threads} lines={stack_lines} sets={stack_sets}"
+            );
+        }
+    }
+}
+
+/// Corpus kernels at their *bundled* default sizes must both dispatch
+/// symbolically (no fallback — the acceptance criterion) and agree exactly
+/// with the reference path.
+#[test]
+fn bundled_corpus_is_symbolic_and_exact() {
+    fs_obs::configure(fs_obs::ObsConfig::enabled());
+    for name in CORPUS {
+        let kernel = fs_core::corpus_kernel(name).expect("bundled kernel parses");
+        let mut reference = FsModelConfig::for_machine(&presets::paper48(), 8);
+        reference.path = FsPath::Reference;
+        let want = run_fs_model(&kernel, &reference);
+
+        let mut symbolic = reference.clone();
+        symbolic.path = FsPath::Symbolic;
+        let fallbacks_before = fs_obs::counters::FS_SYMBOLIC_FALLBACKS.get();
+        let got = run_fs_model(&kernel, &symbolic);
+        let fallbacks_after = fs_obs::counters::FS_SYMBOLIC_FALLBACKS.get();
+        assert_eq!(
+            fallbacks_before, fallbacks_after,
+            "{name}: bundled kernel fell back off the symbolic path"
         );
+        assert_eq!(got, want, "{name}: symbolic counts diverge at bundled size");
     }
 }

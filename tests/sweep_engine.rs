@@ -248,30 +248,41 @@ fn point_keys_are_content_fingerprints() {
 
     // Stable across calls and across structurally identical kernels built
     // independently — the key is a content fingerprint, not an identity.
-    let key = point_key(&k, &m, 8, &EvalMode::Full);
-    assert_eq!(key, point_key(&k, &m, 8, &EvalMode::Full));
-    assert_eq!(key, point_key(&k.clone(), &m, 8, &EvalMode::Full));
+    let path = fs_core::FsPath::default();
+    let key = point_key(&k, &m, 8, &EvalMode::Full, path);
+    assert_eq!(key, point_key(&k, &m, 8, &EvalMode::Full, path));
+    assert_eq!(key, point_key(&k.clone(), &m, 8, &EvalMode::Full, path));
     assert_eq!(
         key,
-        point_key(&scaled_kernel("histogram"), &m, 8, &EvalMode::Full)
+        point_key(&scaled_kernel("histogram"), &m, 8, &EvalMode::Full, path)
     );
 
     // Any coordinate change must change the key.
-    assert_ne!(key, point_key(&k, &m, 4, &EvalMode::Full));
+    assert_ne!(key, point_key(&k, &m, 4, &EvalMode::Full, path));
     assert_ne!(
         key,
-        point_key(&k, &m, 8, &EvalMode::EarlyExit(EarlyExit::default()))
+        point_key(&k, &m, 8, &EvalMode::EarlyExit(EarlyExit::default()), path)
     );
     assert_ne!(
         key,
-        point_key(&fs_core::kernel_at_chunk(&k, 4), &m, 8, &EvalMode::Full)
+        point_key(&k, &m, 8, &EvalMode::Full, fs_core::FsPath::Symbolic)
+    );
+    assert_ne!(
+        key,
+        point_key(
+            &fs_core::kernel_at_chunk(&k, 4),
+            &m,
+            8,
+            &EvalMode::Full,
+            path
+        )
     );
     let mut other_machine = machines::paper48();
     other_machine.caches.line_size *= 2;
-    assert_ne!(key, point_key(&k, &other_machine, 8, &EvalMode::Full));
+    assert_ne!(key, point_key(&k, &other_machine, 8, &EvalMode::Full, path));
     assert_ne!(
         key,
-        point_key(&scaled_kernel("heat"), &m, 8, &EvalMode::Full)
+        point_key(&scaled_kernel("heat"), &m, 8, &EvalMode::Full, path)
     );
 }
 
