@@ -122,6 +122,17 @@ fn main() -> ExitCode {
         points / baseline.as_secs_f64().max(1e-9),
         points / engine_s.max(1e-9)
     );
+    // Per-point latency shape from the histogram, not just the mean: a
+    // healthy memoized run is bimodal (cache hits ~µs, computes ~ms).
+    if let Some(h) = snap.hist("sweep.point_ns") {
+        println!(
+            "point latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms over {} points",
+            h.quantile(0.50) as f64 / 1e6,
+            h.quantile(0.95) as f64 / 1e6,
+            h.quantile(0.99) as f64 / 1e6,
+            h.count
+        );
+    }
 
     let speedup = baseline.as_secs_f64() / engine_s.max(1e-9);
     println!("speedup: {speedup:.1}x");

@@ -140,6 +140,8 @@ pub fn simulate_kernel_prepared(
     prepared: &SimPrepared,
 ) -> SimStats {
     let _span = fs_obs::span("sim.replay");
+    // Clock reads only when the registry is live (the FS_OBS_GATE guarantee).
+    let t_replay = fs_obs::counters_enabled().then(std::time::Instant::now);
     let gen = TraceGen::from_parts(
         kernel,
         prepared.plan.clone(),
@@ -181,6 +183,9 @@ pub fn simulate_kernel_prepared(
         fs_obs::counters::SIM_COHERENCE_MISSES.add(stats.total_coherence_misses());
         fs_obs::counters::SIM_FALSE_SHARING.add(stats.total_false_sharing());
         fs_obs::counters::SIM_TRUE_SHARING.add(stats.total_true_sharing());
+    }
+    if let Some(t) = t_replay {
+        fs_obs::hists::SIM_REPLAY_NS.record_ns(t.elapsed().as_nanos() as u64);
     }
     stats
 }

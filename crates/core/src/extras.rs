@@ -243,6 +243,25 @@ pub fn profile_text(snap: &obs::Snapshot, grid_result: Option<&SweepGridResult>)
             let _ = writeln!(out, "  {name:<26} {v}");
         }
     }
+    if snap.hists.iter().any(|h| h.count > 0) {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "latency", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms"
+        );
+        for h in snap.hists.iter().filter(|h| h.count > 0) {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                h.name,
+                h.count,
+                h.mean_ns() as f64 / 1e6,
+                h.quantile(0.50) as f64 / 1e6,
+                h.quantile(0.95) as f64 / 1e6,
+                h.quantile(0.99) as f64 / 1e6
+            );
+        }
+    }
     if let Some(r) = grid_result {
         let _ = writeln!(
             out,

@@ -171,10 +171,15 @@ impl ServiceCache {
         self.shards.num_shards()
     }
 
-    /// Change the total byte budget; over-budget shards evict immediately.
+    /// Change the total byte budget; over-budget shards evict immediately,
+    /// and `svc.cache_bytes` reflects the post-eviction residency (evictions
+    /// only ever happen inside a budget-enforcing mutation — insert, prepare,
+    /// or this — so publishing here keeps the gauge accurate between
+    /// requests on a budget-pressured daemon).
     pub fn set_budget(&self, budget: Option<u64>) {
         let per_shard = budget.map(|b| (b / self.shards.num_shards() as u64).max(1));
         self.shards.for_each(|m| m.set_budget(per_shard));
+        self.update_gauge();
     }
 
     /// Look up a point result by its [`point_key`], counting a hit or miss
@@ -367,6 +372,52 @@ impl KernelResult {
     }
 }
 
+/// Process-wide request id source: every [`Service::handle_with`] call gets
+/// the next id, and the daemon draws control-command ids (ping, stats, …)
+/// from the same sequence so its access log stays totally ordered.
+static NEXT_REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Claim the next monotonically increasing request id.
+pub fn allocate_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Wall-clock breakdown of one request, measured independently of the obs
+/// configuration. Attached to the envelope only under the `timing:true`
+/// request flag (it is nondeterministic, like `sweep_stats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// End-to-end `handle_with` wall time.
+    pub total_ns: u64,
+    /// Input resolution + DSL parsing, summed over kernels.
+    pub resolve_ns: u64,
+    /// Cost-model analysis (`analyze_cached`), summed over kernels.
+    pub analyze_ns: u64,
+    /// Symbolic lint, summed over kernels.
+    pub lint_ns: u64,
+    /// The sweep-grid run, when one was requested.
+    pub grid_ns: u64,
+    /// Service-cache hits this request (single-kernel lookups plus the
+    /// grid's memo-delta).
+    pub cache_hits: u64,
+    /// Service-cache misses this request.
+    pub cache_misses: u64,
+}
+
+impl RequestTiming {
+    /// The envelope's `timing` object (stable field order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("total_ms", self.total_ns as f64 / 1e6)
+            .field("resolve_ms", self.resolve_ns as f64 / 1e6)
+            .field("analyze_ms", self.analyze_ns as f64 / 1e6)
+            .field("lint_ms", self.lint_ns as f64 / 1e6)
+            .field("grid_ms", self.grid_ns as f64 / 1e6)
+            .field("cache_hits", self.cache_hits)
+            .field("cache_misses", self.cache_misses)
+    }
+}
+
 /// Everything one request produced. Renders to the versioned envelope via
 /// [`Self::envelope`]; front ends add presentation (exit codes, stderr
 /// diagnostics, metrics) on top.
@@ -382,8 +433,14 @@ pub struct ServiceResponse {
     pub errors: Vec<String>,
     /// Any lint reported findings.
     pub findings: bool,
-    /// Whether the envelope includes nondeterministic `sweep_stats`.
+    /// Whether the envelope includes nondeterministic `sweep_stats`,
+    /// `request_id`, and `timing`.
     pub include_timing: bool,
+    /// This request's id from [`allocate_request_id`].
+    pub request_id: u64,
+    /// Per-phase wall breakdown (always measured; rendered only under
+    /// `timing:true`).
+    pub timing: RequestTiming,
 }
 
 impl ServiceResponse {
@@ -431,6 +488,9 @@ impl ServiceResponse {
             .field("fsd_version", FSD_VERSION)
             .field("machine", self.machine.as_str())
             .field("threads", self.threads as u64);
+        if self.include_timing {
+            doc = doc.field("request_id", self.request_id);
+        }
         if include_reports {
             doc = doc.field(
                 "reports",
@@ -442,6 +502,9 @@ impl ServiceResponse {
             if self.include_timing {
                 doc = doc.field("sweep_stats", r.stats_json(5));
             }
+        }
+        if self.include_timing {
+            doc = doc.field("timing", self.timing.to_json());
         }
         doc.field("findings", self.findings).field(
             "errors",
@@ -527,6 +590,9 @@ impl Service {
     ) -> ServiceResponse {
         let _span = obs::span("svc.request");
         obs::counters::SVC_REQUESTS.inc();
+        let request_id = allocate_request_id();
+        let t_request = std::time::Instant::now();
+        let mut timing = RequestTiming::default();
         let opts = &req.options;
         let mut errors = Vec::new();
 
@@ -550,6 +616,8 @@ impl Service {
                 errors.push("request names no machine".to_string());
                 obs::counters::SVC_ERRORS.inc();
             }
+            timing.total_ns = t_request.elapsed().as_nanos() as u64;
+            obs::hists::SVC_REQUEST_NS.record_ns(timing.total_ns);
             return ServiceResponse {
                 machine: machine_name,
                 threads: opts.threads,
@@ -558,6 +626,8 @@ impl Service {
                 errors,
                 findings: false,
                 include_timing: opts.timing,
+                request_id,
+                timing,
             };
         }
         let primary = &machines[0].1;
@@ -572,36 +642,46 @@ impl Service {
                 lint: None,
                 error: None,
             };
+            let t_resolve = std::time::Instant::now();
             let src = match &input.source {
                 Some(s) => Ok(s.clone()),
                 None => resolve_input(&input.name),
             };
-            match src {
+            let parsed = src.and_then(|src| {
+                loop_ir::dsl::parse_kernel_with_consts(&src, &consts)
+                    .map_err(|e| e.with_source_name(&input.name).to_string())
+            });
+            timing.resolve_ns += t_resolve.elapsed().as_nanos() as u64;
+            match parsed {
                 Err(e) => kr.error = Some(e),
-                Ok(src) => match loop_ir::dsl::parse_kernel_with_consts(&src, &consts) {
-                    Err(e) => kr.error = Some(e.with_source_name(&input.name).to_string()),
-                    Ok(kernel) => {
-                        if opts.analyze {
-                            match self.analyze_cached(
-                                &kernel,
-                                primary,
-                                opts.threads,
-                                opts.predict,
-                                opts.path,
-                            ) {
-                                Ok(r) => kr.report = Some(r),
-                                Err(e) => kr.error = Some(format!("{}: {e}", input.name)),
-                            }
+                Ok(kernel) => {
+                    if opts.analyze {
+                        let t = std::time::Instant::now();
+                        let res = self.analyze_cached(
+                            &kernel,
+                            primary,
+                            opts.threads,
+                            opts.predict,
+                            opts.path,
+                            &mut timing,
+                        );
+                        timing.analyze_ns += t.elapsed().as_nanos() as u64;
+                        match res {
+                            Ok(r) => kr.report = Some(r),
+                            Err(e) => kr.error = Some(format!("{}: {e}", input.name)),
                         }
-                        if opts.lint && kr.error.is_none() {
-                            match lint(&kernel, primary, opts.threads) {
-                                Ok(l) => kr.lint = Some(l),
-                                Err(e) => kr.error = Some(format!("{}: {e}", input.name)),
-                            }
-                        }
-                        kr.kernel = Some(kernel);
                     }
-                },
+                    if opts.lint && kr.error.is_none() {
+                        let t = std::time::Instant::now();
+                        let res = lint(&kernel, primary, opts.threads);
+                        timing.lint_ns += t.elapsed().as_nanos() as u64;
+                        match res {
+                            Ok(l) => kr.lint = Some(l),
+                            Err(e) => kr.error = Some(format!("{}: {e}", input.name)),
+                        }
+                    }
+                    kr.kernel = Some(kernel);
+                }
             }
             if kr.error.is_some() {
                 obs::counters::SVC_ERRORS.inc();
@@ -642,10 +722,15 @@ impl Service {
                     if let Some(w) = opts.workers {
                         engine = engine.workers(w);
                     }
-                    match engine.run(&grid) {
+                    let t_grid = std::time::Instant::now();
+                    let run = engine.run(&grid);
+                    timing.grid_ns += t_grid.elapsed().as_nanos() as u64;
+                    match run {
                         Ok(r) => {
                             obs::counters::SVC_CACHE_HITS.add(r.memo_hits);
                             obs::counters::SVC_CACHE_MISSES.add(r.memo_misses);
+                            timing.cache_hits += r.memo_hits;
+                            timing.cache_misses += r.memo_misses;
                             Some(r)
                         }
                         Err(e) => {
@@ -663,6 +748,8 @@ impl Service {
         let findings = results
             .iter()
             .any(|r| r.lint.as_ref().is_some_and(|l| l.has_findings()));
+        timing.total_ns = t_request.elapsed().as_nanos() as u64;
+        obs::hists::SVC_REQUEST_NS.record_ns(timing.total_ns);
         ServiceResponse {
             machine: machine_name,
             threads: opts.threads,
@@ -671,6 +758,8 @@ impl Service {
             errors,
             findings,
             include_timing: opts.timing,
+            request_id,
+            timing,
         }
     }
 
@@ -684,6 +773,7 @@ impl Service {
         threads: u32,
         predict: Option<u64>,
         path: FsPath,
+        timing: &mut RequestTiming,
     ) -> Result<AnalysisReport, AnalysisError> {
         check_team(machine, threads)?;
         loop_ir::validate(kernel)?;
@@ -695,10 +785,12 @@ impl Service {
         let cost = match self.cache.lookup_point(&key) {
             Some(c) => {
                 obs::counters::SVC_CACHE_HITS.inc();
+                timing.cache_hits += 1;
                 c
             }
             None => {
                 obs::counters::SVC_CACHE_MISSES.inc();
+                timing.cache_misses += 1;
                 let prep = self.cache.prepared_for(kernel, machine, path);
                 let c = compute_point(kernel, machine, threads, mode, path, &prep);
                 self.cache.insert_point(key, c.clone());
@@ -725,6 +817,9 @@ pub enum Command {
     Ping,
     /// Cache / counter statistics.
     Stats,
+    /// Full observability registry (counters, gauges, histograms) as JSON —
+    /// the protocol twin of the HTTP `/metrics` endpoint.
+    Metrics,
     /// Ask the daemon to exit.
     Shutdown,
 }
@@ -765,6 +860,7 @@ pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
         "lint" => Command::Lint,
         "ping" => Command::Ping,
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
         "shutdown" => Command::Shutdown,
         other => return Err(format!("unknown command '{other}'")),
     };
@@ -773,7 +869,10 @@ pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
         Some(s) => s.as_bool().ok_or("'stream' must be a boolean")?,
     };
     let mut req = ServiceRequest::default();
-    if matches!(command, Command::Ping | Command::Stats | Command::Shutdown) {
+    if matches!(
+        command,
+        Command::Ping | Command::Stats | Command::Metrics | Command::Shutdown
+    ) {
         return Ok(ParsedRequest {
             command,
             stream,
@@ -913,6 +1012,10 @@ pub fn metrics_json(snap: &obs::Snapshot) -> JsonValue {
     for &(name, v) in &snap.gauges {
         gauges = gauges.field(name, v);
     }
+    let mut hists = JsonValue::obj();
+    for h in &snap.hists {
+        hists = hists.field(h.name, hist_json(h));
+    }
     let spans = snap
         .span_aggregate()
         .into_iter()
@@ -927,9 +1030,20 @@ pub fn metrics_json(snap: &obs::Snapshot) -> JsonValue {
     JsonValue::obj()
         .field("counters", counters)
         .field("gauges", gauges)
+        .field("hists", hists)
         .field("spans", JsonValue::Arr(spans))
         .field("wall_ms", snap.wall_ns() as f64 / 1e6)
         .field("span_coverage", span_coverage(snap))
+}
+
+/// One histogram as JSON: totals plus quantile estimates in milliseconds.
+pub fn hist_json(h: &obs::HistogramSnapshot) -> JsonValue {
+    JsonValue::obj()
+        .field("count", h.count)
+        .field("mean_ms", h.mean_ns() as f64 / 1e6)
+        .field("p50_ms", h.quantile(0.50) as f64 / 1e6)
+        .field("p95_ms", h.quantile(0.95) as f64 / 1e6)
+        .field("p99_ms", h.quantile(0.99) as f64 / 1e6)
 }
 
 /// Fraction of the snapshot's wall interval inside at least one span.

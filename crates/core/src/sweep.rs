@@ -311,7 +311,9 @@ impl SweepEngine {
         fs_obs::counters::SWEEP_POINTS.inc();
         let start = Instant::now();
         let outcome = self.eval_one(grid, spec);
-        (outcome, start.elapsed().as_nanos() as u64)
+        let ns = start.elapsed().as_nanos() as u64;
+        fs_obs::hists::SWEEP_POINT_NS.record_ns(ns);
+        (outcome, ns)
     }
 
     /// One point: shard-locked memo lookups, computation outside any lock,

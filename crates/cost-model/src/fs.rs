@@ -605,6 +605,9 @@ pub fn run_fs_model_prepared(
         cfg.num_threads
     );
     fs_obs::counters::FS_MODEL_RUNS.inc();
+    // Clock reads only when the registry is live: the disabled path must
+    // stay branch-only (the FS_OBS_GATE guarantee).
+    let t_run = fs_obs::counters_enabled().then(std::time::Instant::now);
     let result = match cfg.path {
         FsPath::Reference => {
             fs_obs::counters::FS_DISPATCH_REFERENCE.inc();
@@ -628,6 +631,9 @@ pub fn run_fs_model_prepared(
         fs_obs::counters::FS_EVENTS.add(result.fs_events);
         fs_obs::counters::FS_STEPS.add(result.steps);
         fs_obs::counters::FS_ITERATIONS.add(result.iterations);
+    }
+    if let Some(t) = t_run {
+        fs_obs::hists::FS_MODEL_NS.record_ns(t.elapsed().as_nanos() as u64);
     }
     result
 }

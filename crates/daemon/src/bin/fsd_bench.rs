@@ -110,6 +110,13 @@ fn socket_round_trip_seconds() -> f64 {
 }
 
 fn main() -> ExitCode {
+    // Counters-only obs (the daemon's default): the svc.request_ns
+    // histogram feeds the latency quantiles reported below.
+    fs_obs::configure(fs_obs::ObsConfig {
+        spans: false,
+        counters: true,
+        ring: None,
+    });
     let gate = std::env::var("FSD_BENCH_MIN_SPEEDUP")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -153,6 +160,14 @@ fn main() -> ExitCode {
         "socket round trip (warm, incl. transport): {:.3} ms",
         socket_s * 1e3
     );
+    let lat = fs_obs::hists::SVC_REQUEST_NS.snapshot();
+    println!(
+        "request latency over {} requests: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        lat.count,
+        lat.quantile(0.50) as f64 / 1e6,
+        lat.quantile(0.95) as f64 / 1e6,
+        lat.quantile(0.99) as f64 / 1e6
+    );
     println!(
         "speedup {speedup:.1}x (gate {gate:.0}x): {}",
         if pass { "PASS" } else { "FAIL" }
@@ -181,6 +196,10 @@ fn main() -> ExitCode {
         .field("cache_hits", stats.hits)
         .field("cache_misses", stats.misses)
         .field("cache_bytes", stats.bytes)
+        .field("request_count", lat.count)
+        .field("request_p50_ms", lat.quantile(0.50) as f64 / 1e6)
+        .field("request_p95_ms", lat.quantile(0.95) as f64 / 1e6)
+        .field("request_p99_ms", lat.quantile(0.99) as f64 / 1e6)
         .field("gate", gate)
         .field("pass", pass);
     if let Err(e) = std::fs::write(JSON_PATH, doc.render_pretty()) {

@@ -17,7 +17,8 @@
 //! ## Protocol summary
 //!
 //! Requests are parsed by [`fs_core::service::parse_request`] (`cmd`:
-//! `analyze` | `lint` | `ping` | `stats` | `shutdown`). Responses:
+//! `analyze` | `lint` | `ping` | `stats` | `metrics` | `shutdown`).
+//! Responses:
 //!
 //! - `analyze`/`lint`, `"stream": false` — exactly the envelope that an
 //!   in-process [`Service::handle`] + [`ServiceResponse::envelope`] call
@@ -26,22 +27,25 @@
 //!   {...}}` line per kernel as it completes, then the envelope minus the
 //!   `reports` array as a final `"event":"done"` line.
 //! - `ping` — `{"fsd_version":1,"event":"pong"}`.
-//! - `stats` — cache occupancy and lifetime hit/miss/eviction tallies.
+//! - `stats` — cache occupancy, lifetime hit/miss/eviction tallies,
+//!   uptime, per-command request counts, and latency quantiles.
+//! - `metrics` — the full observability registry as JSON (the protocol
+//!   twin of HTTP `GET /metrics`, which serves Prometheus text format).
 //! - `shutdown` — an acknowledgement line, then the accept loops stop.
 //! - anything malformed — `{"fsd_version":1,"error":"..."}`; the
 //!   connection survives and the next line is read.
 
-use fs_core::service::{parse_request, Command, ParsedRequest};
+use fs_core::service::{allocate_request_id, parse_request, Command, ParsedRequest};
 use fs_core::{JsonValue, KernelResult, Service, ServiceResponse, FSD_VERSION};
 use fs_obs as obs;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Poll interval of the non-blocking accept loops (they wake this often to
 /// check the shutdown flag).
@@ -50,12 +54,59 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Largest HTTP request body the fallback endpoint accepts.
 const HTTP_BODY_LIMIT: u64 = 8 * 1024 * 1024;
 
+/// Largest HTTP request line (or header line) the fallback accepts; longer
+/// lines are a 400, not an unbounded buffer.
+const HTTP_LINE_LIMIT: usize = 8 * 1024;
+
+/// Per-command request tallies, kept in plain relaxed atomics so `stats`
+/// reports them even when the obs registry is fully disabled.
+#[derive(Default)]
+struct CommandTally {
+    analyze: AtomicU64,
+    lint: AtomicU64,
+    ping: AtomicU64,
+    stats: AtomicU64,
+    metrics: AtomicU64,
+    shutdown: AtomicU64,
+    /// Lines that failed to parse into any command.
+    errors: AtomicU64,
+}
+
+impl CommandTally {
+    fn bump(&self, cmd: &str) {
+        let cell = match cmd {
+            "analyze" => &self.analyze,
+            "lint" => &self.lint,
+            "ping" => &self.ping,
+            "stats" => &self.stats,
+            "metrics" => &self.metrics,
+            "shutdown" => &self.shutdown,
+            _ => &self.errors,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("analyze", self.analyze.load(Ordering::Relaxed))
+            .field("lint", self.lint.load(Ordering::Relaxed))
+            .field("ping", self.ping.load(Ordering::Relaxed))
+            .field("stats", self.stats.load(Ordering::Relaxed))
+            .field("metrics", self.metrics.load(Ordering::Relaxed))
+            .field("shutdown", self.shutdown.load(Ordering::Relaxed))
+            .field("errors", self.errors.load(Ordering::Relaxed))
+    }
+}
+
 /// A running analysis daemon: one shared [`Service`] plus the shutdown
 /// latch both accept loops watch. Wrap it in an [`Arc`] and hand clones to
 /// [`Daemon::serve_unix`] / [`Daemon::serve_http`] on their own threads.
 pub struct Daemon {
     service: Service,
     shutdown: AtomicBool,
+    started: Instant,
+    tally: CommandTally,
+    access_log: AtomicBool,
 }
 
 impl Daemon {
@@ -65,7 +116,16 @@ impl Daemon {
         Daemon {
             service: Service::with_budget(cache_budget),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            tally: CommandTally::default(),
+            access_log: AtomicBool::new(false),
         }
+    }
+
+    /// Enable or disable the stderr NDJSON access log (off by default; the
+    /// `fsd` binary turns it on unless `--quiet`).
+    pub fn set_access_log(&self, on: bool) {
+        self.access_log.store(on, Ordering::Relaxed);
     }
 
     /// The shared service — the tests call it in-process to produce the
@@ -88,8 +148,10 @@ impl Daemon {
 
     /// Handle one protocol line, writing the response line(s) to `out`.
     /// Never fails on bad input — malformed lines produce an `error`
-    /// response — only on I/O errors writing to `out`.
+    /// response — only on I/O errors writing to `out`. Every line bumps its
+    /// per-command tally and, when enabled, emits one access-log record.
     pub fn handle_line(&self, line: &str, out: &mut dyn Write) -> io::Result<()> {
+        let t_start = Instant::now();
         let parsed = match fs_core::json::parse(line) {
             Ok(v) => parse_request(&v),
             Err(e) => Err(format!("parse error: {e}")),
@@ -98,26 +160,84 @@ impl Daemon {
             Ok(p) => p,
             Err(e) => {
                 obs::counters::SVC_ERRORS.inc();
-                return writeln!(out, "{}", error_json(&e).render());
+                self.tally.bump("error");
+                let res = writeln!(out, "{}", error_json(&e).render());
+                self.log_access(allocate_request_id(), "error", 0, 0, 0, t_start, "error");
+                return res;
             }
         };
-        match parsed.command {
-            Command::Ping => writeln!(out, "{}", event_obj("pong").render()),
-            Command::Stats => writeln!(out, "{}", self.stats_json().render()),
+        let cmd = match parsed.command {
+            Command::Ping => "ping",
+            Command::Stats => "stats",
+            Command::Metrics => "metrics",
+            Command::Shutdown => "shutdown",
+            Command::Analyze => "analyze",
+            Command::Lint => "lint",
+        };
+        self.tally.bump(cmd);
+        let (res, rec) = match parsed.command {
+            Command::Ping => (writeln!(out, "{}", event_obj("pong").render()), None),
+            Command::Stats => (writeln!(out, "{}", self.stats_json().render()), None),
+            Command::Metrics => (writeln!(out, "{}", self.metrics_event().render()), None),
             Command::Shutdown => {
                 self.request_shutdown();
-                writeln!(out, "{}", event_obj("shutdown").render())
+                (writeln!(out, "{}", event_obj("shutdown").render()), None)
             }
-            Command::Analyze | Command::Lint => self.run_request(&parsed, out),
+            Command::Analyze | Command::Lint => {
+                let (res, resp) = self.run_request(&parsed, out);
+                (res, Some(resp))
+            }
+        };
+        match rec {
+            Some(resp) => self.log_access(
+                resp.request_id,
+                cmd,
+                resp.results.len() as u64,
+                resp.timing.cache_hits,
+                resp.timing.cache_misses,
+                t_start,
+                if resp.has_errors() { "error" } else { "ok" },
+            ),
+            None => self.log_access(allocate_request_id(), cmd, 0, 0, 0, t_start, "ok"),
         }
+        res
+    }
+
+    /// One NDJSON access-log record on stderr, when enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn log_access(
+        &self,
+        id: u64,
+        cmd: &str,
+        kernels: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        t_start: Instant,
+        outcome: &str,
+    ) {
+        if !self.access_log.load(Ordering::Relaxed) {
+            return;
+        }
+        let rec = JsonValue::obj()
+            .field("fsd", "access")
+            .field("id", id)
+            .field("cmd", cmd)
+            .field("kernels", kernels)
+            .field("cache_hits", cache_hits)
+            .field("cache_misses", cache_misses)
+            .field("wall_ns", t_start.elapsed().as_nanos() as u64)
+            .field("outcome", outcome);
+        eprintln!("{}", rec.render());
     }
 
     /// Execute an analyze/lint request, streaming per-kernel events first
-    /// when the client asked for them.
-    fn run_request(&self, parsed: &ParsedRequest, out: &mut dyn Write) -> io::Result<()> {
+    /// when the client asked for them. Returns the response alongside the
+    /// I/O outcome so the caller can log what actually happened.
+    fn run_request(&self, parsed: &ParsedRequest, out: &mut dyn Write) -> (io::Result<()>, ServiceResponse) {
         if !parsed.stream {
             let resp = self.service.handle(&parsed.request);
-            return writeln!(out, "{}", resp.envelope().render());
+            let res = writeln!(out, "{}", resp.envelope().render());
+            return (res, resp);
         }
         // Streaming: the callback fires inside `handle_with`, so write
         // failures are stashed and re-raised once the borrow ends.
@@ -133,20 +253,36 @@ impl Daemon {
         };
         let resp = self.service.handle_with(&parsed.request, Some(&mut emit));
         if let Some(e) = io_err {
-            return Err(e);
+            return (Err(e), resp);
         }
-        writeln!(out, "{}", done_event(&resp).render())
+        let res = writeln!(out, "{}", done_event(&resp).render());
+        (res, resp)
+    }
+
+    /// The `metrics` protocol event: uptime, per-command tallies, and the
+    /// full observability registry — the JSON twin of `GET /metrics`.
+    fn metrics_event(&self) -> JsonValue {
+        event_obj("metrics")
+            .field("uptime_s", self.started.elapsed().as_secs_f64())
+            .field("commands", self.tally.to_json())
+            .field(
+                "metrics",
+                fs_core::service::metrics_json(&obs::snapshot()),
+            )
     }
 
     /// The `stats` response: shard count, aggregated cache stats (lifetime
     /// hits/misses/evictions plus resident and peak bytes), the default
-    /// FS-model path with its lifetime dispatch/fallback tallies, and the
-    /// process-wide request counter.
+    /// FS-model path with its lifetime dispatch/fallback tallies, the
+    /// process-wide request counter, daemon uptime, per-command tallies
+    /// (obs-independent), and request-latency quantiles.
     pub fn stats_json(&self) -> JsonValue {
         let cache = self.service.cache();
         let s = cache.stats();
         event_obj("stats")
             .field("shards", cache.num_shards() as u64)
+            .field("uptime_s", self.started.elapsed().as_secs_f64())
+            .field("commands", self.tally.to_json())
             .field(
                 "cache",
                 JsonValue::obj()
@@ -174,6 +310,63 @@ impl Daemon {
                     ),
             )
             .field("requests", obs::counters::SVC_REQUESTS.get())
+            .field(
+                "latency",
+                fs_core::service::hist_json(&obs::hists::SVC_REQUEST_NS.snapshot()),
+            )
+    }
+
+    /// The Prometheus text-format exposition behind `GET /metrics`: daemon
+    /// process metrics (uptime, per-command tallies) plus every obs
+    /// counter, gauge, and histogram. Histograms render their non-empty
+    /// buckets cumulatively with nanosecond `le` bounds.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE fsd_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "fsd_uptime_seconds {:.3}",
+            self.started.elapsed().as_secs_f64()
+        );
+        let _ = writeln!(out, "# TYPE fsd_requests_total counter");
+        for (cmd, v) in [
+            ("analyze", &self.tally.analyze),
+            ("lint", &self.tally.lint),
+            ("ping", &self.tally.ping),
+            ("stats", &self.tally.stats),
+            ("metrics", &self.tally.metrics),
+            ("shutdown", &self.tally.shutdown),
+            ("error", &self.tally.errors),
+        ] {
+            let _ = writeln!(
+                out,
+                "fsd_requests_total{{cmd=\"{cmd}\"}} {}",
+                v.load(Ordering::Relaxed)
+            );
+        }
+        let snap = obs::snapshot();
+        for &(name, v) in &snap.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n}_total counter");
+            let _ = writeln!(out, "{n}_total {v}");
+        }
+        for &(name, v) in &snap.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for h in &snap.hists {
+            let n = prom_name(h.name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            for (le, cum) in h.cumulative_buckets() {
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
     }
 
     // -- Unix socket server ------------------------------------------------
@@ -230,7 +423,8 @@ impl Daemon {
 
     /// The minimal HTTP fallback for clients that cannot speak Unix
     /// sockets: `POST /` (or `/analyze`) with a protocol object as the
-    /// body, `GET /ping`, `GET /stats`. One request per connection.
+    /// body, `GET /ping`, `GET /stats`, `GET /metrics` (Prometheus text
+    /// exposition). One request per connection.
     pub fn serve_http(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
         while !self.shutdown_requested() {
@@ -256,32 +450,53 @@ impl Daemon {
         let mut writer = BufWriter::new(writer);
         let mut reader = BufReader::new(stream);
         match self.http_request(&mut reader) {
-            Ok((status, body)) => {
-                let _ = write_http_response(&mut writer, status, &body);
+            Ok((status, ctype, body)) => {
+                let _ = write_http_response(&mut writer, status, ctype, &body);
+                let _ = writer.flush();
             }
             Err(_) => {
-                let _ = write_http_response(&mut writer, 400, "{\"error\": \"bad request\"}\n");
+                // A refused request (e.g. an over-long line) leaves unread
+                // client bytes; closing now would RST the 400 out of the
+                // client's receive buffer. Flush, half-close, then drain a
+                // bounded amount so the error response survives.
+                let _ = write_http_response(
+                    &mut writer,
+                    400,
+                    CT_JSON,
+                    "{\"error\": \"bad request\"}\n",
+                );
+                let _ = writer.flush();
+                let _ = writer.get_ref().shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 4096];
+                let mut budget = HTTP_BODY_LIMIT;
+                while budget > 0 {
+                    match reader.get_mut().read(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => budget = budget.saturating_sub(n as u64),
+                    }
+                }
             }
         }
-        let _ = writer.flush();
     }
 
-    /// Parse one HTTP request and produce `(status, body)`. Streamed
-    /// responses arrive as an NDJSON body — the event lines concatenated —
-    /// since the fallback does not do chunked transfer.
-    fn http_request(&self, reader: &mut impl BufRead) -> io::Result<(u16, String)> {
-        let mut request_line = String::new();
-        reader.read_line(&mut request_line)?;
+    /// Parse one HTTP request and produce `(status, content-type, body)`.
+    /// Streamed responses arrive as an NDJSON body — the event lines
+    /// concatenated — since the fallback does not do chunked transfer.
+    fn http_request(&self, reader: &mut impl BufRead) -> io::Result<(u16, &'static str, String)> {
+        let request_line = match read_line_limited(reader, HTTP_LINE_LIMIT)? {
+            Some(l) => l,
+            None => return Ok((400, CT_JSON, "{\"error\": \"empty request\"}\n".to_string())),
+        };
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("").to_ascii_uppercase();
         let path = parts.next().unwrap_or("/").to_string();
 
         let mut content_length: u64 = 0;
         loop {
-            let mut header = String::new();
-            if reader.read_line(&mut header)? == 0 {
-                break;
-            }
+            let header = match read_line_limited(reader, HTTP_LINE_LIMIT)? {
+                Some(h) => h,
+                None => break,
+            };
             let header = header.trim();
             if header.is_empty() {
                 break;
@@ -294,11 +509,21 @@ impl Daemon {
         }
 
         match (method.as_str(), path.as_str()) {
-            ("GET", "/ping") => Ok((200, format!("{}\n", event_obj("pong").render()))),
-            ("GET", "/stats") => Ok((200, format!("{}\n", self.stats_json().render()))),
+            ("GET", "/ping") => {
+                self.tally.bump("ping");
+                Ok((200, CT_JSON, format!("{}\n", event_obj("pong").render())))
+            }
+            ("GET", "/stats") => {
+                self.tally.bump("stats");
+                Ok((200, CT_JSON, format!("{}\n", self.stats_json().render())))
+            }
+            ("GET", "/metrics") => {
+                self.tally.bump("metrics");
+                Ok((200, CT_PROM, self.prometheus_text()))
+            }
             ("POST", "/") | ("POST", "/analyze") => {
                 if content_length > HTTP_BODY_LIMIT {
-                    return Ok((413, "{\"error\": \"body too large\"}\n".to_string()));
+                    return Ok((413, CT_JSON, "{\"error\": \"body too large\"}\n".to_string()));
                 }
                 let mut body = String::new();
                 reader.take(content_length).read_to_string(&mut body)?;
@@ -307,13 +532,43 @@ impl Daemon {
                 let ok = !out.starts_with(b"{\"fsd_version\":1,\"error\":");
                 Ok((
                     if ok { 200 } else { 400 },
+                    CT_JSON,
                     String::from_utf8_lossy(&out).into_owned(),
                 ))
             }
-            _ => Ok((404, "{\"error\": \"not found\"}\n".to_string())),
+            _ => Ok((404, CT_JSON, "{\"error\": \"not found\"}\n".to_string())),
         }
     }
 }
+
+/// Read one `\n`-terminated line of at most `limit` bytes. `Ok(None)` is
+/// EOF before any byte; an over-long line is an `InvalidData` error (the
+/// connection answers 400 and closes rather than buffering without bound).
+fn read_line_limited(reader: &mut impl BufRead, limit: usize) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    reader
+        .by_ref()
+        .take(limit as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf.len() > limit {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line too long",
+        ));
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// A stable `area.metric` obs name as a Prometheus metric name.
+fn prom_name(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+const CT_JSON: &str = "application/json";
+const CT_PROM: &str = "text/plain; version=0.0.4";
 
 /// `{"fsd_version": 1, "event": <name>}`, ready for more fields.
 fn event_obj(event: &str) -> JsonValue {
@@ -340,7 +595,12 @@ fn done_event(resp: &ServiceResponse) -> JsonValue {
     tail
 }
 
-fn write_http_response(out: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+fn write_http_response(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -350,7 +610,7 @@ fn write_http_response(out: &mut impl Write, status: u16, body: &str) -> io::Res
     };
     write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fsd [--socket PATH] [--http HOST:PORT] [--cache-budget BYTES[k|m|g]]
-//!     [--trace] [--quiet]
+//!     [--trace] [--ring N] [--quiet]
 //! ```
 //!
 //! Starts a long-running server over [`fs_core::service`]: newline-
@@ -12,10 +12,16 @@
 //! memoized cost-model state instead of recomputing it — the warm-path
 //! speedup `fsd_bench` measures. Protocol and examples: `docs/DAEMON.md`.
 //!
-//! Observability defaults to counters-only ([`obs::ObsConfig`]): counters
-//! and gauges are cheap cumulative atomics, while spans accumulate events
-//! per request and are unbounded in a long-lived process — `--trace` opts
-//! into them anyway for short diagnostic runs.
+//! Observability defaults to counters-only ([`obs::ObsConfig`]): counters,
+//! gauges, and latency histograms are fixed-size cumulative atomics, safe
+//! to leave on forever. `--trace` additionally records spans into a
+//! bounded ring buffer of the newest `--ring N` events (default 4096), so
+//! tracing is also always-on safe: memory stays bounded no matter how many
+//! requests the daemon serves.
+//!
+//! Unless `--quiet`, every request writes one NDJSON access-log record to
+//! stderr (request id, command, kernel count, cache delta, wall ns,
+//! outcome).
 //!
 //! Exit codes: 0 after a clean `shutdown` command, 2 on usage or bind
 //! errors.
@@ -28,18 +34,22 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::thread;
 
+/// `--trace` ring capacity when `--ring` is not given.
+const DEFAULT_TRACE_RING: usize = 4096;
+
 struct Args {
     socket: PathBuf,
     http: Option<String>,
     cache_budget: Option<u64>,
     trace: bool,
+    ring: usize,
     quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fsd [--socket PATH] [--http HOST:PORT] [--cache-budget BYTES[k|m|g]]\n\
-         \x20          [--trace] [--quiet]"
+         \x20          [--trace] [--ring N] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -61,6 +71,7 @@ fn parse_args() -> Args {
         http: None,
         cache_budget: None,
         trace: false,
+        ring: DEFAULT_TRACE_RING,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -73,6 +84,10 @@ fn parse_args() -> Args {
                 args.cache_budget = Some(parse_bytes(&v).unwrap_or_else(|| usage()));
             }
             "--trace" => args.trace = true,
+            "--ring" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.ring = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage());
+            }
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -84,11 +99,13 @@ fn parse_args() -> Args {
 fn main() -> ExitCode {
     let args = parse_args();
     obs::configure(if args.trace {
-        obs::ObsConfig::enabled()
+        // Spans in a bounded ring: always-on tracing with bounded memory.
+        obs::ObsConfig::ring(args.ring)
     } else {
         obs::ObsConfig {
             spans: false,
             counters: true,
+            ring: None,
         }
     });
 
@@ -100,6 +117,7 @@ fn main() -> ExitCode {
         }
     };
     let daemon = Arc::new(Daemon::new(args.cache_budget));
+    daemon.set_access_log(!args.quiet);
     if !args.quiet {
         eprintln!("fsd: listening on {}", args.socket.display());
     }

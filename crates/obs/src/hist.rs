@@ -1,0 +1,240 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! A [`Histogram`] is a lock-free array of relaxed `AtomicU64` buckets with
+//! logarithmic spacing: 8 sub-buckets per power of two (≤ 12.5% relative
+//! bucket width), covering the full `u64` nanosecond range in
+//! [`NUM_BUCKETS`] = 496 buckets (~4 KiB per histogram, statically
+//! allocated). Recording is one relaxed load (the enable gate), a couple of
+//! bit operations, and three relaxed `fetch_add`s — cheap enough to leave on
+//! in a long-lived daemon, and free when counters are disabled.
+//!
+//! Like [`super::counters`] and [`super::gauges`], histograms carry stable
+//! `area.metric` names (see [`super::hists`]) and are captured into
+//! [`super::Snapshot`] as [`HistogramSnapshot`]s, which support quantile
+//! estimation and cross-snapshot [`HistogramSnapshot::merge`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per power of two.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count: 8 unit-width buckets for `0..8`, then 8 buckets per
+/// octave for exponents 3..=63.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUBS as usize;
+
+/// The bucket index `v` lands in. Buckets `0..8` hold exact values `0..8`;
+/// above that, bucket `8*(exp-2) + sub` holds the `sub`-th eighth of
+/// `[2^exp, 2^(exp+1))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let octave = (exp - SUB_BITS + 1) as usize;
+    let sub = ((v >> (exp - SUB_BITS)) & (SUBS - 1)) as usize;
+    octave * SUBS as usize + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    let octave = i as u64 / SUBS;
+    let sub = i as u64 % SUBS;
+    if octave == 0 {
+        return sub;
+    }
+    (SUBS + sub) << (octave - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_hi(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    let octave = i as u64 / SUBS;
+    if octave == 0 {
+        return i as u64;
+    }
+    bucket_lo(i) + ((1u64 << (octave - 1)) - 1)
+}
+
+/// A named lock-free log-scale histogram (relaxed atomics throughout;
+/// `count`/`sum`/bucket reads are individually consistent, not a snapshot
+/// of each other — exact totals come from `count`/`sum`, buckets are for
+/// shape and quantiles).
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            count: ZERO,
+            sum: ZERO,
+            buckets: [ZERO; NUM_BUCKETS],
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one observation in nanoseconds (no-op while counters are
+    /// disabled).
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if !super::counters_enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the live registers into a plain snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (nanoseconds).
+    pub sum: u64,
+    /// Per-bucket observation counts, dense, length [`NUM_BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn empty(name: &'static str) -> Self {
+        HistogramSnapshot {
+            name,
+            count: 0,
+            sum: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`0.0 ..= 1.0`), or 0 when empty. The estimate errs high by at most
+    /// one bucket width (≤ 12.5% relative).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_hi(i);
+            }
+        }
+        // count/buckets were read non-atomically from a live histogram and
+        // can disagree by in-flight records; fall back to the top occupied
+        // bucket.
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_hi)
+            .unwrap_or(0)
+    }
+
+    /// Fold `other` into `self`, bucket-wise. Merging per-thread or
+    /// per-interval snapshots equals recording every observation into one
+    /// histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`,
+    /// in ascending bound order — the Prometheus `_bucket{le=...}` series
+    /// (without the trailing `+Inf`, which equals [`Self::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_hi(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Buckets are contiguous, non-overlapping, and cover 0..=u64::MAX.
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_hi(NUM_BUCKETS - 1), u64::MAX);
+        for i in 0..NUM_BUCKETS - 1 {
+            assert!(bucket_lo(i) <= bucket_hi(i), "bucket {i} inverted");
+            assert_eq!(bucket_hi(i) + 1, bucket_lo(i + 1), "gap after bucket {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for &v in &[0u64, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} index={i}");
+        }
+    }
+
+    #[test]
+    fn relative_width_at_most_one_eighth() {
+        for i in SUBS as usize..NUM_BUCKETS {
+            let lo = bucket_lo(i) as f64;
+            let hi = bucket_hi(i) as f64;
+            assert!((hi - lo + 1.0) / lo <= 0.126, "bucket {i} too wide");
+        }
+    }
+}

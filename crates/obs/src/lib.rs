@@ -31,10 +31,13 @@
 //! See `docs/OBSERVABILITY.md` for the span/counter taxonomy and the trace
 //! export workflow.
 
+pub mod hist;
 pub mod trace;
 
+pub use hist::{Histogram, HistogramSnapshot};
+
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -44,14 +47,21 @@ const COUNTERS_BIT: u8 = 1 << 1;
 /// Process-global observability switches, packed into one atomic.
 static FLAGS: AtomicU8 = AtomicU8::new(0);
 
+/// Span ring-buffer capacity; 0 = unbounded vector recorder.
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(0);
+
 /// What the observability layer records. The default is fully disabled:
 /// every probe compiles down to a branch on a relaxed atomic load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObsConfig {
     /// Record spans (timed phases) into the global event sink.
     pub spans: bool,
-    /// Accumulate named counters and gauges.
+    /// Accumulate named counters, gauges, and histograms.
     pub counters: bool,
+    /// `Some(capacity)` bounds the span recorder to a ring buffer of the
+    /// newest `capacity` events (oldest overwritten); `None` keeps the
+    /// unbounded vector recorder suited to one-shot CLI runs.
+    pub ring: Option<usize>,
 }
 
 impl ObsConfig {
@@ -60,14 +70,27 @@ impl ObsConfig {
         ObsConfig {
             spans: false,
             counters: false,
+            ring: None,
         }
     }
 
-    /// Record everything.
+    /// Record everything, spans unbounded.
     pub const fn enabled() -> Self {
         ObsConfig {
             spans: true,
             counters: true,
+            ring: None,
+        }
+    }
+
+    /// Record everything, with spans in a bounded ring of the newest
+    /// `capacity` events — safe to leave on forever in a daemon. A zero
+    /// capacity is treated as the unbounded recorder.
+    pub const fn ring(capacity: usize) -> Self {
+        ObsConfig {
+            spans: true,
+            counters: true,
+            ring: Some(capacity),
         }
     }
 }
@@ -89,6 +112,16 @@ pub fn configure(cfg: ObsConfig) {
     if cfg.counters {
         bits |= COUNTERS_BIT;
     }
+    let capacity = cfg.ring.unwrap_or(0);
+    if capacity != RING_CAPACITY.load(Ordering::Relaxed) {
+        // Capacity changes restart the ring; events recorded under the old
+        // shape are dropped rather than resized in place.
+        let mut ring = RING.lock().expect("obs ring poisoned");
+        ring.buf.clear();
+        ring.next = 0;
+        ring.dropped = 0;
+    }
+    RING_CAPACITY.store(capacity, Ordering::Relaxed);
     FLAGS.store(bits, Ordering::Relaxed);
 }
 
@@ -98,6 +131,10 @@ pub fn config() -> ObsConfig {
     ObsConfig {
         spans: bits & SPANS_BIT != 0,
         counters: bits & COUNTERS_BIT != 0,
+        ring: match RING_CAPACITY.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        },
     }
 }
 
@@ -328,6 +365,30 @@ pub mod gauges {
     ];
 }
 
+/// The pipeline's latency-histogram taxonomy. Each is recorded at the same
+/// site as the span of the matching name, but — unlike spans — histograms
+/// are fixed-size cumulative state, so they stay on in a daemon and feed
+/// the p50/p95/p99 figures in `--profile`, `stats`, and `/metrics`.
+pub mod hists {
+    use super::Histogram;
+
+    /// End-to-end `Service::handle_with` latency (the `svc.request` span).
+    pub static SVC_REQUEST_NS: Histogram = Histogram::new("svc.request_ns");
+    /// One sweep grid point, memo lookup included (the `sweep.point` span).
+    pub static SWEEP_POINT_NS: Histogram = Histogram::new("sweep.point_ns");
+    /// One FS-model evaluation, any path (the `fs.*` dispatch sites).
+    pub static FS_MODEL_NS: Histogram = Histogram::new("fs.model_ns");
+    /// One MESI-simulator kernel replay (the `sim.replay` span).
+    pub static SIM_REPLAY_NS: Histogram = Histogram::new("sim.replay_ns");
+
+    pub(super) static ALL: [&Histogram; 4] = [
+        &SVC_REQUEST_NS,
+        &SWEEP_POINT_NS,
+        &FS_MODEL_NS,
+        &SIM_REPLAY_NS,
+    ];
+}
+
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
@@ -361,7 +422,45 @@ thread_local! {
 static NEXT_TRACK: AtomicU32 = AtomicU32::new(0);
 static TRACKS: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
 static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static RING: Mutex<RingBuf> = Mutex::new(RingBuf::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The bounded span recorder: a ring of the newest `RING_CAPACITY` events.
+struct RingBuf {
+    buf: Vec<SpanEvent>,
+    /// Overwrite cursor, valid once `buf` has reached capacity.
+    next: usize,
+    /// Events overwritten since the ring was (re)configured.
+    dropped: u64,
+}
+
+impl RingBuf {
+    const fn new() -> Self {
+        RingBuf {
+            buf: Vec::new(),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: SpanEvent, capacity: usize) {
+        if self.buf.len() < capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in recording order (oldest surviving first).
+    fn ordered(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
 
 /// Monotonic nanoseconds since the first probe of the process.
 pub fn now_ns() -> u64 {
@@ -440,7 +539,10 @@ impl Drop for SpanGuard {
             start_ns: self.start_ns,
             dur_ns: end.saturating_sub(self.start_ns),
         };
-        EVENTS.lock().expect("obs events poisoned").push(ev);
+        match RING_CAPACITY.load(Ordering::Relaxed) {
+            0 => EVENTS.lock().expect("obs events poisoned").push(ev),
+            cap => RING.lock().expect("obs ring poisoned").push(ev, cap),
+        }
     }
 }
 
@@ -459,6 +561,10 @@ pub struct Snapshot {
     pub spans: Vec<SpanEvent>,
     /// `(track id, thread name)` for every thread that recorded a span.
     pub tracks: Vec<(u32, String)>,
+    /// Every histogram in taxonomy order.
+    pub hists: Vec<HistogramSnapshot>,
+    /// Spans overwritten by the ring recorder (0 under the vector recorder).
+    pub dropped_spans: u64,
 }
 
 /// Aggregate of all spans sharing a name.
@@ -485,6 +591,10 @@ impl Snapshot {
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
             .unwrap_or(0)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
     }
 
     /// Per-name span totals, sorted by descending total time.
@@ -584,7 +694,12 @@ impl Snapshot {
 /// Capture the current registry contents (counters, gauges, spans, tracks).
 /// Does not clear anything.
 pub fn snapshot() -> Snapshot {
-    let mut spans = EVENTS.lock().expect("obs events poisoned").clone();
+    let (mut spans, dropped_spans) = if RING_CAPACITY.load(Ordering::Relaxed) != 0 {
+        let ring = RING.lock().expect("obs ring poisoned");
+        (ring.ordered(), ring.dropped)
+    } else {
+        (EVENTS.lock().expect("obs events poisoned").clone(), 0)
+    };
     spans.sort_by(|a, b| {
         a.start_ns
             .cmp(&b.start_ns)
@@ -598,12 +713,15 @@ pub fn snapshot() -> Snapshot {
         gauges: gauges::ALL.iter().map(|g| (g.name(), g.get())).collect(),
         spans,
         tracks,
+        hists: hists::ALL.iter().map(|h| h.snapshot()).collect(),
+        dropped_spans,
     }
 }
 
-/// Zero every counter and gauge and drop all recorded spans. Track ids,
-/// thread registrations, and the time epoch persist (so ids stay small and
-/// timestamps stay monotonic across resets).
+/// Zero every counter, gauge, and histogram and drop all recorded spans
+/// (both recorders). Track ids, thread registrations, the ring capacity,
+/// and the time epoch persist (so ids stay small and timestamps stay
+/// monotonic across resets).
 pub fn reset() {
     for c in counters::ALL {
         c.reset();
@@ -611,7 +729,14 @@ pub fn reset() {
     for g in gauges::ALL {
         g.reset();
     }
+    for h in hists::ALL {
+        h.reset();
+    }
     EVENTS.lock().expect("obs events poisoned").clear();
+    let mut ring = RING.lock().expect("obs ring poisoned");
+    ring.buf.clear();
+    ring.next = 0;
+    ring.dropped = 0;
 }
 
 #[cfg(test)]
@@ -635,13 +760,59 @@ mod tests {
         reset();
         counters::FS_CASES.add(10);
         gauges::SWEEP_WORKERS.set(4);
+        hists::SVC_REQUEST_NS.record_ns(123);
         {
             let _s = span("test.noop");
         }
         let s = snapshot();
         assert_eq!(s.counter("fs.cases"), 0);
         assert_eq!(s.gauge("sweep.workers"), 0);
+        assert_eq!(s.hist("svc.request_ns").unwrap().count, 0);
         assert!(s.spans.iter().all(|e| e.name != "test.noop"));
+    }
+
+    #[test]
+    fn histograms_accumulate_and_estimate_quantiles() {
+        let _g = locked();
+        configure(ObsConfig::enabled());
+        reset();
+        for v in [1u64, 2, 3, 100, 1000, 1_000_000] {
+            hists::FS_MODEL_NS.record_ns(v);
+        }
+        let s = snapshot();
+        let h = s.hist("fs.model_ns").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1_001_106);
+        // The p50 bucket upper bound must bracket the median (3), within
+        // one bucket width.
+        assert!(h.quantile(0.5) >= 3 && h.quantile(0.5) < 100);
+        assert!(h.quantile(1.0) >= 1_000_000);
+        assert_eq!(s.hists.len(), hists::ALL.len());
+        configure(ObsConfig::disabled());
+        reset();
+    }
+
+    #[test]
+    fn ring_recorder_bounds_spans_and_keeps_newest() {
+        let _g = locked();
+        configure(ObsConfig::ring(4));
+        reset();
+        for _ in 0..2 {
+            let _s = span("test.ring_old");
+        }
+        for _ in 0..4 {
+            let _s = span("test.ring_new");
+        }
+        let s = snapshot();
+        assert_eq!(s.spans.len(), 4);
+        assert!(s.spans.iter().all(|e| e.name == "test.ring_new"));
+        assert_eq!(s.dropped_spans, 2);
+        assert_eq!(config().ring, Some(4));
+        // Switching back to the vector recorder drains the ring.
+        configure(ObsConfig::enabled());
+        assert!(snapshot().spans.is_empty());
+        configure(ObsConfig::disabled());
+        reset();
     }
 
     #[test]

@@ -16,17 +16,21 @@
 
 use fs_core::json::{parse, JsonValue};
 use fs_core::service::parse_request;
-use fs_core::Service;
+use fs_core::{obs, Service};
 use fs_daemon::{bind_unix, Daemon};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
 static NEXT_SOCKET: AtomicU32 = AtomicU32::new(0);
+
+/// The obs registry is process-global: tests that reconfigure it (metrics
+/// scrape, ring tracing) serialize here and restore the disabled default.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// A live daemon on a unique temp socket.
 struct TestServer {
@@ -272,4 +276,384 @@ fn http_fallback_serves_ping_and_analyze() {
 
     daemon.request_shutdown();
     http_loop.join().unwrap().unwrap();
+}
+
+/// An HTTP daemon on an ephemeral TCP port, for the fallback tests.
+struct HttpServer {
+    daemon: Arc<Daemon>,
+    addr: std::net::SocketAddr,
+    http_loop: JoinHandle<std::io::Result<()>>,
+}
+
+impl HttpServer {
+    fn start() -> Self {
+        let daemon = Arc::new(Daemon::new(None));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = Arc::clone(&daemon);
+        let http_loop = thread::spawn(move || server.serve_http(listener));
+        HttpServer {
+            daemon,
+            addr,
+            http_loop,
+        }
+    }
+
+    /// Send raw request bytes, return `(status line + headers, body)`.
+    fn raw(&self, request: &str) -> (String, String) {
+        let mut stream = std::net::TcpStream::connect(self.addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("http header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn stop(self) {
+        self.daemon.request_shutdown();
+        self.http_loop.join().unwrap().unwrap();
+    }
+}
+
+#[test]
+fn http_fallback_rejects_malformed_and_oversized_requests() {
+    let server = HttpServer::start();
+
+    // Unknown route: 404 with a JSON error body.
+    let (head, body) = server.raw("GET /definitely/not/a/route HTTP/1.1\r\nHost: fsd\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 404"), "got: {head}");
+    let v = parse(body.trim()).expect("404 body is JSON");
+    assert!(v.get("error").is_some(), "got: {body}");
+
+    // Malformed POST body: 400, and the body is the protocol's JSON error
+    // envelope (versioned, connection-survivable on the socket path).
+    let bad = "this is not json";
+    let (head, body) = server.raw(&format!(
+        "POST /analyze HTTP/1.1\r\nHost: fsd\r\nContent-Length: {}\r\n\r\n{bad}",
+        bad.len()
+    ));
+    assert!(head.starts_with("HTTP/1.1 400"), "got: {head}");
+    let v = parse(body.trim()).expect("400 body is JSON");
+    assert_eq!(v.get("fsd_version").and_then(|v| v.as_u64()), Some(1));
+    assert!(
+        v.get("error")
+            .and_then(|e| e.as_str())
+            .is_some_and(|e| e.contains("parse error")),
+        "got: {body}"
+    );
+
+    // A valid JSON body that is not a valid request also gets the envelope.
+    let empty = "{\"kernels\": []}";
+    let (head, body) = server.raw(&format!(
+        "POST / HTTP/1.1\r\nHost: fsd\r\nContent-Length: {}\r\n\r\n{empty}",
+        empty.len()
+    ));
+    assert!(head.starts_with("HTTP/1.1 400"), "got: {head}");
+    assert!(parse(body.trim()).unwrap().get("error").is_some());
+
+    // An oversized request line must be refused, not buffered: the 8 KiB
+    // line limit turns it into a 400 before the path is even parsed.
+    let (head, _) = server.raw(&format!(
+        "GET /{} HTTP/1.1\r\nHost: fsd\r\n\r\n",
+        "a".repeat(16 * 1024)
+    ));
+    assert!(head.starts_with("HTTP/1.1 400"), "got: {head}");
+
+    // An oversized header line is refused the same way.
+    let (head, _) = server.raw(&format!(
+        "GET /ping HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+        "b".repeat(16 * 1024)
+    ));
+    assert!(head.starts_with("HTTP/1.1 400"), "got: {head}");
+
+    // The server survives all of the above.
+    let (head, body) = server.raw("GET /ping HTTP/1.1\r\nHost: fsd\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    assert!(body.contains("\"pong\""));
+    server.stop();
+}
+
+/// One parsed Prometheus exposition sample: `(metric name, optional label
+/// set, value)`.
+struct PromSample {
+    name: String,
+    labels: Option<String>,
+    value: f64,
+}
+
+/// A strict-enough text-format parser: every line must be a comment or a
+/// `name[{labels}] value` sample with a legal metric name, every `# TYPE`
+/// must declare a known type, and every sample must follow a `# TYPE` for
+/// its family. Returns the samples in file order.
+fn parse_prometheus(text: &str) -> Vec<PromSample> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && !s.starts_with(|c: char| c.is_ascii_digit())
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().expect("TYPE declares a name");
+                let kind = parts.next().expect("TYPE declares a kind");
+                assert!(valid_name(name), "bad metric name in: {line}");
+                assert!(
+                    ["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind),
+                    "unknown TYPE in: {line}"
+                );
+                typed.push(name.to_string());
+            }
+            continue;
+        }
+        let (name_part, value_part) = line.rsplit_once(' ').expect("sample has a value");
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest.strip_suffix('}').expect("labels close");
+                (n.to_string(), Some(labels.to_string()))
+            }
+            None => (name_part.to_string(), None),
+        };
+        assert!(valid_name(&name), "bad metric name in: {line}");
+        let value: f64 = value_part.parse().unwrap_or_else(|_| {
+            panic!("unparseable value in: {line}");
+        });
+        // Histogram series suffix back to the declared family name.
+        let family = ["_bucket", "_sum", "_count", "_total"]
+            .iter()
+            .find_map(|suf| name.strip_suffix(suf))
+            .unwrap_or(&name);
+        assert!(
+            typed.contains(&name) || typed.contains(&family.to_string()),
+            "sample before its # TYPE: {line}"
+        );
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    samples
+}
+
+#[test]
+fn http_metrics_endpoint_serves_parseable_prometheus_text() {
+    let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::configure(obs::ObsConfig {
+        spans: false,
+        counters: true,
+        ring: None,
+    });
+    let server = HttpServer::start();
+
+    // Drive one analyze through the HTTP path so the request counter and
+    // the latency histogram have something to say.
+    let payload = analyze_request(&["@histogram"], false);
+    let (head, _) = server.raw(&format!(
+        "POST /analyze HTTP/1.1\r\nHost: fsd\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    ));
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+
+    let (head, body) = server.raw("GET /metrics HTTP/1.1\r\nHost: fsd\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 200"), "got: {head}");
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "got: {head}"
+    );
+
+    let samples = parse_prometheus(&body);
+    let get = |name: &str, labels: Option<&str>| -> f64 {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.as_deref() == labels)
+            .unwrap_or_else(|| panic!("missing sample {name} {labels:?}"))
+            .value
+    };
+
+    assert!(get("fsd_uptime_seconds", None) >= 0.0);
+    // This daemon saw exactly one analyze; the process-wide obs counter
+    // (shared with concurrently running tests) saw at least that one.
+    assert_eq!(get("fsd_requests_total", Some("cmd=\"analyze\"")) as u64, 1);
+    assert!(get("svc_requests_total", None) >= 1.0);
+
+    // Histogram series are sound: ascending `le`, non-decreasing
+    // cumulative counts, and `+Inf` == `_count`.
+    for family in ["svc_request_ns", "fs_model_ns"] {
+        let buckets: Vec<&PromSample> = samples
+            .iter()
+            .filter(|s| s.name == format!("{family}_bucket"))
+            .collect();
+        assert!(
+            !buckets.is_empty(),
+            "{family} exposes at least its +Inf bucket"
+        );
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = f64::NEG_INFINITY;
+        for b in &buckets {
+            let labels = b.labels.as_deref().expect("bucket has an le label");
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .expect("le label");
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().expect("numeric le")
+            };
+            assert!(le > last_le, "{family} le bounds out of order");
+            assert!(b.value >= last_cum, "{family} cumulative counts decrease");
+            last_le = le;
+            last_cum = b.value;
+        }
+        assert_eq!(last_le, f64::INFINITY, "{family} ends with +Inf");
+        assert_eq!(last_cum, get(&format!("{family}_count"), None));
+    }
+    // The daemon handled one request, so its latency histogram is live.
+    assert!(get("svc_request_ns_count", None) >= 1.0);
+
+    server.stop();
+    obs::configure(obs::ObsConfig::disabled());
+}
+
+#[test]
+fn ring_traced_daemon_survives_10k_requests_with_bounded_spans() {
+    let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const RING: usize = 256;
+    obs::configure(obs::ObsConfig::ring(RING));
+    obs::reset();
+
+    let server = TestServer::start();
+    let line = analyze_request(&["@histogram"], false);
+    // One connection, 10k requests: the steady state an editor
+    // integration produces against a `fsd --trace` daemon. With the
+    // vector recorder this would accumulate ~10k span events; the ring
+    // must hold memory constant at its capacity.
+    let mut stream = server.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    for i in 0..10_000 {
+        writeln!(stream, "{line}").unwrap();
+        response.clear();
+        reader.read_line(&mut response).unwrap();
+        assert!(
+            response.contains("\"fsd_version\""),
+            "request {i} got: {response}"
+        );
+    }
+
+    let snap = obs::snapshot();
+    assert!(
+        snap.spans.len() <= RING,
+        "ring overflowed: {} spans recorded, capacity {RING}",
+        snap.spans.len()
+    );
+    assert!(
+        snap.dropped_spans > 0,
+        "10k requests must wrap a {RING}-event ring"
+    );
+    // The retained tail still exports as valid trace JSON.
+    let trace = obs::trace::chrome_trace(&snap);
+    assert!(parse(&trace).is_ok(), "chrome_trace invalid after wrap");
+
+    server.stop();
+    obs::configure(obs::ObsConfig::disabled());
+}
+
+#[test]
+fn envelope_carries_request_id_and_timing_only_when_asked() {
+    let server = TestServer::start();
+
+    // Default: deterministic envelope, no request_id, no timing.
+    let plain = server.round_trip(&analyze_request(&["@histogram"], true));
+    let v = parse(plain.trim()).unwrap();
+    assert!(v.get("request_id").is_none(), "got: {plain}");
+    assert!(v.get("timing").is_none(), "got: {plain}");
+    assert!(v.get("sweep_stats").is_none(), "got: {plain}");
+
+    // timing:true opts into the nondeterministic fields.
+    let line = "{\"kernels\": [\"@histogram\"], \
+                \"grid\": {\"threads\": [2], \"chunks\": [1, 8]}, \
+                \"timing\": true}";
+    let timed = server.round_trip(line);
+    let v = parse(timed.trim()).unwrap();
+    assert!(
+        v.get("request_id").and_then(|r| r.as_u64()).is_some_and(|id| id >= 1),
+        "got: {timed}"
+    );
+    let timing = v.get("timing").expect("timing present when asked");
+    for field in ["total_ms", "resolve_ms", "analyze_ms", "grid_ms"] {
+        assert!(timing.get(field).is_some(), "timing lacks {field}: {timed}");
+    }
+    // The cache tallies in timing agree with the envelope's sweep memo:
+    // run 2 of the same grid is pure hits.
+    let timed2 = server.round_trip(line);
+    let v2 = parse(timed2.trim()).unwrap();
+    let hits = v2
+        .get("timing")
+        .and_then(|t| t.get("cache_hits"))
+        .and_then(|h| h.as_u64())
+        .unwrap();
+    assert!(hits >= 2, "warm grid rerun reports cache hits, got: {timed2}");
+
+    // Ids are fresh per request.
+    let id1 = v.get("request_id").and_then(|r| r.as_u64()).unwrap();
+    let id2 = v2.get("request_id").and_then(|r| r.as_u64()).unwrap();
+    assert!(id2 > id1, "request ids must be monotonic: {id1} then {id2}");
+    server.stop();
+}
+
+#[test]
+fn stats_and_metrics_commands_report_uptime_and_tallies() {
+    let server = TestServer::start();
+    server.round_trip("{\"cmd\": \"ping\"}");
+    server.round_trip("{\"cmd\": \"ping\"}");
+
+    let stats = parse(server.round_trip("{\"cmd\": \"stats\"}").trim()).unwrap();
+    assert!(stats
+        .get("uptime_s")
+        .and_then(|u| u.as_f64())
+        .is_some_and(|u| u >= 0.0));
+    let commands = stats.get("commands").expect("per-command tallies");
+    assert_eq!(commands.get("ping").and_then(|p| p.as_u64()), Some(2));
+    // The tally is bumped before dispatch, so stats counts itself.
+    assert_eq!(commands.get("stats").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(commands.get("analyze").and_then(|a| a.as_u64()), Some(0));
+    // Latency quantiles ride along even with obs disabled (count 0 then).
+    assert!(stats
+        .get("latency")
+        .and_then(|l| l.get("count"))
+        .is_some());
+
+    let metrics = parse(server.round_trip("{\"cmd\": \"metrics\"}").trim()).unwrap();
+    assert_eq!(
+        metrics.get("event").and_then(|e| e.as_str()),
+        Some("metrics")
+    );
+    assert!(metrics.get("uptime_s").is_some());
+    assert_eq!(
+        metrics
+            .get("commands")
+            .and_then(|c| c.get("metrics"))
+            .and_then(|m| m.as_u64()),
+        Some(1),
+        "the metrics command counts itself"
+    );
+    let registry = metrics.get("metrics").expect("registry snapshot");
+    for section in ["counters", "gauges", "hists", "spans"] {
+        assert!(registry.get(section).is_some(), "registry lacks {section}");
+    }
+    assert!(registry
+        .get("hists")
+        .and_then(|h| h.get("svc.request_ns"))
+        .is_some());
+    server.stop();
 }
