@@ -1,0 +1,233 @@
+//! Analytic FS-path benchmark: the closed-form reuse-distance engine
+//! (`FsPath::Analytic` — symbolic coherence counts *plus* the capacity
+//! prediction) vs the dense `FsPath::Optimized` walk, on loops deep inside
+//! the decidable affine fragment.
+//!
+//! Two gates, both required for exit 0:
+//!
+//! 1. **Fallback rate**: every bundled corpus kernel must dispatch
+//!    analytically — `fs.analytic_fallbacks` must not move, a capacity
+//!    prediction must attach — and the coherence counts must equal the
+//!    dense counts exactly.
+//! 2. **Speedup**: on large in-fragment kernels the aggregate per-point
+//!    speedup must reach `FS_ANALYTIC_MIN_SPEEDUP` (default 50x): the dense
+//!    walk replays millions of accesses per thread while the analytic path
+//!    derives histograms and miss counts in closed form.
+//!
+//! Prints per-point timings and writes `BENCH_analytic.json` (uploaded as a
+//! CI artifact next to the other bench artifacts).
+
+use cost_model::{run_fs_model_prepared, FsModelConfig, FsPath};
+use fs_core::{machines, JsonValue};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Required aggregate speedup of the analytic path over the dense path,
+/// overridable via the `FS_ANALYTIC_MIN_SPEEDUP` environment variable.
+const GATE: f64 = 50.0;
+const REPEAT: u32 = 3;
+const JSON_PATH: &str = "BENCH_analytic.json";
+
+fn gate() -> f64 {
+    std::env::var("FS_ANALYTIC_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(GATE)
+}
+
+struct Point {
+    name: String,
+    kernel: loop_ir::Kernel,
+    plan: loop_ir::AccessPlan,
+    bases: Vec<u64>,
+}
+
+impl Point {
+    fn new(name: impl Into<String>, kernel: loop_ir::Kernel, line_size: u64) -> Self {
+        let plan = kernel.access_plan();
+        let bases = kernel.array_bases(line_size);
+        Point {
+            name: name.into(),
+            kernel,
+            plan,
+            bases,
+        }
+    }
+}
+
+struct PointResult {
+    name: String,
+    fs_cases: u64,
+    mem_fetches: f64,
+    analytic_s: f64,
+    dense_s: f64,
+}
+
+/// Fallbacks counted so far (the obs counter is process-global).
+fn fallbacks() -> u64 {
+    fs_obs::counters::FS_ANALYTIC_FALLBACKS.get()
+}
+
+/// Min-of-`reps` wall time of one full FS-model evaluation on `path`,
+/// returning (seconds, fs_cases, capacity mem_fetches if attached).
+///
+/// The analytic side is timed min-of-[`REPEAT`] because it is milliseconds
+/// long and noise-sensitive; the dense side of the big speedup points runs
+/// once — at tens of seconds per point the measurement self-averages.
+fn time_path(p: &Point, cfg: &FsModelConfig, path: FsPath, reps: u32) -> (f64, u64, Option<f64>) {
+    let mut cfg = cfg.clone();
+    cfg.path = path;
+    let mut min = f64::INFINITY;
+    let mut cases = 0;
+    let mut mem = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run_fs_model_prepared(&p.kernel, &cfg, &p.plan, &p.bases);
+        min = min.min(t0.elapsed().as_secs_f64());
+        cases = r.fs_cases;
+        mem = r.capacity.as_ref().map(|c| c.mem_fetches);
+    }
+    std::hint::black_box(cases);
+    (min, cases, mem)
+}
+
+fn main() -> ExitCode {
+    fs_obs::configure(fs_obs::ObsConfig::enabled());
+    let machine = machines::paper48();
+    let threads = 8u32;
+    let ls = machine.line_size();
+    let cfg = FsModelConfig::for_machine(&machine, threads);
+    let gate = gate();
+
+    // -- Gate 1: zero analytic fallbacks over the bundled corpus ----------
+    let corpus = ["dft", "heat", "histogram", "linreg", "matmul", "stencil"];
+    println!("## analytic fallback rate: bundled corpus ({threads} threads)");
+    let mut corpus_ok = true;
+    for name in corpus {
+        let kernel = fs_core::corpus_kernel(name).expect("bundled kernel");
+        let p = Point::new(name, kernel, ls);
+        let before = fallbacks();
+        let (_, ana_cases, mem) = time_path(&p, &cfg, FsPath::Analytic, 1);
+        let fell = fallbacks() - before;
+        let (_, dense_cases, _) = time_path(&p, &cfg, FsPath::Optimized, 1);
+        let exact = ana_cases == dense_cases;
+        println!(
+            "{name:<12} analytic cases {ana_cases:>8}  fallbacks {fell}  exact {exact}  \
+             predicted mem {:.0}",
+            mem.unwrap_or(f64::NAN)
+        );
+        if fell > 0 || !exact || mem.is_none() {
+            eprintln!("analytic_bench: {name} fell back, diverged, or lost its prediction");
+            corpus_ok = false;
+        }
+    }
+
+    // -- Gate 2: per-point speedup on large in-fragment kernels -----------
+    // Many outer iterations: the dense path replays every access of every
+    // chunk run; the analytic path derives coherence counts symbolically
+    // and the capacity histogram in closed form, independent of trip count.
+    let points = vec![
+        Point::new(
+            "heat_32768x514",
+            loop_ir::kernels::heat_diffusion(32768, 514, 1),
+            ls,
+        ),
+        Point::new(
+            "linreg_1048576x16",
+            loop_ir::kernels::linear_regression(1 << 20, 16, 1),
+            ls,
+        ),
+        Point::new(
+            "matmul_262144",
+            loop_ir::kernels::matmul(262144, 16, 8, 1),
+            ls,
+        ),
+    ];
+
+    println!(
+        "## analytic vs dense: {} large points, {REPEAT} reps",
+        points.len()
+    );
+    let mut results: Vec<PointResult> = Vec::new();
+    let mut speed_ok = true;
+    for p in &points {
+        let before = fallbacks();
+        let (ana_s, ana_cases, mem) = time_path(p, &cfg, FsPath::Analytic, REPEAT);
+        let fell = fallbacks() - before;
+        let (dense_s, dense_cases, _) = time_path(p, &cfg, FsPath::Optimized, 1);
+        if fell > 0 || mem.is_none() {
+            eprintln!("analytic_bench: {} fell off the analytic path", p.name);
+            speed_ok = false;
+        }
+        if ana_cases != dense_cases {
+            eprintln!(
+                "analytic_bench: {} diverges: analytic {ana_cases} vs dense {dense_cases}",
+                p.name
+            );
+            speed_ok = false;
+        }
+        println!(
+            "{:<18} analytic {:>9.3} ms, dense {:>9.3} ms ({:>7.0}x), {} cases, mem {:.0}",
+            p.name,
+            ana_s * 1e3,
+            dense_s * 1e3,
+            dense_s / ana_s.max(1e-12),
+            ana_cases,
+            mem.unwrap_or(f64::NAN)
+        );
+        results.push(PointResult {
+            name: p.name.clone(),
+            fs_cases: ana_cases,
+            mem_fetches: mem.unwrap_or(f64::NAN),
+            analytic_s: ana_s,
+            dense_s,
+        });
+    }
+
+    let ana_total: f64 = results.iter().map(|r| r.analytic_s).sum();
+    let dense_total: f64 = results.iter().map(|r| r.dense_s).sum();
+    let speedup = dense_total / ana_total.max(1e-12);
+    let pass = corpus_ok && speed_ok && speedup >= gate;
+    println!(
+        "aggregate: analytic {:.3} ms, dense {:.3} ms, speedup {speedup:.0}x \
+         (gate {gate:.0}x), corpus fallbacks {}: {}",
+        ana_total * 1e3,
+        dense_total * 1e3,
+        if corpus_ok { "none" } else { "PRESENT" },
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let doc = JsonValue::obj()
+        .field("benchmark", "analytic")
+        .field("threads", threads)
+        .field("repeat", REPEAT)
+        .field(
+            "points",
+            JsonValue::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        JsonValue::obj()
+                            .field("kernel", r.name.as_str())
+                            .field("fs_cases", r.fs_cases)
+                            .field("predicted_mem_fetches", r.mem_fetches)
+                            .field("analytic_seconds", r.analytic_s)
+                            .field("dense_seconds", r.dense_s)
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+        )
+        .field("corpus_zero_fallbacks", corpus_ok)
+        .field("speedup", speedup)
+        .field("gate", gate)
+        .field("pass", pass);
+    if let Err(e) = std::fs::write(JSON_PATH, doc.render_pretty()) {
+        eprintln!("analytic_bench: cannot write {JSON_PATH}: {e}");
+    }
+
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

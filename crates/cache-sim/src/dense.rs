@@ -18,7 +18,7 @@
 //! ([`loop_ir::Kernel::array_bases`]), so every line inside the kernel's
 //! footprint *is* its own dense id (identity mapping + bounds check);
 //! halo reads past the last array and wrapped negative addresses take the
-//! hash-map overflow region of [`LineInterner`]. Cache *set* selection
+//! hash-map overflow region of `LineInterner`. Cache *set* selection
 //! stays a function of the original line number, exactly as the reference
 //! path computes it.
 //!

@@ -198,7 +198,7 @@ impl<'k> TraceGen<'k> {
     ///
     /// This is the optimized-path generator: addresses come from the
     /// strength-reduced [`StreamCursor`]s (no per-access affine subscript
-    /// re-evaluation), and the sink is invoked once per ~[`BLOCK_ACCESSES`]
+    /// re-evaluation), and the sink is invoked once per ~`BLOCK_ACCESSES`
     /// accesses instead of once per access. The per-chunk policy streams
     /// segments directly from the walkers instead of materializing every
     /// thread's full trace.

@@ -4,7 +4,8 @@
 //! ```text
 //! fslint <kernel.loop | @bundled-name>... [--threads N]
 //!        [--machine paper48|generic|tiny] [--const NAME=VALUE ...]
-//!        [--format json|sarif|human] [--json] [--advise] [--list] [--quiet]
+//!        [--format json|sarif|human] [--json] [--advise] [--list]
+//!        [--explain FS00x] [--quiet]
 //! ```
 //!
 //! Where `fsdetect` *runs* the paper's false-sharing cost model over the
@@ -14,7 +15,10 @@
 //! positions and actionable fixes (padding / chunk widening), padding fixes
 //! verified by transform-and-relint. Rules: FS001 (chunk-seam sharing),
 //! FS002 (strided interleaving), FS003 (outside the decidable fragment),
-//! FS004 (true sharing). See `docs/LINT.md`.
+//! FS004 (true sharing), FS005 (private-cache capacity thrashing, from the
+//! reuse-distance footprint model). `--explain FS00x` prints the rule's
+//! full description from the same table SARIF metadata is built from. See
+//! `docs/LINT.md`.
 //!
 //! Output modes: human text (default, one `file:line:col: severity: [rule]
 //! message` block per finding), `--format json` / `--json` (the versioned
@@ -56,7 +60,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fslint <kernel.loop | @bundled>... [--threads N] [--machine paper48|generic|tiny]\n\
          \x20             [--const NAME=VALUE ...] [--format json|sarif|human] [--json] [--advise]\n\
-         \x20             [--list] [--quiet]"
+         \x20             [--list] [--explain FS00x] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -105,6 +109,26 @@ fn parse_args() -> Args {
                     println!("@{:<12} {}", e.name, e.blurb);
                 }
                 std::process::exit(0);
+            }
+            "--explain" => {
+                let id = it.next().unwrap_or_else(|| usage());
+                match fs_core::explain_rule(&id) {
+                    Some(text) => {
+                        print!("{text}");
+                        std::process::exit(0);
+                    }
+                    None => {
+                        eprintln!(
+                            "fslint: unknown rule '{id}' (rules: {})",
+                            fs_core::LINT_RULES
+                                .iter()
+                                .map(|r| r.id)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') || other.starts_with('@') => {

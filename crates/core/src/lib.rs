@@ -49,7 +49,9 @@ pub use advisor::{recommend_chunk, ChunkAdvice, ChunkPoint};
 pub use corpus::{corpus_entry, corpus_kernel, corpus_kernel_with_consts, CorpusEntry, CORPUS};
 pub use error::AnalysisError;
 pub use json::JsonValue;
-pub use lint::{sarif_document, LintReport, VerifiedFix, LINT_RULES};
+pub use lint::{
+    explain_rule, rule_info, sarif_document, LintReport, RuleInfo, VerifiedFix, LINT_RULES,
+};
 pub use report::{AnalysisReport, HotLine, VictimArray};
 pub use service::{
     KernelInput, KernelResult, Service, ServiceCache, ServiceOptions, ServiceRequest,

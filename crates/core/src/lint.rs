@@ -8,26 +8,88 @@ use crate::json::JsonValue;
 use cost_model::lint::{Diagnostic, LintResult, LintVerdict, Severity};
 use loop_ir::Kernel;
 
-/// Rule metadata table: (id, short description), in rule-id order. Drives
-/// both the SARIF `tool.driver.rules` array and `docs/LINT.md`.
-pub const LINT_RULES: &[(&str, &str)] = &[
-    (
-        cost_model::lint::RULE_SHARED_LINE,
-        "Chunk-seam writes from different threads share a cache line",
-    ),
-    (
-        cost_model::lint::RULE_STRIDED,
-        "Per-iteration cross-thread write interleaving within cache lines",
-    ),
-    (
-        cost_model::lint::RULE_POTENTIAL,
-        "Write pattern outside the closed-form fragment; verdict unknown",
-    ),
-    (
-        cost_model::lint::RULE_TRUE_SHARING,
-        "All threads write the same bytes (true sharing, not false sharing)",
-    ),
+/// Metadata for one lint rule: the single source of truth behind the SARIF
+/// `tool.driver.rules` array, `fslint --explain`, and `docs/LINT.md`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id (`FS001`..`FS005`).
+    pub id: &'static str,
+    /// Short CamelCase rule name, SARIF-style.
+    pub name: &'static str,
+    /// One-line summary.
+    pub short: &'static str,
+    /// Longer `--explain` text: what fires, why it costs, how to fix it.
+    pub explanation: &'static str,
+}
+
+/// Rule metadata table, in rule-id order.
+pub const LINT_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: cost_model::lint::RULE_SHARED_LINE,
+        name: "SharedLine",
+        short: "Chunk-seam writes from different threads share a cache line",
+        explanation: "Adjacent chunks of the parallel loop end and start inside the same cache \
+            line, so the two owning threads invalidate each other at every chunk boundary. \
+            Fires when chunk x stride is at least one line but seam writes still collide. \
+            Fix: pad the array's element size to the line size, or align chunk boundaries to \
+            lines by widening the chunk.",
+    },
+    RuleInfo {
+        id: cost_model::lint::RULE_STRIDED,
+        name: "StridedConflict",
+        short: "Per-iteration cross-thread write interleaving within cache lines",
+        explanation: "Consecutive iterations map to the same cache line but run on different \
+            threads (chunk x stride below the line size), so every line ping-pongs between \
+            private caches for its whole lifetime — the worst false-sharing shape (Fig. 3 of \
+            the paper). Fix: widen the static chunk so each line has a single writer, or pad \
+            elements to the line size.",
+    },
+    RuleInfo {
+        id: cost_model::lint::RULE_POTENTIAL,
+        name: "PotentialConflict",
+        short: "Write pattern outside the closed-form fragment; verdict unknown",
+        explanation: "The write's affine structure leaves the fragment the symbolic lint can \
+            decide (non-constant bounds, mixed strides per array, thread-skewed instances), \
+            so no claim is made either way. Run the simulator-backed `fsdetect` on the kernel \
+            for a definite count.",
+    },
+    RuleInfo {
+        id: cost_model::lint::RULE_TRUE_SHARING,
+        name: "TrueSharing",
+        short: "All threads write the same bytes (true sharing, not false sharing)",
+        explanation: "Every thread writes the very same element(s), so the coherence traffic \
+            is true sharing: padding cannot help because the bytes themselves are contended. \
+            Fix: give each thread a private copy (index by the parallel variable) and reduce \
+            afterwards.",
+    },
+    RuleInfo {
+        id: cost_model::lint::RULE_CAPACITY,
+        name: "CapacityThrash",
+        short: "One chunk's line footprint overflows the private cache",
+        explanation: "The reuse-distance footprint model predicts that one chunk of the \
+            parallel loop touches more distinct cache lines than the largest private cache \
+            level holds, so each thread evicts its own working set mid-chunk and pays \
+            capacity misses instead of hits. Advisory only: the false-sharing verdict is \
+            unchanged. Fix: shrink the static chunk to the suggested size that fits, or tile \
+            the inner loops.",
+    },
 ];
+
+/// The [`RuleInfo`] for `id`, accepting `FS00x` in any case.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    LINT_RULES
+        .iter()
+        .find(|r| r.id.eq_ignore_ascii_case(id.trim()))
+}
+
+/// Render one rule's `--explain` text.
+pub fn explain_rule(id: &str) -> Option<String> {
+    let r = rule_info(id)?;
+    Some(format!(
+        "{} ({})\n  {}\n\n  {}\n",
+        r.id, r.name, r.short, r.explanation
+    ))
+}
 
 /// A padding fix that was *verified*: applying [`crate::pad_array`] to the
 /// array and re-linting yields a clean verdict.
@@ -45,10 +107,17 @@ pub struct LintReport {
     pub result: LintResult,
     /// Padding fixes confirmed by transform-and-relint.
     pub verified_fixes: Vec<VerifiedFix>,
+    /// FS005's suggested chunk, confirmed by re-scheduling and re-linting:
+    /// at this `schedule(static, chunk)` the capacity warning clears.
+    pub verified_chunk: Option<u64>,
 }
 
 impl LintReport {
-    pub(crate) fn new(kernel: &Kernel, result: LintResult) -> LintReport {
+    pub(crate) fn new(
+        kernel: &Kernel,
+        result: LintResult,
+        private_capacity_lines: Option<u64>,
+    ) -> LintReport {
         // Verify pad suggestions: pad each implicated array and re-lint.
         // The transform is pure and the lint closed-form, so this costs
         // microseconds — no simulation involved.
@@ -84,10 +153,15 @@ impl LintReport {
                 }
             }
         }
+        // Verify FS005's chunk suggestion the same way: re-schedule the
+        // kernel at the largest fitting chunk and re-lint with the same
+        // capacity — the warning must clear.
+        let verified_chunk = verify_chunk_fix(kernel, &result, private_capacity_lines);
         LintReport {
             kernel_name: kernel.name.clone(),
             result,
             verified_fixes,
+            verified_chunk,
         }
     }
 
@@ -115,6 +189,13 @@ impl LintReport {
                     "    verified: padding '{}' to {} B elements re-lints clean\n",
                     v.array, v.padded_elem_bytes
                 ));
+            }
+            if d.rule_id == cost_model::lint::RULE_CAPACITY {
+                if let Some(c) = self.verified_chunk {
+                    out.push_str(&format!(
+                        "    verified: schedule(static, {c}) re-lints without FS005\n"
+                    ));
+                }
             }
         }
         out.push_str(&format!(
@@ -187,6 +268,12 @@ impl LintReport {
             .field("diagnostics", diags)
             .field("sites", sites)
             .field("verified_fixes", fixes)
+            .field(
+                "verified_chunk",
+                self.verified_chunk
+                    .map(|c| JsonValue::Num(c as f64))
+                    .unwrap_or(JsonValue::Null),
+            )
     }
 
     /// SARIF `result` objects for this report, attributed to `uri`.
@@ -233,15 +320,52 @@ fn span_or_default(d: &Diagnostic) -> (u32, u32) {
     d.span.map(|s| (s.line, s.col)).unwrap_or((1, 1))
 }
 
+/// If the lint raised FS005 with a chunk suggestion, recompute the largest
+/// fitting chunk, apply it as `schedule(static, c)`, and re-lint with the
+/// same capacity. Returns the chunk only when the warning actually clears.
+fn verify_chunk_fix(
+    kernel: &Kernel,
+    result: &LintResult,
+    private_capacity_lines: Option<u64>,
+) -> Option<u64> {
+    let cap = private_capacity_lines?;
+    let d = result
+        .diagnostics
+        .iter()
+        .find(|d| d.rule_id == cost_model::lint::RULE_CAPACITY)?;
+    d.suggested_fix.as_ref()?;
+    let c = cost_model::chunk_footprint(kernel, result.line_size)?
+        .max_chunk_fitting(cap)
+        .filter(|&c| c >= 1 && c < result.chunk)?;
+    let mut rescheduled = kernel.clone();
+    rescheduled.nest.parallel.schedule = loop_ir::Schedule::Static { chunk: c };
+    let relint = cost_model::lint::lint_kernel_with_capacity(
+        &rescheduled,
+        result.line_size,
+        result.num_threads,
+        Some(cap),
+    );
+    relint
+        .diagnostics
+        .iter()
+        .all(|d| d.rule_id != cost_model::lint::RULE_CAPACITY)
+        .then_some(c)
+}
+
 /// Assemble a SARIF 2.1.0 document from per-artifact result lists (as
 /// produced by [`LintReport::sarif_results`]).
 pub fn sarif_document(entries: Vec<(String, Vec<JsonValue>)>) -> JsonValue {
     let rules: Vec<JsonValue> = LINT_RULES
         .iter()
-        .map(|(id, short)| {
+        .map(|r| {
             JsonValue::obj()
-                .field("id", *id)
-                .field("shortDescription", JsonValue::obj().field("text", *short))
+                .field("id", r.id)
+                .field("name", r.name)
+                .field("shortDescription", JsonValue::obj().field("text", r.short))
+                .field(
+                    "fullDescription",
+                    JsonValue::obj().field("text", r.explanation),
+                )
         })
         .collect();
     let mut results = Vec::new();
@@ -349,5 +473,82 @@ mod tests {
         let r = stencil_report();
         assert_eq!(worst_severity(&r.result.diagnostics), Some(Severity::Error));
         assert_eq!(worst_severity(&[]), None);
+    }
+
+    /// A chunk of 64 streaming f64 iterations over two arrays (~18 lines)
+    /// against the tiny machine's 16-line L2.
+    fn thrash_report() -> LintReport {
+        let k = crate::parse_kernel(
+            "kernel t {
+  array A[4096]: f64;
+  array B[4096]: f64;
+  parallel for i in 0..4096 schedule(static, 64) {
+    B[i] = A[i] + 1.0;
+  }
+}",
+        )
+        .unwrap();
+        crate::try_lint(&k, &machines::tiny_test(), 4).unwrap()
+    }
+
+    #[test]
+    fn capacity_warning_surfaces_with_verified_chunk() {
+        let r = thrash_report();
+        let d = r
+            .result
+            .diagnostics
+            .iter()
+            .find(|d| d.rule_id == cost_model::lint::RULE_CAPACITY)
+            .expect("FS005 fires on the tiny machine");
+        assert_eq!(d.severity, Severity::Warning);
+        let c = r.verified_chunk.expect("chunk fix verifies by re-lint");
+        assert!((1..64).contains(&c), "suggested chunk {c} not a shrink");
+        let text = r.render("kernels/t.loop");
+        assert!(text.contains("[FS005]"), "{text}");
+        assert!(
+            text.contains(&format!("schedule(static, {c}) re-lints without FS005")),
+            "{text}"
+        );
+        let json = r.to_json().render();
+        assert!(json.contains("\"rule_id\":\"FS005\""), "{json}");
+        assert!(json.contains(&format!("\"verified_chunk\":{c}")), "{json}");
+        let sarif = r.to_sarif("kernels/t.loop").render();
+        assert!(sarif.contains("\"ruleId\":\"FS005\""), "{sarif}");
+        assert!(sarif.contains("\"id\":\"FS005\""), "{sarif}");
+    }
+
+    #[test]
+    fn capacity_fits_on_big_machine() {
+        let k = crate::parse_kernel(
+            "kernel t {
+  array A[4096]: f64;
+  array B[4096]: f64;
+  parallel for i in 0..4096 schedule(static, 64) {
+    B[i] = A[i] + 1.0;
+  }
+}",
+        )
+        .unwrap();
+        let r = crate::try_lint(&k, &machines::paper48(), 4).unwrap();
+        assert!(
+            !r.result
+                .diagnostics
+                .iter()
+                .any(|d| d.rule_id == cost_model::lint::RULE_CAPACITY),
+            "an 8192-line L2 swallows an 18-line chunk"
+        );
+        assert_eq!(r.verified_chunk, None);
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        assert_eq!(LINT_RULES.len(), 5);
+        for r in LINT_RULES {
+            let text = explain_rule(r.id).expect("every rule explains");
+            assert!(text.contains(r.id), "{text}");
+            assert!(text.contains(r.name), "{text}");
+        }
+        assert!(explain_rule("fs005").is_some(), "case-insensitive lookup");
+        assert!(explain_rule("FS999").is_none());
     }
 }

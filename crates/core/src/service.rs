@@ -77,8 +77,16 @@ pub fn lint(
 ) -> Result<LintReport, AnalysisError> {
     check_team(machine, num_threads)?;
     loop_ir::validate(kernel)?;
-    let result = cost_model::lint::lint_kernel(kernel, machine.line_size(), num_threads);
-    Ok(LintReport::new(kernel, result))
+    let line = machine.line_size();
+    // FS005 compares one chunk's footprint against the machine's largest
+    // private level: overflowing it means even L2 cannot hold the chunk.
+    let capacity = machine
+        .caches
+        .private_levels()
+        .map(|l| l.num_lines(line))
+        .max();
+    let result = cost_model::lint::lint_kernel_with_capacity(kernel, line, num_threads, capacity);
+    Ok(LintReport::new(kernel, result, capacity))
 }
 
 /// Parse DSL source, then [`analyze`].
@@ -292,7 +300,8 @@ pub struct ServiceOptions {
     /// defaults to [`FsPath::Symbolic`]: in-fragment kernels get exact
     /// closed-form counts in O(1) per point, and out-of-fragment kernels
     /// fall back to the dense path with identical counts (see
-    /// `fs.symbolic_fallbacks`).
+    /// `fs.symbolic_fallbacks`). [`FsPath::Analytic`] additionally attaches
+    /// the reuse-distance capacity prediction (see `fs.analytic_fallbacks`).
     pub path: FsPath,
 }
 
@@ -847,7 +856,8 @@ pub struct ParsedRequest {
 ///
 /// `cmd` defaults to `analyze`; `machine` (singular, a string) is accepted
 /// as shorthand for a one-entry `machines`. `path` selects the FS-model
-/// path (`"symbolic"` — the default — `"optimized"`, or `"reference"`).
+/// path (`"symbolic"` — the default — `"analytic"`, `"optimized"`, or
+/// `"reference"`).
 /// Unknown commands and malformed fields are errors — the daemon reports
 /// them without dying.
 pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
@@ -950,8 +960,9 @@ pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
     }
     if let Some(p) = v.get("path") {
         let s = p.as_str().ok_or("'path' must be a string")?;
-        opts.path = FsPath::parse(s)
-            .ok_or_else(|| format!("unknown path '{s}' (symbolic | optimized | reference)"))?;
+        opts.path = FsPath::parse(s).ok_or_else(|| {
+            format!("unknown path '{s}' (analytic | symbolic | optimized | reference)")
+        })?;
     }
     if let Some(c) = v.get("consts") {
         let JsonValue::Obj(fields) = c else {

@@ -2,7 +2,7 @@
 //!
 //! [`SweepEngine`] evaluates a [`SweepGrid`] (`kernels × machines ×
 //! threads × chunks`) across the [`fs_runtime::pool::ThreadPool`] workers,
-//! sharing one [`MemoCache`] between workers and across calls. Every
+//! sharing one [`cost_model::MemoCache`] between workers and across calls. Every
 //! evaluation strategy produces *identical* results in *identical* order:
 //! each grid point is a pure function of its spec, workers write disjoint
 //! result slots, and output follows the grid's canonical kernel → machine

@@ -15,6 +15,7 @@
 //! * [`total::modeled_fs_overhead`] — the modeled side of the evaluation's
 //!   FS-vs-non-FS comparison (Tables I–III).
 
+pub mod analytic;
 pub mod contention;
 pub mod footprint;
 pub mod fs;
@@ -27,6 +28,10 @@ pub mod sweep;
 pub mod symbolic;
 pub mod total;
 
+pub use analytic::{
+    capacity_prediction, chunk_footprint, CacheGeometry, CapacityPrediction, ChunkFootprint,
+    LevelGeometry,
+};
 pub use contention::{
     bus_interference, shared_cache_interference, BusInterference, SharedCacheInterference,
 };
@@ -34,7 +39,10 @@ pub use footprint::{cache_cost, reference_groups, tlb_cost, CacheCost, RefGroup,
 pub use fs::{
     run_fs_model, run_fs_model_prepared, FsModelConfig, FsModelResult, FsPath, MAX_MODEL_THREADS,
 };
-pub use lint::{lint_kernel, Diagnostic, LintResult, LintVerdict, Severity, SiteClass, SiteReport};
+pub use lint::{
+    lint_kernel, lint_kernel_with_capacity, Diagnostic, LintResult, LintVerdict, Severity,
+    SiteClass, SiteReport,
+};
 pub use overhead::{overhead_cost, OverheadCost};
 pub use predict::{least_squares, predict_fs, predict_fs_prepared, FsPrediction, LinearFit};
 pub use processor::{machine_cost, MachineCost};

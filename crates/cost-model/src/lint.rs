@@ -20,7 +20,7 @@
 //!   same way: their residues mod `line_size` form capped arithmetic-
 //!   progression sets.
 //! * False vs true sharing uses the byte-mask rule of the simulator
-//!   verbatim ([`sim_mask`]): a conflict counts as *false* sharing only if
+//!   verbatim (`sim_mask`): a conflict counts as *false* sharing only if
 //!   the accessing bytes are disjoint from every remote written byte on the
 //!   line.
 //!
@@ -54,6 +54,9 @@ pub const RULE_STRIDED: &str = "FS002";
 pub const RULE_POTENTIAL: &str = "FS003";
 /// All threads write the same bytes (true sharing).
 pub const RULE_TRUE_SHARING: &str = "FS004";
+/// One chunk's line footprint overflows the private cache (capacity
+/// thrashing).
+pub const RULE_CAPACITY: &str = "FS005";
 
 /// Diagnostic severity, ordered from worst to mildest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,7 +94,7 @@ impl fmt::Display for Severity {
 /// One structured finding, ready for human, JSON, or SARIF rendering.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable rule id (`FS001`..`FS004`).
+    /// Stable rule id (`FS001`..`FS005`).
     pub rule_id: &'static str,
     pub severity: Severity,
     pub message: String,
@@ -728,6 +731,100 @@ pub fn lint_kernel(kernel: &Kernel, line_size: u64, num_threads: u32) -> LintRes
     out
 }
 
+/// [`lint_kernel`] plus the FS005 capacity check: when the target machine's
+/// largest private cache holds `private_capacity_lines` lines and one
+/// chunk's predicted line footprint (from
+/// [`crate::analytic::chunk_footprint`]) overflows it, a `Warning` is
+/// appended suggesting the largest chunk that fits.
+///
+/// FS005 is a performance smell, not a sharing fact: it never changes the
+/// verdict, which remains the pure false-sharing claim checked by the
+/// differential oracle. Pass `None` (or a kernel outside the analytic
+/// fragment) to get exactly [`lint_kernel`]'s output.
+pub fn lint_kernel_with_capacity(
+    kernel: &Kernel,
+    line_size: u64,
+    num_threads: u32,
+    private_capacity_lines: Option<u64>,
+) -> LintResult {
+    let mut out = lint_kernel(kernel, line_size, num_threads);
+    if let Some(cap) = private_capacity_lines {
+        if let Some(d) = capacity_diagnostic(kernel, line_size, num_threads, out.chunk, cap) {
+            out.diagnostics.push(d);
+        }
+    }
+    out
+}
+
+/// Build the FS005 diagnostic, or `None` when the chunk footprint fits the
+/// private cache (or the kernel is outside the analytic fragment, where the
+/// footprint model makes no claim).
+fn capacity_diagnostic(
+    kernel: &Kernel,
+    line_size: u64,
+    num_threads: u32,
+    chunk: u64,
+    capacity_lines: u64,
+) -> Option<Diagnostic> {
+    let sched = ChunkSchedule::for_loop(
+        kernel.nest.parallel_loop(),
+        chunk,
+        num_threads.max(1) as u64,
+    )?;
+    let fp = crate::analytic::chunk_footprint(kernel, line_size)?;
+    // A thread never runs more contiguous iterations than its share of the
+    // trip count, so clamp the scheduled chunk before charging footprint.
+    let active = (num_threads.max(1) as u64).min(sched.num_chunks().max(1));
+    let per_thread = sched.trip_count.div_ceil(active).max(1);
+    let eff_chunk = chunk.max(1).min(per_thread);
+    let lines = fp.lines_at(eff_chunk);
+    if lines <= capacity_lines as f64 {
+        return None;
+    }
+    // Attribute the warning to the largest written array (the natural
+    // thrash suspect) and its first write site's span.
+    let (aid, decl) = kernel
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| kernel.nest.body.iter().any(|s| s.lhs.array.index() == *i))
+        .max_by_key(|(_, a)| a.size_bytes())
+        .or_else(|| {
+            kernel
+                .arrays
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, a)| a.size_bytes())
+        })?;
+    let span = kernel
+        .nest
+        .body
+        .iter()
+        .find(|s| s.lhs.array.index() == aid)
+        .and_then(|s| s.lhs.span);
+    let suggested_fix = fp
+        .max_chunk_fitting(capacity_lines)
+        .filter(|&c| c >= 1 && c < eff_chunk)
+        .map(|c| {
+            format!(
+                "shrink the chunk: schedule(static, {c}) keeps each chunk's footprint within \
+                 the private cache"
+            )
+        });
+    Some(Diagnostic {
+        rule_id: RULE_CAPACITY,
+        severity: Severity::Warning,
+        message: format!(
+            "one chunk of {eff_chunk} iterations touches ~{lines:.0} cache lines but the \
+             largest private cache holds {capacity_lines}: each thread evicts its own working \
+             set mid-chunk (capacity thrashing)"
+        ),
+        span,
+        array: decl.name.clone(),
+        suggested_fix,
+    })
+}
+
 /// Check an array's references against the closed-form fragment. Ok(Clean)
 /// means "analyzable"; Err(reason) becomes an FS003 note.
 #[allow(clippy::too_many_arguments)]
@@ -1093,5 +1190,68 @@ mod tests {
         let r = lint_src(src, 4);
         let d = &r.diagnostics[0];
         assert_eq!(d.span, Some(SourceSpan::new(4, 5)));
+    }
+
+    fn lint_cap(src: &str, threads: u32, cap: Option<u64>) -> LintResult {
+        let k = parse_kernel(src).unwrap();
+        validate(&k).unwrap();
+        lint_kernel_with_capacity(&k, LINE, threads, cap)
+    }
+
+    #[test]
+    fn capacity_overflow_warns_without_changing_verdict() {
+        // Chunk of 64 streaming f64 iterations over two arrays: ~18 lines,
+        // far beyond a 12-line private cache.
+        let src = stencil(64, "");
+        let plain = lint_src(&src, 4);
+        let r = lint_cap(&src, 4, Some(12));
+        assert_eq!(r.verdict, plain.verdict, "FS005 must not move the verdict");
+        assert_eq!(r.sites, plain.sites);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.rule_id == RULE_CAPACITY)
+            .expect("FS005 fires when the chunk footprint overflows");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("capacity thrashing"), "{}", d.message);
+        assert_eq!(d.array, "B", "attributed to the largest written array");
+    }
+
+    #[test]
+    fn capacity_fix_reverifies_clean() {
+        let src = stencil(64, "");
+        let r = lint_cap(&src, 4, Some(12));
+        let fix = r
+            .diagnostics
+            .iter()
+            .find(|d| d.rule_id == RULE_CAPACITY)
+            .and_then(|d| d.suggested_fix.clone())
+            .expect("a smaller chunk fits, so a fix is suggested");
+        // Extract the suggested chunk and re-lint at that schedule: FS005
+        // must clear (the VerifiedFix contract).
+        let c: u64 = fix
+            .split("schedule(static, ")
+            .nth(1)
+            .and_then(|s| s.split(')').next())
+            .and_then(|s| s.parse().ok())
+            .expect("fix names a concrete chunk");
+        assert!(c < 64);
+        let refixed = lint_cap(&stencil(c, ""), 4, Some(12));
+        assert!(
+            !refixed
+                .diagnostics
+                .iter()
+                .any(|d| d.rule_id == RULE_CAPACITY),
+            "suggested chunk still overflows: {refixed:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_none_or_fitting_is_plain_lint() {
+        let src = stencil(4, "");
+        let plain = lint_src(&src, 4);
+        assert_eq!(lint_cap(&src, 4, None), plain);
+        // A 64 KB L1 (1024 lines) swallows a 4-iteration chunk trivially.
+        assert_eq!(lint_cap(&src, 4, Some(1024)), plain);
     }
 }

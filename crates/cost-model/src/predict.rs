@@ -95,7 +95,7 @@ impl FsPrediction {
 ///
 /// Returns `None` if the sampled series is too short to fit (e.g. the whole
 /// loop fits in fewer than two chunk runs) — callers should fall back to
-/// [`run_fs_model`].
+/// [`crate::run_fs_model`].
 pub fn predict_fs(kernel: &Kernel, cfg: &FsModelConfig, chunk_runs: u64) -> Option<FsPrediction> {
     let plan = kernel.access_plan();
     let bases = kernel.array_bases(cfg.line_size);
@@ -148,11 +148,42 @@ pub fn predict_fs_prepared(
         }
         fs_obs::counters::FS_SYMBOLIC_FALLBACKS.inc();
     }
+    // Same short-circuit for the analytic path: the closed-form evaluation
+    // is full-loop and exact on the coherence side, so it replaces the fit
+    // outright (and additionally carries the capacity prediction).
+    if cfg.path == FsPath::Analytic {
+        if let Some(full) = crate::analytic::run_analytic(kernel, cfg, plan, bases) {
+            fs_obs::counters::FS_MODEL_RUNS.inc();
+            fs_obs::counters::FS_DISPATCH_ANALYTIC.inc();
+            if fs_obs::counters_enabled() {
+                fs_obs::counters::FS_CASES.add(full.fs_cases);
+                fs_obs::counters::FS_EVENTS.add(full.fs_events);
+                fs_obs::counters::FS_STEPS.add(full.steps);
+                fs_obs::counters::FS_ITERATIONS.add(full.iterations);
+            }
+            let cases = full.fs_cases as f64;
+            let x_max = full.total_chunk_runs;
+            return Some(FsPrediction {
+                chunk_runs_evaluated: full.evaluated_chunk_runs,
+                total_chunk_runs: x_max,
+                predicted_cases: cases,
+                predicted_events: full.fs_events as f64,
+                fit: LinearFit {
+                    a: cases / x_max.max(1) as f64,
+                    b: 0.0,
+                    r2: 1.0,
+                },
+                exact: true,
+                sample: full,
+            });
+        }
+        fs_obs::counters::FS_ANALYTIC_FALLBACKS.inc();
+    }
     fs_obs::counters::PREDICT_FITS.inc();
     let mut sample_cfg = cfg.clone();
-    if sample_cfg.path == FsPath::Symbolic {
-        // Already fell off the symbolic fragment above; sample densely
-        // rather than re-attempting (and re-counting) the symbolic gate.
+    if matches!(sample_cfg.path, FsPath::Symbolic | FsPath::Analytic) {
+        // Already fell off the closed-form fragment above; sample densely
+        // rather than re-attempting (and re-counting) the fragment gate.
         sample_cfg.path = FsPath::Optimized;
     }
     sample_cfg.max_chunk_runs = Some(chunk_runs.max(2));

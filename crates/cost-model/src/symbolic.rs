@@ -17,7 +17,7 @@
 //! resident line of the machine state by `Δ_r` commutes with set selection,
 //! byte masks, LRU order and writer masks.
 //!
-//! The engine simulates window by window with the exact [`RefMachine`]
+//! The engine simulates window by window with the exact `RefMachine`
 //! semantics and, at each window boundary, compares the machine state with
 //! a shifted snapshot from one or two windows back. One verified pair
 //! proves (by induction, since the per-access transition function commutes
@@ -31,7 +31,7 @@
 //! Kernels whose caches never reach a shifted steady state (footprints
 //! smaller than the stack, non-uniform schedules, multiple changing outer
 //! loops) are completed by bounded direct simulation instead; anything that
-//! would exceed [`DIRECT_WORK_LIMIT`] returns `None` and the dispatcher
+//! would exceed `DIRECT_WORK_LIMIT` returns `None` and the dispatcher
 //! falls back to [`crate::fs::FsPath::Optimized`], exactly as `fslint`
 //! falls back to Unknown outside its fragment.
 
@@ -188,7 +188,7 @@ pub(crate) fn run_symbolic(
 /// Closed-form `ChunkSchedule::iters_of_thread` (the library version scans
 /// every chunk): full chunks owned round-robin, minus the short tail of the
 /// last chunk when this thread owns it.
-fn iters_of_thread_closed(s: &ChunkSchedule, t: u64) -> u64 {
+pub(crate) fn iters_of_thread_closed(s: &ChunkSchedule, t: u64) -> u64 {
     let c = s.num_chunks();
     if t >= c {
         return 0;

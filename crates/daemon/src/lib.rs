@@ -233,7 +233,11 @@ impl Daemon {
     /// Execute an analyze/lint request, streaming per-kernel events first
     /// when the client asked for them. Returns the response alongside the
     /// I/O outcome so the caller can log what actually happened.
-    fn run_request(&self, parsed: &ParsedRequest, out: &mut dyn Write) -> (io::Result<()>, ServiceResponse) {
+    fn run_request(
+        &self,
+        parsed: &ParsedRequest,
+        out: &mut dyn Write,
+    ) -> (io::Result<()>, ServiceResponse) {
         if !parsed.stream {
             let resp = self.service.handle(&parsed.request);
             let res = writeln!(out, "{}", resp.envelope().render());
@@ -265,10 +269,7 @@ impl Daemon {
         event_obj("metrics")
             .field("uptime_s", self.started.elapsed().as_secs_f64())
             .field("commands", self.tally.to_json())
-            .field(
-                "metrics",
-                fs_core::service::metrics_json(&obs::snapshot()),
-            )
+            .field("metrics", fs_core::service::metrics_json(&obs::snapshot()))
     }
 
     /// The `stats` response: shard count, aggregated cache stats (lifetime
@@ -307,6 +308,14 @@ impl Daemon {
                     .field(
                         "symbolic_fallbacks",
                         obs::counters::FS_SYMBOLIC_FALLBACKS.get(),
+                    )
+                    .field(
+                        "analytic_dispatches",
+                        obs::counters::FS_DISPATCH_ANALYTIC.get(),
+                    )
+                    .field(
+                        "analytic_fallbacks",
+                        obs::counters::FS_ANALYTIC_FALLBACKS.get(),
                     ),
             )
             .field("requests", obs::counters::SVC_REQUESTS.get())
@@ -492,11 +501,7 @@ impl Daemon {
         let path = parts.next().unwrap_or("/").to_string();
 
         let mut content_length: u64 = 0;
-        loop {
-            let header = match read_line_limited(reader, HTTP_LINE_LIMIT)? {
-                Some(h) => h,
-                None => break,
-            };
+        while let Some(header) = read_line_limited(reader, HTTP_LINE_LIMIT)? {
             let header = header.trim();
             if header.is_empty() {
                 break;
@@ -523,7 +528,11 @@ impl Daemon {
             }
             ("POST", "/") | ("POST", "/analyze") => {
                 if content_length > HTTP_BODY_LIMIT {
-                    return Ok((413, CT_JSON, "{\"error\": \"body too large\"}\n".to_string()));
+                    return Ok((
+                        413,
+                        CT_JSON,
+                        "{\"error\": \"body too large\"}\n".to_string(),
+                    ));
                 }
                 let mut body = String::new();
                 reader.take(content_length).read_to_string(&mut body)?;

@@ -107,7 +107,11 @@ impl Histogram {
             name: self.name,
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -145,11 +149,7 @@ impl HistogramSnapshot {
 
     /// Mean observation, or 0 when empty.
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Upper bound of the bucket holding the `q`-quantile observation
@@ -223,7 +223,21 @@ mod tests {
 
     #[test]
     fn bucket_index_matches_bounds() {
-        for &v in &[0u64, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1 << 40, u64::MAX] {
+        for &v in &[
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1023,
+            1024,
+            1 << 40,
+            u64::MAX,
+        ] {
             let i = bucket_index(v);
             assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} index={i}");
         }

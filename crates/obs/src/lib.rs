@@ -243,7 +243,7 @@ impl Gauge {
 pub mod counters {
     use super::Counter;
 
-    /// Sweep-engine memo cache hits ([`MemoCache::lookup_point`]).
+    /// Sweep-engine memo cache hits (`MemoCache::lookup_point`).
     pub static SWEEP_MEMO_HITS: Counter = Counter::new("sweep.memo_hits");
     /// Sweep-engine memo cache misses.
     pub static SWEEP_MEMO_MISSES: Counter = Counter::new("sweep.memo_misses");
@@ -275,6 +275,11 @@ pub mod counters {
     /// Symbolic-path requests that fell outside the decidable fragment (or
     /// its work budget) and fell back to the dense/reference dispatch.
     pub static FS_SYMBOLIC_FALLBACKS: Counter = Counter::new("fs.symbolic_fallbacks");
+    /// Runs answered by the analytic (reuse-distance) path.
+    pub static FS_DISPATCH_ANALYTIC: Counter = Counter::new("fs.dispatch_analytic");
+    /// Analytic-path requests that fell outside the decidable fragment and
+    /// fell back to the dense/reference dispatch.
+    pub static FS_ANALYTIC_FALLBACKS: Counter = Counter::new("fs.analytic_fallbacks");
     /// Strength-reduced address-stream plans compiled (`CompiledPlan::new`).
     pub static STREAM_PLANS_COMPILED: Counter = Counter::new("stream.plans_compiled");
     /// §III-E linear-regression predictor fits.
@@ -309,7 +314,7 @@ pub mod counters {
     /// Service requests that returned an error envelope.
     pub static SVC_ERRORS: Counter = Counter::new("svc.errors");
 
-    pub(super) static ALL: [&Counter; 31] = [
+    pub(super) static ALL: [&Counter; 33] = [
         &SWEEP_MEMO_HITS,
         &SWEEP_MEMO_MISSES,
         &SWEEP_POINTS,
@@ -325,6 +330,8 @@ pub mod counters {
         &FS_DENSE_FALLBACKS,
         &FS_DISPATCH_SYMBOLIC,
         &FS_SYMBOLIC_FALLBACKS,
+        &FS_DISPATCH_ANALYTIC,
+        &FS_ANALYTIC_FALLBACKS,
         &STREAM_PLANS_COMPILED,
         &PREDICT_FITS,
         &SIM_REPLAYS,
@@ -380,12 +387,16 @@ pub mod hists {
     pub static FS_MODEL_NS: Histogram = Histogram::new("fs.model_ns");
     /// One MESI-simulator kernel replay (the `sim.replay` span).
     pub static SIM_REPLAY_NS: Histogram = Histogram::new("sim.replay_ns");
+    /// One analytic (reuse-distance) FS-model evaluation, the closed-form
+    /// portion only — a subset of the matching `fs.model_ns` observation.
+    pub static FS_ANALYTIC_NS: Histogram = Histogram::new("fs.analytic_ns");
 
-    pub(super) static ALL: [&Histogram; 4] = [
+    pub(super) static ALL: [&Histogram; 5] = [
         &SVC_REQUEST_NS,
         &SWEEP_POINT_NS,
         &FS_MODEL_NS,
         &SIM_REPLAY_NS,
+        &FS_ANALYTIC_NS,
     ];
 }
 

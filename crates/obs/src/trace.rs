@@ -1,6 +1,6 @@
 //! Chrome trace-event export.
 //!
-//! [`chrome_trace`] renders a [`Snapshot`](crate::Snapshot) as the JSON
+//! [`chrome_trace`] renders a [`Snapshot`] as the JSON
 //! object format of the Trace Event specification: `"ph":"M"` metadata
 //! events naming one track per recording thread, followed by `"ph":"X"`
 //! complete events (timestamps and durations in microseconds). The output

@@ -586,7 +586,9 @@ fn envelope_carries_request_id_and_timing_only_when_asked() {
     let timed = server.round_trip(line);
     let v = parse(timed.trim()).unwrap();
     assert!(
-        v.get("request_id").and_then(|r| r.as_u64()).is_some_and(|id| id >= 1),
+        v.get("request_id")
+            .and_then(|r| r.as_u64())
+            .is_some_and(|id| id >= 1),
         "got: {timed}"
     );
     let timing = v.get("timing").expect("timing present when asked");
@@ -602,7 +604,10 @@ fn envelope_carries_request_id_and_timing_only_when_asked() {
         .and_then(|t| t.get("cache_hits"))
         .and_then(|h| h.as_u64())
         .unwrap();
-    assert!(hits >= 2, "warm grid rerun reports cache hits, got: {timed2}");
+    assert!(
+        hits >= 2,
+        "warm grid rerun reports cache hits, got: {timed2}"
+    );
 
     // Ids are fresh per request.
     let id1 = v.get("request_id").and_then(|r| r.as_u64()).unwrap();
@@ -628,10 +633,7 @@ fn stats_and_metrics_commands_report_uptime_and_tallies() {
     assert_eq!(commands.get("stats").and_then(|s| s.as_u64()), Some(1));
     assert_eq!(commands.get("analyze").and_then(|a| a.as_u64()), Some(0));
     // Latency quantiles ride along even with obs disabled (count 0 then).
-    assert!(stats
-        .get("latency")
-        .and_then(|l| l.get("count"))
-        .is_some());
+    assert!(stats.get("latency").and_then(|l| l.get("count")).is_some());
 
     let metrics = parse(server.round_trip("{\"cmd\": \"metrics\"}").trim()).unwrap();
     assert_eq!(

@@ -262,3 +262,74 @@ fn bundled_corpus_is_symbolic_and_exact() {
         assert_eq!(got, want, "{name}: symbolic counts diverge at bundled size");
     }
 }
+
+/// Fragment-boundary kernels on the analytic path: kernels whose shape
+/// sits at or beyond the reuse-distance fragment's edge (triangular inner
+/// bounds, non-unit mixed strides) must either attach a capacity
+/// prediction or fall back — and in both cases the coherence counts are
+/// reference-identical.
+#[test]
+fn analytic_boundary_kernels_fall_back_identically() {
+    // (source, expect_capacity): the triangular nest has non-constant inner
+    // trip counts so the footprint recursion must decline; the mixed-stride
+    // multi-array nest is constant-bounded and stays in the fragment.
+    let cases: [(&str, bool); 3] = [
+        (
+            "kernel tri {
+  array A[32][32]: f64;
+  parallel for i in 0..32 schedule(static, 2) {
+    for j in 0..i + 1 {
+      A[i][j] = 1.0;
+    }
+  }
+}",
+            false,
+        ),
+        (
+            "kernel nest {
+  array C[63]: f64;
+  array D[511]: f64;
+  parallel for i in 0..32 schedule(static, 2) {
+    for j in 0..8 {
+      C[2*i] += D[16*i + 2*j];
+    }
+  }
+}",
+            true,
+        ),
+        (
+            "kernel mixed {
+  array B[94]: f64;
+  parallel for i in 0..32 schedule(static, 4) {
+    B[i] = 1.0;
+    B[3*i] = 2.0;
+  }
+}",
+            true,
+        ),
+    ];
+    for threads in [2u32, 8] {
+        for (src, expect_capacity) in cases {
+            let kernel = fs_core::parse_kernel(src).unwrap();
+            let mut reference = FsModelConfig::for_machine(&presets::paper48(), threads);
+            reference.path = FsPath::Reference;
+            let want = run_fs_model(&kernel, &reference);
+
+            let mut analytic = reference.clone();
+            analytic.path = FsPath::Analytic;
+            let mut got = run_fs_model(&kernel, &analytic);
+            let capacity = got.capacity.take();
+            assert_eq!(
+                capacity.is_some(),
+                expect_capacity,
+                "{} threads={threads}: fragment membership flipped",
+                kernel.name
+            );
+            assert_eq!(
+                got, want,
+                "{} threads={threads}: analytic counts diverge",
+                kernel.name
+            );
+        }
+    }
+}

@@ -231,6 +231,54 @@ fn fsdetect_json_carries_lint_section() {
 }
 
 #[test]
+fn fslint_explain_prints_every_rule_from_the_shared_table() {
+    for r in fs_core::LINT_RULES {
+        let out = fslint(&["--explain", r.id]);
+        assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains(r.id) && text.contains(r.name) && text.contains(r.short),
+            "--explain {} incomplete:\n{text}",
+            r.id
+        );
+    }
+    let out = fslint(&["--explain", "FS999"]);
+    assert_eq!(out.status.code(), Some(2), "unknown rule -> usage exit");
+    assert!(stderr(&out).contains("FS005"), "error lists known rules");
+}
+
+#[test]
+fn fslint_capacity_warning_fires_on_tiny_machine() {
+    let dir = std::env::temp_dir();
+    let p = dir.join("fslint_thrash_test.loop");
+    std::fs::write(
+        &p,
+        "kernel t {\n  array A[4096]: f64;\n  array B[4096]: f64;\n  \
+         parallel for i in 0..4096 schedule(static, 64) {\n    B[i] = A[i] + 1.0;\n  }\n}\n",
+    )
+    .unwrap();
+    let out = fslint(&[p.to_str().unwrap(), "--machine", "tiny", "--threads", "4"]);
+    assert_eq!(out.status.code(), Some(1), "FS005 warning is a finding");
+    let text = stdout(&out);
+    assert!(text.contains("[FS005]"), "{text}");
+    assert!(text.contains("capacity thrashing"), "{text}");
+    assert!(
+        text.contains("re-lints without FS005"),
+        "verified fix:\n{text}"
+    );
+    // The same kernel against paper48's 8 MB of private cache is quiet.
+    let out = fslint(&[
+        p.to_str().unwrap(),
+        "--machine",
+        "paper48",
+        "--threads",
+        "4",
+    ]);
+    assert!(!stdout(&out).contains("FS005"), "{}", stdout(&out));
+    std::fs::remove_file(&p).ok();
+}
+
+#[test]
 fn fsdetect_parse_errors_carry_file_positions() {
     let dir = std::env::temp_dir();
     let bad = dir.join("fsdetect_bad_pos_test.loop");

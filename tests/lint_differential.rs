@@ -261,6 +261,135 @@ fn divergence_harness_covers_every_template() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fragment-boundary kernels: shapes at or beyond the decidable fragment's
+// edge. Unknown is allowed here — the contract is only that any claim the
+// lint does make survives the simulator, and that leaving the fragment is
+// reported honestly rather than guessed at.
+// ---------------------------------------------------------------------------
+
+const NUM_BOUNDARY_TEMPLATES: usize = 3;
+
+fn render_boundary(p: Params) -> String {
+    let trip = p.chunk * p.threads as u64 * p.k;
+    let s = p.stride;
+    match p.template {
+        // Triangular: the inner bound rides the parallel variable, which
+        // skews threads against each other — outside the fragment (FS003).
+        0 => format!(
+            "kernel tri {{
+  array A[{trip}][{trip}]: f64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    for j in 0..i + 1 {{
+      A[i][j] = 1.0;
+    }}
+  }}
+}}",
+            chunk = p.chunk,
+        ),
+        // Two writes to one array with different parallel strides: the seam
+        // analysis needs a single stride per array, so s > 1 leaves the
+        // fragment (and s == 1 collapses back inside it).
+        1 => format!(
+            "kernel mixed {{
+  array B[{n}]: f64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    B[i] = 1.0;
+    B[{s}*i] = 2.0;
+  }}
+}}",
+            n = s as u64 * (trip - 1) + 1,
+            chunk = p.chunk,
+        ),
+        // Multi-array nest with mixed, non-unit inner strides: decidable —
+        // each array is analyzed independently at its own stride.
+        2 => format!(
+            "kernel nest {{
+  array C[{cn}]: f64;
+  array D[{dn}]: f64;
+  parallel for i in 0..{trip} schedule(static, {chunk}) {{
+    for j in 0..8 {{
+      C[{s}*i] += D[16*i + 2*j];
+    }}
+  }}
+}}",
+            cn = s as u64 * (trip - 1) + 1,
+            dn = 16 * (trip - 1) + 15,
+            chunk = p.chunk,
+        ),
+        _ => unreachable!("boundary template out of range"),
+    }
+}
+
+/// Check one boundary point: Unknown makes no claim; definite verdicts must
+/// survive the simulator, as in [`divergence`].
+fn check_boundary_point(p: Params) {
+    let source = render_boundary(p);
+    let report = try_lint_dsl(&source, &machines::paper48(), p.threads)
+        .unwrap_or_else(|e| panic!("boundary kernel rejected: {e}\n{source}"));
+    let cases = oracle_cases(&source, p.threads);
+    match report.result.verdict {
+        LintVerdict::FalseSharing => assert!(
+            cases > 0,
+            "lint says FalseSharing, simulator counted 0 ({p:?})\n{source}"
+        ),
+        LintVerdict::Clean => assert_eq!(
+            cases, 0,
+            "lint says Clean, simulator counted {cases} ({p:?})\n{source}"
+        ),
+        LintVerdict::Unknown => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Boundary kernels never panic and never produce a wrong claim.
+    #[test]
+    fn boundary_kernels_stay_sound(
+        template in 0usize..NUM_BOUNDARY_TEMPLATES,
+        threads in 2u32..=6,
+        chunk_pow in 0u32..3,
+        k in 1u64..=2,
+        stride in 1i64..=4,
+    ) {
+        check_boundary_point(Params {
+            template,
+            threads,
+            chunk: 1u64 << chunk_pow,
+            k,
+            stride,
+        });
+    }
+}
+
+#[test]
+fn boundary_fragment_edges_are_reported_honestly() {
+    let p = |template, stride| Params {
+        template,
+        threads: 4,
+        chunk: 2,
+        k: 2,
+        stride,
+    };
+    // Triangular bounds leave the fragment: FS003, verdict Unknown.
+    let tri = try_lint_dsl(&render_boundary(p(0, 2)), &machines::paper48(), 4).unwrap();
+    assert_eq!(tri.result.verdict, LintVerdict::Unknown);
+    assert!(
+        tri.result.diagnostics.iter().any(|d| d.rule_id == "FS003"),
+        "{:?}",
+        tri.result.diagnostics
+    );
+    // Mixed strides on one array: out at s > 1, back in at s == 1.
+    let mixed = try_lint_dsl(&render_boundary(p(1, 3)), &machines::paper48(), 4).unwrap();
+    assert_eq!(mixed.result.verdict, LintVerdict::Unknown);
+    let collapsed = try_lint_dsl(&render_boundary(p(1, 1)), &machines::paper48(), 4).unwrap();
+    assert_ne!(collapsed.result.verdict, LintVerdict::Unknown);
+    // The multi-array mixed-stride nest stays decidable.
+    let nest = try_lint_dsl(&render_boundary(p(2, 2)), &machines::paper48(), 4).unwrap();
+    assert_ne!(nest.result.verdict, LintVerdict::Unknown);
+}
+
 #[test]
 fn minimizer_shrinks_and_dumps() {
     // Exercise the reproducer machinery itself on a synthetic "divergence"

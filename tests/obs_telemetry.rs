@@ -147,7 +147,10 @@ fn ring_overwrite_keeps_newest_spans_and_valid_chrome_trace() {
     );
     assert_eq!(snap.dropped_spans, 4, "3 old + 1 surplus new overwritten");
     // Retained spans stay in chronological order after wraparound.
-    assert!(snap.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    assert!(snap
+        .spans
+        .windows(2)
+        .all(|w| w[0].start_ns <= w[1].start_ns));
 
     // A wrapped ring still exports as well-formed Chrome trace JSON.
     let trace = obs::trace::chrome_trace(&snap);
