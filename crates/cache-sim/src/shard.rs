@@ -1,0 +1,201 @@
+//! Set-sharded parallel dense replay (`SimPath::Sharded`).
+//!
+//! In this write-invalidate MESI simulator (no bus timing, no
+//! update-based protocol), **cache lines in different sets never
+//! interact**: every MESI transition, invalidation, directory update,
+//! byte-mask comparison and statistic is keyed by one line, and the only
+//! cross-line coupling anywhere is the per-set LRU replacement order. So
+//! replay decomposes exactly by set index: pick a shard count `S` that
+//! divides the set count of *every* cache level (`plan_shards`) and
+//! lines of different residue classes mod `S` can be replayed on
+//! different threads with no synchronization at all.
+//!
+//! The engine is a single-producer fan-out pipeline:
+//!
+//! ```text
+//!   for_each_interleaved_blocks           bounded SPSC queues
+//!  (caller thread) ──► partitioner ──►  [shard 0] ─► DenseMultiCoreSim (sets ≡ 0 mod S)
+//!                      line % S     ──►  [shard 1] ─► DenseMultiCoreSim (sets ≡ 1 mod S)
+//!                                   ──►    ...                 │
+//!                                                              ▼
+//!                                              SimStats::merge (exact, per shard)
+//! ```
+//!
+//! The producer reuses the serial path's exact line decomposition
+//! (`dense::for_each_line_op`) and routes each `(line, mask)` op
+//! to the owning shard's staging buffer; full buffers travel as batches
+//! over [`fs_runtime::SpscQueue`]s to the pool workers, each of which owns
+//! one [`DenseMultiCoreSim::new_shard`]. Per-shard ops arrive in global
+//! trace order, so every shard observes exactly the subsequence of the
+//! serial replay that touches its lines — the merged stats are
+//! **bit-identical by construction** (enforced by
+//! `tests/sim_shard_equivalence.rs`).
+//!
+//! Prefetch configs cannot shard this way (a next-line prefetch crosses
+//! residue classes), so the dispatcher falls back to the serial dense
+//! replay and counts `sim.shard_prefetch_fallbacks` — see `docs/SIM.md`.
+
+use crate::dense::{for_each_line_op, DenseMultiCoreSim};
+use crate::stats::SimStats;
+use crate::trace::{Interleave, TraceGen};
+use fs_runtime::{SharedSlice, SpscQueue, ThreadPool};
+use loop_ir::stream::CompiledPlan;
+use machine::MachineConfig;
+
+/// One line-granular operation routed to the owning shard.
+#[derive(Clone, Copy)]
+struct LineOp {
+    thread: u32,
+    is_write: bool,
+    line: u64,
+    mask: u64,
+}
+
+/// Ops per batch pushed onto a shard queue — matches the trace generator's
+/// block size, so one well-mixed block produces about one batch per shard.
+const BATCH_OPS: usize = 4096;
+
+/// Batches a queue buffers before the producer blocks (backpressure bound:
+/// at most `shards * QUEUE_BATCHES * BATCH_OPS` ops in flight).
+const QUEUE_BATCHES: usize = 8;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Pick the shard count for `machine` under a worker `budget`: the largest
+/// `s` with `2 <= s <= budget` that divides the set count of **every**
+/// cache level, so that a line's residue class mod `s` determines its set
+/// at every level and shard-local caches reproduce the original per-set
+/// contents and LRU order exactly.
+///
+/// `None` means the geometry does not decompose — a fully associative
+/// level (one set, e.g. `tiny_test`) or a prime shared-level set count
+/// (paper48's 3413-set L3) — and the dispatcher falls back to the serial
+/// dense replay (`sim.shard_geometry_fallbacks`).
+pub(crate) fn plan_shards(machine: &MachineConfig, budget: usize) -> Option<u64> {
+    if budget < 2 {
+        return None;
+    }
+    let line_size = machine.caches.line_size;
+    let g = machine
+        .caches
+        .levels
+        .iter()
+        .map(|l| l.num_sets(line_size).max(1))
+        .fold(0, gcd);
+    (2..=g.min(budget as u64)).rev().find(|s| g % s == 0)
+}
+
+/// Replay the trace on `shards` parallel per-set-class simulators and
+/// merge their stats. `shards` must come from [`plan_shards`] for this
+/// machine; the caller (the `crate::sim` dispatcher) guarantees a
+/// non-prefetch config within the dense footprint limit.
+pub(crate) fn replay_sharded(
+    gen: &TraceGen,
+    policy: Interleave,
+    cplan: &CompiledPlan,
+    machine: &MachineConfig,
+    num_threads: u32,
+    footprint_lines: u64,
+    shards: u64,
+) -> SimStats {
+    let s = shards as usize;
+    let line_size = machine.caches.line_size;
+    // Power-of-two shard counts route with a mask instead of a division —
+    // the partitioner runs once per simulated line op and is the serial
+    // section of the pipeline, so every cycle here caps the speedup.
+    let shard_mask = shards.is_power_of_two().then(|| shards - 1);
+
+    let queues: Vec<SpscQueue<Vec<LineOp>>> =
+        (0..s).map(|_| SpscQueue::new(QUEUE_BATCHES)).collect();
+    let mut results: Vec<Option<SimStats>> = (0..s).map(|_| None).collect();
+    {
+        let slots = SharedSlice::new(&mut results);
+        let pool = ThreadPool::new(s);
+        pool.run_scoped_with(
+            |w| {
+                // Shard worker: own simulator, own residue class, no locks.
+                let busy = fs_obs::counters_enabled().then(std::time::Instant::now);
+                let mut sim = DenseMultiCoreSim::new_shard(
+                    machine,
+                    num_threads,
+                    footprint_lines,
+                    shards,
+                    w as u64,
+                );
+                while let Some(batch) = queues[w].pop() {
+                    for op in &batch {
+                        sim.access_line(op.thread, op.line, op.mask, op.is_write);
+                    }
+                }
+                // SAFETY: worker w is the only writer of slot w, and the
+                // pool barrier runs before `results` is read.
+                unsafe { *slots.get_mut(w) = Some(sim.into_stats()) };
+                if let Some(t) = busy {
+                    fs_obs::hists::SIM_SHARD_BUSY_NS.record_ns(t.elapsed().as_nanos() as u64);
+                }
+            },
+            || {
+                // Producer (this thread): split blocks into line ops and
+                // bucket them per shard; ship full buffers as batches.
+                let mut staging: Vec<Vec<LineOp>> =
+                    (0..s).map(|_| Vec::with_capacity(BATCH_OPS)).collect();
+                gen.for_each_interleaved_blocks(policy, cplan, |block| {
+                    fs_obs::counters::SIM_SHARD_BLOCKS.inc();
+                    let mut route = |thread: u32, is_write: bool, line: u64, mask: u64| {
+                        let shard = match shard_mask {
+                            Some(m) => (line & m) as usize,
+                            None => (line % shards) as usize,
+                        };
+                        let buf = &mut staging[shard];
+                        buf.push(LineOp {
+                            thread,
+                            is_write,
+                            line,
+                            mask,
+                        });
+                        if buf.len() >= BATCH_OPS {
+                            let full = std::mem::replace(buf, Vec::with_capacity(BATCH_OPS));
+                            queues[shard].push(full);
+                        }
+                    };
+                    if line_size == 64 {
+                        // Overwhelmingly common geometry: the literal lets
+                        // the line split compile to shifts and skips the
+                        // mask rescaling entirely.
+                        for a in block {
+                            for_each_line_op(64, a.addr, a.size, |line, mask| {
+                                route(a.thread, a.is_write, line, mask)
+                            });
+                        }
+                    } else {
+                        for a in block {
+                            for_each_line_op(line_size, a.addr, a.size, |line, mask| {
+                                route(a.thread, a.is_write, line, mask)
+                            });
+                        }
+                    }
+                });
+                for (shard, buf) in staging.into_iter().enumerate() {
+                    if !buf.is_empty() {
+                        queues[shard].push(buf);
+                    }
+                    queues[shard].close();
+                }
+            },
+        );
+    }
+    // Merge in shard order. Order is irrelevant for the result (counter
+    // addition commutes, per-line keys are disjoint) but keeps the fold
+    // deterministic for debugging.
+    let mut merged = SimStats::new(num_threads);
+    for r in results {
+        merged.merge(&r.expect("every shard produced stats"));
+    }
+    merged
+}

@@ -288,6 +288,13 @@ pub struct ServiceOptions {
     pub early_exit: bool,
     /// Sweep worker-thread count (`None` = one per core).
     pub workers: Option<usize>,
+    /// Per-replay worker budget for simulator-backed sections (fsdetect
+    /// `--sim`). `0` or `1` keeps the serial dense replay; `>= 2` requests
+    /// the set-sharded parallel replay (`SimPath::Sharded`) with that many
+    /// shard workers. Prefetch configs and non-decomposable cache
+    /// geometries still fall back to the serial engine with identical
+    /// stats (see `docs/SIM.md`, "Sharded replay").
+    pub sim_workers: usize,
     /// Include the Eq. 1 analysis report per kernel.
     pub analyze: bool,
     /// Include the symbolic lint report per kernel.
@@ -312,6 +319,7 @@ impl Default for ServiceOptions {
             predict: None,
             early_exit: false,
             workers: None,
+            sim_workers: 0,
             analyze: true,
             lint: true,
             timing: false,
@@ -851,13 +859,14 @@ pub struct ParsedRequest {
 ///  "machines": ["paper48"], "threads": 8,
 ///  "grid": {"threads": [2,4,8], "chunks": [1,4,16]},
 ///  "consts": {"N": 64}, "predict": 32, "early_exit": false,
-///  "workers": 4, "timing": false, "stream": false}
+///  "workers": 4, "sim_workers": 8, "timing": false, "stream": false}
 /// ```
 ///
 /// `cmd` defaults to `analyze`; `machine` (singular, a string) is accepted
 /// as shorthand for a one-entry `machines`. `path` selects the FS-model
 /// path (`"symbolic"` — the default — `"analytic"`, `"optimized"`, or
-/// `"reference"`).
+/// `"reference"`). `sim_workers` sets the per-replay worker budget for
+/// simulator-backed veneers (`>= 2` requests the set-sharded replay).
 /// Unknown commands and malformed fields are errors — the daemon reports
 /// them without dying.
 pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
@@ -954,6 +963,12 @@ pub fn parse_request(v: &JsonValue) -> Result<ParsedRequest, String> {
             .as_u64()
             .ok_or("'workers' must be a non-negative integer")?;
         opts.workers = Some(w.max(1) as usize);
+    }
+    if let Some(w) = v.get("sim_workers") {
+        let w = w
+            .as_u64()
+            .ok_or("'sim_workers' must be a non-negative integer")?;
+        opts.sim_workers = usize::try_from(w).map_err(|_| "'sim_workers' is out of range")?;
     }
     if let Some(t) = v.get("timing") {
         opts.timing = t.as_bool().ok_or("'timing' must be a boolean")?;

@@ -1,0 +1,147 @@
+//! Bounded single-producer single-consumer handoff queues.
+//!
+//! The sharded replay engine feeds each shard worker batches of a few
+//! thousand line operations, so the queue only has to be cheap at *batch*
+//! granularity — a `Mutex<VecDeque>` with two condvars is plenty (one lock
+//! per ~4096 simulated operations) and keeps the crate dependency-free.
+//! The bound applies backpressure: a producer that outruns a shard blocks
+//! instead of buffering the whole trace.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO for exactly one producer and one consumer (nothing
+/// enforces that cardinality — it is just the only shape the blocking
+/// protocol is tuned for).
+pub struct SpscQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> SpscQueue<T> {
+    /// A queue buffering at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SpscQueue {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full. Pushing to a
+    /// closed queue drops the item (the consumer is gone and will never
+    /// pop it).
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("spsc lock poisoned");
+        while inner.buf.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("spsc lock poisoned");
+        }
+        if inner.closed {
+            return;
+        }
+        inner.buf.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue the next item, blocking while the queue is empty and open.
+    /// `None` means closed *and* drained — the consumer's loop exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("spsc lock poisoned");
+        loop {
+            if let Some(item) = inner.buf.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("spsc lock poisoned");
+        }
+    }
+
+    /// Mark the stream finished: the consumer drains what is buffered and
+    /// then sees `None`; a blocked producer wakes and drops its item.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("spsc lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_survives_the_handoff() {
+        let q = Arc::new(SpscQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    q.push(i);
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(i) = q.pop() {
+            got.push(i);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_drains_buffered_items_then_ends() {
+        let q = SpscQueue::new(8);
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // stays closed
+    }
+
+    #[test]
+    fn bounded_producer_blocks_until_consumed() {
+        let q = Arc::new(SpscQueue::new(1));
+        q.push(0u32);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                q.push(1); // must block until the consumer pops
+                q.close();
+            })
+        };
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn push_after_close_is_dropped() {
+        let q = SpscQueue::new(2);
+        q.close();
+        q.push(7u8);
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential oracle for the set-sharded parallel replay
+//! (`SimPath::Sharded`): sharded [`SimStats`] must be **bit-identical** to
+//! the serial dense replay over randomized corpus kernels × team sizes ×
+//! schedules × interleave policies × shard-worker budgets × machines —
+//! including a machine whose set counts are divisible by 7, so the
+//! partitioner's non-power-of-two modulo routing is exercised alongside
+//! the mask fast path. Configs that cannot shard (prefetch on, prime or
+//! fully-associative set geometry, budget < 2) must fall back to the
+//! serial engine with identical stats and count the fallback.
+//!
+//! On divergence the failing kernel is dumped as a `.loop` DSL reproducer
+//! (path in the assertion message), so a failure minimized by proptest
+//! shrinks to a ready-to-run `fsdetect --sim` input.
+
+use fs_core::corpus_kernel_with_consts;
+use fs_core::simulation::{simulate_kernel, Interleave, SimOptions, SimPath};
+use loop_ir::Kernel;
+use machine::presets;
+use machine::MachineConfig;
+use proptest::prelude::*;
+
+/// Build a corpus kernel at a randomized (small) problem size — the same
+/// scaling map as `tests/sim_path_equivalence.rs`, since every access is
+/// replayed through both engines per case.
+fn sized_corpus_kernel(name: &str, scale: u64) -> Kernel {
+    let s = scale as i64; // 1..=3
+    let consts: Vec<(&str, i64)> = match name {
+        "dft" => vec![("N", 8 * s), ("K", 32 * s)],
+        "heat" => vec![("N", 6 * s), ("M", 32 * s + 2)],
+        "histogram" => vec![("T", 8), ("N", 64 * s)],
+        "linreg" => vec![("N", 48 * s), ("M", 8 * s)],
+        "matmul" => vec![("N", 8 * s), ("M", 8 * s), ("P", 8)],
+        "stencil" => vec![("N", 64 * s + 2)],
+        other => panic!("unknown corpus kernel {other}"),
+    };
+    corpus_kernel_with_consts(name, &consts).expect("corpus kernel builds")
+}
+
+/// `generic_x86` with the caches rescaled so every level's set count is
+/// divisible by 7 (L1 28, L2 56, L3 112 sets): a budget of 7 yields 7
+/// shards and the partitioner routes by modulo instead of the
+/// power-of-two mask.
+fn seven_way_machine() -> MachineConfig {
+    let mut m = presets::generic_x86();
+    m.name = "7-divisible test machine".into();
+    m.caches.levels[0].size_bytes = 28 * 8 * 64;
+    m.caches.levels[1].size_bytes = 56 * 8 * 64;
+    m.caches.levels[2].size_bytes = 112 * 16 * 64;
+    m
+}
+
+/// Write the diverging kernel as DSL next to the other test artifacts and
+/// return the path for the assertion message.
+fn dump_reproducer(kernel: &Kernel, tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sim_shard_divergence_{tag}.loop"));
+    let _ = std::fs::write(&path, fs_core::kernel_to_dsl(kernel));
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full equivalence across the bundled corpus: shard budgets of 1
+    /// (serial fallback), 2, 7 and 64 (= `generic_x86`'s L1 set count; on
+    /// the 7-divisible machine the planner settles on its gcd, 28).
+    #[test]
+    fn sharded_replay_matches_serial_dense(
+        name in prop::sample::select(vec![
+            "dft",
+            "heat",
+            "histogram",
+            "linreg",
+            "matmul",
+            "stencil",
+        ]),
+        scale in 1u64..4,
+        threads in 1u32..9,
+        chunk in prop::sample::select(vec![1u64, 2, 4, 16]),
+        interleave in prop::sample::select(vec![
+            Interleave::PerIteration,
+            Interleave::PerChunk,
+            Interleave::PerIterationSkewed,
+        ]),
+        budget in prop::sample::select(vec![1usize, 2, 7, 64]),
+        seven_way in any::<bool>(),
+    ) {
+        let mut kernel = sized_corpus_kernel(name, scale);
+        kernel.nest.parallel.schedule = loop_ir::Schedule::Static { chunk };
+        let machine = if seven_way {
+            seven_way_machine()
+        } else {
+            presets::generic_x86()
+        };
+        let opts = SimOptions::new(threads)
+            .with_interleave(interleave)
+            .without_prefetch();
+        let serial = simulate_kernel(&kernel, &machine, opts.with_path(SimPath::Optimized));
+        let sharded = simulate_kernel(
+            &kernel,
+            &machine,
+            opts.with_path(SimPath::Sharded).with_replay_workers(budget),
+        );
+        if sharded != serial {
+            let repro = dump_reproducer(&kernel, name);
+            prop_assert_eq!(
+                &sharded,
+                &serial,
+                "sharded replay diverges for {} scale={} threads={} chunk={} \
+                 interleave={:?} budget={} machine={:?} — reproducer at {}",
+                name, scale, threads, chunk, interleave, budget, machine.name,
+                repro.display()
+            );
+        }
+    }
+}
+
+/// Configs the sharded path cannot serve must route to the serial dense
+/// engine with identical stats, and each routed replay must be counted:
+/// prefetch (a next-line prefetch crosses set-residue classes), paper48's
+/// prime L3 set count, and tiny_test's fully associative (single-set)
+/// caches.
+#[test]
+fn unshardable_configs_fall_back_identically_and_are_counted() {
+    let mut cfg = fs_core::obs::config();
+    cfg.counters = true;
+    fs_core::obs::configure(cfg);
+    let kernel = loop_ir::kernels::transpose(24, 24, 1);
+
+    // Prefetch on (the SimOptions default): documented serial fallback.
+    let pf = &fs_core::obs::counters::SIM_SHARD_PREFETCH_FALLBACKS;
+    let pf_before = pf.get();
+    let machine = presets::generic_x86();
+    let opts = SimOptions::new(4);
+    let serial = simulate_kernel(&kernel, &machine, opts.with_path(SimPath::Optimized));
+    let sharded = simulate_kernel(
+        &kernel,
+        &machine,
+        opts.with_path(SimPath::Sharded).with_replay_workers(8),
+    );
+    assert_eq!(sharded, serial, "prefetch fallback must be an identity");
+    assert!(pf.get() > pf_before, "prefetch fallback not counted");
+
+    // Non-decomposable geometries: prime and single-set set counts.
+    let geo = &fs_core::obs::counters::SIM_SHARD_GEOMETRY_FALLBACKS;
+    for machine in [presets::paper48(), presets::tiny_test()] {
+        let geo_before = geo.get();
+        let opts = SimOptions::new(4).without_prefetch();
+        let serial = simulate_kernel(&kernel, &machine, opts.with_path(SimPath::Optimized));
+        let sharded = simulate_kernel(
+            &kernel,
+            &machine,
+            opts.with_path(SimPath::Sharded).with_replay_workers(8),
+        );
+        assert_eq!(
+            sharded, serial,
+            "geometry fallback must be an identity on {}",
+            machine.name
+        );
+        assert!(
+            geo.get() > geo_before,
+            "geometry fallback not counted on {}",
+            machine.name
+        );
+    }
+}
+
+/// A shardable config (pow-of-two sets, no prefetch, budget >= 2) must
+/// actually dispatch to the sharded engine — guards against the oracle
+/// silently comparing the serial path against itself.
+#[test]
+fn shardable_configs_dispatch_sharded() {
+    let mut cfg = fs_core::obs::config();
+    cfg.counters = true;
+    fs_core::obs::configure(cfg);
+    let sharded = &fs_core::obs::counters::SIM_DISPATCH_SHARDED;
+    let before = sharded.get();
+    let kernel = loop_ir::kernels::transpose(24, 24, 1);
+    let opts = SimOptions::new(4)
+        .without_prefetch()
+        .with_path(SimPath::Sharded)
+        .with_replay_workers(8);
+    simulate_kernel(&kernel, &presets::generic_x86(), opts);
+    simulate_kernel(&kernel, &seven_way_machine(), opts);
+    assert!(
+        sharded.get() >= before + 2,
+        "both machines should take the sharded dispatch"
+    );
+}
+
+/// The divergence reproducer must round-trip: the dumped `.loop` source
+/// parses back to the same kernel, so a shrunk failure is directly
+/// replayable with `fsdetect --sim`.
+#[test]
+fn reproducer_dump_round_trips() {
+    let kernel = sized_corpus_kernel("heat", 2);
+    let path = dump_reproducer(&kernel, "roundtrip_check");
+    let src = std::fs::read_to_string(&path).expect("reproducer written");
+    let reparsed = fs_core::parse_kernel(&src).expect("reproducer parses");
+    assert_eq!(reparsed, kernel);
+    let _ = std::fs::remove_file(path);
+}
